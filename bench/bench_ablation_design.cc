@@ -1,0 +1,92 @@
+// Design-choice ablations called out in DESIGN.md §4 (not in the paper):
+//   1. Poincaré K-means centroids: Klein/Einstein midpoint vs tangent-space
+//      mean.
+//   2. Algorithm 1's adaptive push-up vs plain recursive K-means.
+//   3. L^reg center: stop-gradient vs full gradient through the center.
+//   4. Tag-space warm-up on vs off.
+// Run on the yelp profile (most tags, deepest hierarchy).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/taxorec_model.h"
+#include "eval/evaluator.h"
+#include "taxonomy/builder.h"
+#include "taxonomy/metrics.h"
+
+int main() {
+  using namespace taxorec;
+  const auto pd = bench::LoadProfile("yelp");
+  ModelConfig cfg = bench::ConfigFor("TaxoRec");
+
+  // A trained tag space shared by the taxonomy-side ablations.
+  TaxoRecModel base(cfg, TaxoRecOptions{});
+  Rng rng(cfg.seed);
+  std::printf("training base TaxoRec on yelp profile ...\n");
+  base.Fit(pd.split, &rng);
+  const CsrMatrix tag_items = pd.split.item_tags.Transposed();
+
+  std::printf("\n[1] K-means centroid method (taxonomy quality)\n");
+  std::printf("%-18s %8s %8s %8s %6s\n", "centroid", "purity", "pairF1",
+              "ancF1", "depth");
+  for (auto method :
+       {CentroidMethod::kKleinMidpoint, CentroidMethod::kTangentMean}) {
+    TaxonomyBuildConfig bc;
+    bc.seed = 11;
+    bc.kmeans.centroid = method;
+    const Taxonomy t =
+        BuildTaxonomy(base.tag_embeddings(), pd.split.item_tags, tag_items, bc);
+    const auto q = EvaluateTaxonomy(t, pd.data.tag_parent);
+    std::printf("%-18s %8.3f %8.3f %8.3f %6d\n",
+                method == CentroidMethod::kKleinMidpoint ? "klein-midpoint"
+                                                         : "tangent-mean",
+                q.top_level_purity, q.pair_f1, q.ancestor_f1, t.MaxDepth());
+  }
+
+  std::printf("\n[2] adaptive push-up vs plain recursive K-means\n");
+  std::printf("%-18s %8s %8s %8s %6s\n", "clustering", "purity", "pairF1",
+              "ancF1", "depth");
+  for (bool adaptive : {true, false}) {
+    TaxonomyBuildConfig bc;
+    bc.seed = 11;
+    bc.adaptive = adaptive;
+    const Taxonomy t =
+        BuildTaxonomy(base.tag_embeddings(), pd.split.item_tags, tag_items, bc);
+    const auto q = EvaluateTaxonomy(t, pd.data.tag_parent);
+    std::printf("%-18s %8.3f %8.3f %8.3f %6d\n",
+                adaptive ? "adaptive (Alg.1)" : "plain k-means",
+                q.top_level_purity, q.pair_f1, q.ancestor_f1, t.MaxDepth());
+  }
+
+  ProtocolOptions popts;
+  popts.num_seeds = bench::NumSeeds();
+
+  std::printf("\n[3] L^reg center gradient (recommendation quality)\n");
+  std::printf("%-18s %10s %10s\n", "center", "Recall@10", "NDCG@10");
+  for (bool stop_grad : {true, false}) {
+    TaxoRecOptions opts;
+    opts.reg.center_stop_gradient = stop_grad;
+    const auto r = RunProtocol(
+        [&opts](const ModelConfig& c) {
+          return std::make_unique<TaxoRecModel>(c, opts);
+        },
+        stop_grad ? "stop-gradient" : "full-gradient", cfg, pd.split, popts);
+    std::printf("%-18s %9.2f%% %9.2f%%\n", r.model.c_str(),
+                100.0 * r.recall_mean[0], 100.0 * r.ndcg_mean[0]);
+  }
+
+  std::printf("\n[4] tag-space warm-up (recommendation + taxonomy)\n");
+  std::printf("%-18s %10s %8s %8s\n", "warm-up", "Recall@10", "purity",
+              "pairF1");
+  for (int per_tag : {400, 0}) {
+    ModelConfig c2 = cfg;
+    c2.tag_warmup_per_tag = per_tag;
+    TaxoRecModel m(c2, TaxoRecOptions{});
+    Rng r2(cfg.seed);
+    m.Fit(pd.split, &r2);
+    const auto er = EvaluateRanking(m, pd.split);
+    const auto q = EvaluateTaxonomy(*m.taxonomy(), pd.data.tag_parent);
+    std::printf("%-18s %9.2f%% %8.3f %8.3f\n", per_tag > 0 ? "on" : "off",
+                100.0 * er.recall[0], q.top_level_purity, q.pair_f1);
+  }
+  return 0;
+}

@@ -1,0 +1,188 @@
+// Microbenchmarks of the substrate kernels (google-benchmark): hyperbolic
+// primitives, the manual layers, GCN propagation, K-means, taxonomy
+// construction, and evaluation. Not a paper table — used to track the cost
+// of the building blocks.
+#include <benchmark/benchmark.h>
+
+#include "data/sampler.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "hyperbolic/klein.h"
+#include "hyperbolic/lorentz.h"
+#include "hyperbolic/poincare.h"
+#include "math/rng.h"
+#include "math/vec_ops.h"
+#include "nn/gcn.h"
+#include "nn/lorentz_layers.h"
+#include "nn/midpoint.h"
+#include "taxonomy/builder.h"
+#include "taxonomy/poincare_kmeans.h"
+
+namespace taxorec {
+namespace {
+
+Matrix RandomBall(Rng* rng, size_t n, size_t d, double radius) {
+  Matrix m(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    poincare::RandomPoint(rng, radius, m.row(i));
+  }
+  return m;
+}
+
+Matrix RandomHyperboloid(Rng* rng, size_t n, size_t d1, double stddev) {
+  Matrix m(n, d1);
+  for (size_t i = 0; i < n; ++i) {
+    lorentz::RandomPoint(rng, stddev, m.row(i));
+  }
+  return m;
+}
+
+void BM_PoincareDistance(benchmark::State& state) {
+  Rng rng(1);
+  const size_t d = state.range(0);
+  Matrix pts = RandomBall(&rng, 64, d, 0.9);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        poincare::Distance(pts.row(i % 64), pts.row((i + 7) % 64)));
+    ++i;
+  }
+}
+BENCHMARK(BM_PoincareDistance)->Arg(12)->Arg(64);
+
+void BM_LorentzSqDistanceGrad(benchmark::State& state) {
+  Rng rng(2);
+  const size_t d1 = state.range(0) + 1;
+  Matrix pts = RandomHyperboloid(&rng, 64, d1, 0.5);
+  std::vector<double> gx(d1), gy(d1);
+  size_t i = 0;
+  for (auto _ : state) {
+    lorentz::SqDistanceGrad(pts.row(i % 64), pts.row((i + 9) % 64), 1.0,
+                            vec::Span(gx), vec::Span(gy));
+    benchmark::DoNotOptimize(gx.data());
+    ++i;
+  }
+}
+BENCHMARK(BM_LorentzSqDistanceGrad)->Arg(12)->Arg(64);
+
+void BM_MobiusExpMap(benchmark::State& state) {
+  Rng rng(3);
+  Matrix pts = RandomBall(&rng, 64, 12, 0.8);
+  std::vector<double> eta(12, 0.01), out(12);
+  size_t i = 0;
+  for (auto _ : state) {
+    poincare::ExpMap(pts.row(i % 64), eta, vec::Span(out));
+    benchmark::DoNotOptimize(out.data());
+    ++i;
+  }
+}
+BENCHMARK(BM_MobiusExpMap);
+
+void BM_LogExpMapBatch(benchmark::State& state) {
+  Rng rng(4);
+  const size_t n = state.range(0);
+  Matrix x = RandomHyperboloid(&rng, n, 65, 0.5);
+  Matrix z, y;
+  for (auto _ : state) {
+    nn::LogMapOriginForward(x, &z);
+    nn::ExpMapOriginForward(z, &y);
+    benchmark::DoNotOptimize(y.flat().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LogExpMapBatch)->Arg(1024);
+
+void BM_EinsteinMidpointAgg(benchmark::State& state) {
+  Rng rng(5);
+  SyntheticConfig cfg;
+  cfg.num_users = 100;
+  cfg.num_items = 500;
+  cfg.num_tags = 60;
+  const Dataset data = GenerateSynthetic(cfg);
+  const CsrMatrix psi =
+      CsrMatrix::FromPairs(data.num_items, data.num_tags, data.item_tags);
+  Matrix tags = RandomBall(&rng, 60, 12, 0.8);
+  nn::TagAggregation agg(&psi);
+  nn::TagAggContext ctx;
+  Matrix out;
+  for (auto _ : state) {
+    agg.Forward(tags, &ctx, &out);
+    benchmark::DoNotOptimize(out.flat().data());
+  }
+  state.SetItemsProcessed(state.iterations() * data.num_items);
+}
+BENCHMARK(BM_EinsteinMidpointAgg);
+
+void BM_GcnForwardBackward(benchmark::State& state) {
+  Rng rng(6);
+  SyntheticConfig cfg;
+  cfg.num_users = 400;
+  cfg.num_items = 600;
+  cfg.num_tags = 30;
+  const Dataset data = GenerateSynthetic(cfg);
+  const DataSplit split = TemporalSplit(data);
+  nn::BipartiteGcn gcn(split.train, 3);
+  Matrix zu(400, 64), zv(600, 64);
+  zu.FillGaussian(&rng, 0.1);
+  zv.FillGaussian(&rng, 0.1);
+  nn::GcnContext ctx;
+  Matrix ou, ov, gu, gv;
+  for (auto _ : state) {
+    gcn.Forward(zu, zv, &ctx, &ou, &ov);
+    gcn.Backward(ou, ov, &gu, &gv);
+    benchmark::DoNotOptimize(gu.flat().data());
+  }
+}
+BENCHMARK(BM_GcnForwardBackward);
+
+void BM_PoincareKMeans(benchmark::State& state) {
+  Rng rng(7);
+  const size_t S = state.range(0);
+  Matrix tags = RandomBall(&rng, S, 12, 0.9);
+  std::vector<uint32_t> subset(S);
+  for (size_t i = 0; i < S; ++i) subset[i] = static_cast<uint32_t>(i);
+  for (auto _ : state) {
+    auto result = PoincareKMeans(tags, subset, 3, &rng);
+    benchmark::DoNotOptimize(result.assignment.data());
+  }
+}
+BENCHMARK(BM_PoincareKMeans)->Arg(64)->Arg(256);
+
+void BM_TaxonomyBuild(benchmark::State& state) {
+  Rng rng(8);
+  SyntheticConfig cfg;
+  cfg.num_users = 200;
+  cfg.num_items = 600;
+  cfg.num_tags = 120;
+  const Dataset data = GenerateSynthetic(cfg);
+  const DataSplit split = TemporalSplit(data);
+  const CsrMatrix tag_items = split.item_tags.Transposed();
+  Matrix tags = RandomBall(&rng, 120, 12, 0.9);
+  for (auto _ : state) {
+    TaxonomyBuildConfig bc;
+    bc.seed = 5;
+    auto taxo = BuildTaxonomy(tags, split.item_tags, tag_items, bc);
+    benchmark::DoNotOptimize(taxo.num_nodes());
+  }
+}
+BENCHMARK(BM_TaxonomyBuild);
+
+void BM_TripletSampling(benchmark::State& state) {
+  SyntheticConfig cfg;
+  cfg.num_users = 400;
+  cfg.num_items = 600;
+  cfg.num_tags = 30;
+  const Dataset data = GenerateSynthetic(cfg);
+  const DataSplit split = TemporalSplit(data);
+  TripletSampler sampler(&split.train);
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(&rng));
+  }
+}
+BENCHMARK(BM_TripletSampling);
+
+}  // namespace
+}  // namespace taxorec
+
+BENCHMARK_MAIN();

@@ -1,0 +1,161 @@
+#include "autodiff/tape.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace taxorec::autodiff {
+
+VarId Tape::Push(Op op, VarId a, VarId b, double aux, double value) {
+  nodes_.push_back({op, a, b, aux, value});
+  return static_cast<VarId>(nodes_.size() - 1);
+}
+
+VarId Tape::Variable(double value) {
+  return Push(Op::kLeaf, -1, -1, 0.0, value);
+}
+
+double Tape::value(VarId id) const {
+  TAXOREC_DCHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size());
+  return nodes_[id].value;
+}
+
+VarId Tape::Add(VarId a, VarId b) {
+  return Push(Op::kAdd, a, b, 0.0, value(a) + value(b));
+}
+VarId Tape::Sub(VarId a, VarId b) {
+  return Push(Op::kSub, a, b, 0.0, value(a) - value(b));
+}
+VarId Tape::Mul(VarId a, VarId b) {
+  return Push(Op::kMul, a, b, 0.0, value(a) * value(b));
+}
+VarId Tape::Div(VarId a, VarId b) {
+  return Push(Op::kDiv, a, b, 0.0, value(a) / value(b));
+}
+VarId Tape::AddConst(VarId a, double c) {
+  return Push(Op::kAddConst, a, -1, c, value(a) + c);
+}
+VarId Tape::MulConst(VarId a, double c) {
+  return Push(Op::kMulConst, a, -1, c, value(a) * c);
+}
+VarId Tape::Neg(VarId a) { return Push(Op::kNeg, a, -1, 0.0, -value(a)); }
+VarId Tape::Sqrt(VarId a) {
+  return Push(Op::kSqrt, a, -1, 0.0, std::sqrt(value(a)));
+}
+VarId Tape::Exp(VarId a) {
+  return Push(Op::kExp, a, -1, 0.0, std::exp(value(a)));
+}
+VarId Tape::Log(VarId a) {
+  return Push(Op::kLog, a, -1, 0.0, std::log(value(a)));
+}
+VarId Tape::Tanh(VarId a) {
+  return Push(Op::kTanh, a, -1, 0.0, std::tanh(value(a)));
+}
+VarId Tape::Atanh(VarId a) {
+  return Push(Op::kAtanh, a, -1, 0.0, std::atanh(value(a)));
+}
+VarId Tape::Cosh(VarId a) {
+  return Push(Op::kCosh, a, -1, 0.0, std::cosh(value(a)));
+}
+VarId Tape::Sinh(VarId a) {
+  return Push(Op::kSinh, a, -1, 0.0, std::sinh(value(a)));
+}
+VarId Tape::Acosh(VarId a) {
+  return Push(Op::kAcosh, a, -1, 0.0, std::acosh(value(a)));
+}
+VarId Tape::Relu(VarId a) {
+  return Push(Op::kRelu, a, -1, 0.0, value(a) > 0.0 ? value(a) : 0.0);
+}
+
+VarId Tape::Dot(const std::vector<VarId>& x, const std::vector<VarId>& y) {
+  TAXOREC_CHECK(x.size() == y.size() && !x.empty());
+  VarId acc = Mul(x[0], y[0]);
+  for (size_t i = 1; i < x.size(); ++i) acc = Add(acc, Mul(x[i], y[i]));
+  return acc;
+}
+
+VarId Tape::SqNorm(const std::vector<VarId>& x) { return Dot(x, x); }
+
+VarId Tape::SqDist(const std::vector<VarId>& x, const std::vector<VarId>& y) {
+  TAXOREC_CHECK(x.size() == y.size() && !x.empty());
+  VarId acc = -1;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const VarId d = Sub(x[i], y[i]);
+    const VarId sq = Mul(d, d);
+    acc = (acc < 0) ? sq : Add(acc, sq);
+  }
+  return acc;
+}
+
+std::vector<double> Tape::Gradient(VarId output) const {
+  TAXOREC_CHECK(output >= 0 &&
+                static_cast<size_t>(output) < nodes_.size());
+  std::vector<double> adj(nodes_.size(), 0.0);
+  adj[output] = 1.0;
+  for (VarId i = static_cast<VarId>(nodes_.size()) - 1; i >= 0; --i) {
+    const Node& n = nodes_[i];
+    const double g = adj[i];
+    if (g == 0.0) continue;
+    const double va = n.a >= 0 ? nodes_[n.a].value : 0.0;
+    const double vb = n.b >= 0 ? nodes_[n.b].value : 0.0;
+    switch (n.op) {
+      case Op::kLeaf:
+        break;
+      case Op::kAdd:
+        adj[n.a] += g;
+        adj[n.b] += g;
+        break;
+      case Op::kSub:
+        adj[n.a] += g;
+        adj[n.b] -= g;
+        break;
+      case Op::kMul:
+        adj[n.a] += g * vb;
+        adj[n.b] += g * va;
+        break;
+      case Op::kDiv:
+        adj[n.a] += g / vb;
+        adj[n.b] -= g * va / (vb * vb);
+        break;
+      case Op::kAddConst:
+        adj[n.a] += g;
+        break;
+      case Op::kMulConst:
+        adj[n.a] += g * n.aux;
+        break;
+      case Op::kNeg:
+        adj[n.a] -= g;
+        break;
+      case Op::kSqrt:
+        adj[n.a] += g * 0.5 / n.value;
+        break;
+      case Op::kExp:
+        adj[n.a] += g * n.value;
+        break;
+      case Op::kLog:
+        adj[n.a] += g / va;
+        break;
+      case Op::kTanh:
+        adj[n.a] += g * (1.0 - n.value * n.value);
+        break;
+      case Op::kAtanh:
+        adj[n.a] += g / (1.0 - va * va);
+        break;
+      case Op::kCosh:
+        adj[n.a] += g * std::sinh(va);
+        break;
+      case Op::kSinh:
+        adj[n.a] += g * std::cosh(va);
+        break;
+      case Op::kAcosh:
+        adj[n.a] += g / std::sqrt(va * va - 1.0);
+        break;
+      case Op::kRelu:
+        if (va > 0.0) adj[n.a] += g;
+        break;
+    }
+  }
+  return adj;
+}
+
+}  // namespace taxorec::autodiff

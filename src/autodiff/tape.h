@@ -1,0 +1,99 @@
+// Compact scalar reverse-mode automatic differentiation.
+//
+// This is NOT used on the training path (the layers have hand-derived
+// closed-form backward passes — DESIGN.md §4.1); it exists as an
+// *independent verifier*: tests rebuild the hyperbolic formulas from tape
+// primitives and compare the tape's gradients with the closed forms,
+// complementing the finite-difference checks (different failure modes:
+// FD catches formula errors but is noise-limited; the tape is exact).
+#ifndef TAXOREC_AUTODIFF_TAPE_H_
+#define TAXOREC_AUTODIFF_TAPE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace taxorec::autodiff {
+
+/// A value on the tape. Obtained from Tape::Variable or tape operations.
+using VarId = int32_t;
+
+/// Records a scalar computation and differentiates it in reverse.
+class Tape {
+ public:
+  /// Creates a leaf variable.
+  VarId Variable(double value);
+
+  /// Current value of a node.
+  double value(VarId id) const;
+
+  // Binary arithmetic.
+  VarId Add(VarId a, VarId b);
+  VarId Sub(VarId a, VarId b);
+  VarId Mul(VarId a, VarId b);
+  VarId Div(VarId a, VarId b);
+
+  // Constant-argument arithmetic.
+  VarId AddConst(VarId a, double c);
+  VarId MulConst(VarId a, double c);
+
+  // Unary functions.
+  VarId Neg(VarId a);
+  VarId Sqrt(VarId a);
+  VarId Exp(VarId a);
+  VarId Log(VarId a);
+  VarId Tanh(VarId a);
+  VarId Atanh(VarId a);
+  VarId Cosh(VarId a);
+  VarId Sinh(VarId a);
+  VarId Acosh(VarId a);
+  /// max(a, 0) with subgradient 0 at the kink.
+  VarId Relu(VarId a);
+
+  // Convenience reductions over vectors of tape values.
+  VarId Dot(const std::vector<VarId>& x, const std::vector<VarId>& y);
+  VarId SqNorm(const std::vector<VarId>& x);
+  VarId SqDist(const std::vector<VarId>& x, const std::vector<VarId>& y);
+
+  /// Reverse pass: returns d value(output) / d value(node) for every node
+  /// on the tape (index by VarId).
+  std::vector<double> Gradient(VarId output) const;
+
+  size_t size() const { return nodes_.size(); }
+
+ private:
+  enum class Op : uint8_t {
+    kLeaf,
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+    kAddConst,
+    kMulConst,
+    kNeg,
+    kSqrt,
+    kExp,
+    kLog,
+    kTanh,
+    kAtanh,
+    kCosh,
+    kSinh,
+    kAcosh,
+    kRelu,
+  };
+  struct Node {
+    Op op;
+    VarId a = -1;
+    VarId b = -1;
+    double aux = 0.0;  // constant operand where applicable
+    double value = 0.0;
+  };
+
+  VarId Push(Op op, VarId a, VarId b, double aux, double value);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace taxorec::autodiff
+
+#endif  // TAXOREC_AUTODIFF_TAPE_H_

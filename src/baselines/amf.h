@@ -1,0 +1,35 @@
+// AMF (Hou et al., WWW 2019): aspect-based matrix factorization. The
+// predicted preference adds an aspect term to the CF inner product:
+// score(u, v) = <u_cf, v_cf> + <u_aspect, mean tag embedding of v>.
+// Aspects are the item tags (the paper's tag-based baseline protocol).
+#ifndef TAXOREC_BASELINES_AMF_H_
+#define TAXOREC_BASELINES_AMF_H_
+
+#include "baselines/recommender.h"
+#include "math/csr.h"
+#include "math/matrix.h"
+
+namespace taxorec {
+
+class Amf : public Recommender {
+ public:
+  explicit Amf(const ModelConfig& config) : config_(config) {}
+
+  std::string name() const override { return "AMF"; }
+  void Fit(const DataSplit& split, Rng* rng) override;
+  void ScoreItems(uint32_t user, std::span<double> out) const override;
+
+ private:
+  double Score(uint32_t user, uint32_t item) const;
+
+  ModelConfig config_;
+  const CsrMatrix* item_tags_ = nullptr;
+  size_t cf_dim_ = 0;
+  Matrix users_cf_, items_cf_;
+  Matrix users_aspect_;  // num_users × tag_dim
+  Matrix tags_;          // num_tags × tag_dim
+};
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_BASELINES_AMF_H_

@@ -1,0 +1,53 @@
+#include "baselines/bprmf.h"
+
+#include "data/sampler.h"
+#include "math/vec_ops.h"
+#include "nn/losses.h"
+
+namespace taxorec {
+namespace {
+
+constexpr double kL2 = 1e-4;  // weight decay on touched rows
+
+}  // namespace
+
+void BprMf::Fit(const DataSplit& split, Rng* rng) {
+  const size_t d = config_.dim;
+  users_ = Matrix(split.num_users, d);
+  items_ = Matrix(split.num_items, d);
+  users_.FillGaussian(rng, 0.1);
+  items_.FillGaussian(rng, 0.1);
+
+  TripletSampler sampler(&split.train, config_.neg_sampling);
+  const double lr = config_.lr;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    const size_t steps = config_.batches_per_epoch * config_.batch_size;
+    for (size_t s = 0; s < steps; ++s) {
+      const Triplet t = sampler.Sample(rng);
+      auto u = users_.row(t.user);
+      auto vp = items_.row(t.pos);
+      auto vq = items_.row(t.neg);
+      const double diff = vec::Dot(u, vp) - vec::Dot(u, vq);
+      double ddiff;
+      nn::Bpr(diff, &ddiff);
+      // d diff/du = vp - vq; d diff/dvp = u; d diff/dvq = -u.
+      for (size_t i = 0; i < d; ++i) {
+        const double gu = ddiff * (vp[i] - vq[i]) + kL2 * u[i];
+        const double gp = ddiff * u[i] + kL2 * vp[i];
+        const double gq = -ddiff * u[i] + kL2 * vq[i];
+        u[i] -= lr * gu;
+        vp[i] -= lr * gp;
+        vq[i] -= lr * gq;
+      }
+    }
+  }
+}
+
+void BprMf::ScoreItems(uint32_t user, std::span<double> out) const {
+  const auto u = users_.row(user);
+  for (size_t v = 0; v < items_.rows(); ++v) {
+    out[v] = vec::Dot(u, items_.row(v));
+  }
+}
+
+}  // namespace taxorec

@@ -1,0 +1,27 @@
+// BPRMF (Rendle et al., UAI 2009): matrix factorization trained with the
+// Bayesian personalized-ranking loss over sampled triplets.
+#ifndef TAXOREC_BASELINES_BPRMF_H_
+#define TAXOREC_BASELINES_BPRMF_H_
+
+#include "baselines/recommender.h"
+#include "math/matrix.h"
+
+namespace taxorec {
+
+class BprMf : public Recommender {
+ public:
+  explicit BprMf(const ModelConfig& config) : config_(config) {}
+
+  std::string name() const override { return "BPRMF"; }
+  void Fit(const DataSplit& split, Rng* rng) override;
+  void ScoreItems(uint32_t user, std::span<double> out) const override;
+
+ private:
+  ModelConfig config_;
+  Matrix users_;
+  Matrix items_;
+};
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_BASELINES_BPRMF_H_

@@ -1,0 +1,28 @@
+// CML (Hsieh et al., WWW 2017): collaborative metric learning. Users and
+// items live in a shared Euclidean unit ball; the hinge loss pulls positive
+// items inside the margin and pushes sampled negatives out.
+#ifndef TAXOREC_BASELINES_CML_H_
+#define TAXOREC_BASELINES_CML_H_
+
+#include "baselines/recommender.h"
+#include "math/matrix.h"
+
+namespace taxorec {
+
+class Cml : public Recommender {
+ public:
+  explicit Cml(const ModelConfig& config) : config_(config) {}
+
+  std::string name() const override { return "CML"; }
+  void Fit(const DataSplit& split, Rng* rng) override;
+  void ScoreItems(uint32_t user, std::span<double> out) const override;
+
+ private:
+  ModelConfig config_;
+  Matrix users_;
+  Matrix items_;
+};
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_BASELINES_CML_H_

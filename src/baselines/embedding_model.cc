@@ -1,0 +1,36 @@
+#include "baselines/embedding_model.h"
+
+#include "common/check.h"
+#include "math/vec_ops.h"
+
+namespace taxorec {
+
+void EuclidSqDistGrad(std::span<const double> x, std::span<const double> y,
+                      double scale, std::span<double> grad_x,
+                      std::span<double> grad_y) {
+  TAXOREC_DCHECK(x.size() == y.size());
+  const double c = 2.0 * scale;
+  if (!grad_x.empty()) {
+    TAXOREC_DCHECK(grad_x.size() == x.size());
+    for (size_t i = 0; i < x.size(); ++i) grad_x[i] += c * (x[i] - y[i]);
+  }
+  if (!grad_y.empty()) {
+    TAXOREC_DCHECK(grad_y.size() == y.size());
+    for (size_t i = 0; i < y.size(); ++i) grad_y[i] += c * (y[i] - x[i]);
+  }
+}
+
+Matrix RowMeans(const CsrMatrix& memberships, const Matrix& table) {
+  TAXOREC_CHECK(memberships.cols() == table.rows());
+  Matrix out(memberships.rows(), table.cols());
+  for (size_t r = 0; r < memberships.rows(); ++r) {
+    const auto cols = memberships.RowCols(r);
+    if (cols.empty()) continue;
+    auto row = out.row(r);
+    for (uint32_t c : cols) vec::Axpy(1.0, table.row(c), row);
+    vec::Scale(row, 1.0 / static_cast<double>(cols.size()));
+  }
+  return out;
+}
+
+}  // namespace taxorec

@@ -1,0 +1,25 @@
+// Shared helpers for the baseline implementations.
+#ifndef TAXOREC_BASELINES_EMBEDDING_MODEL_H_
+#define TAXOREC_BASELINES_EMBEDDING_MODEL_H_
+
+#include <span>
+
+#include "math/csr.h"
+#include "math/matrix.h"
+
+namespace taxorec {
+
+/// Accumulates gradients of the squared Euclidean distance ||x - y||^2:
+/// grad_x += scale * 2(x - y), grad_y += scale * 2(y - x). Either gradient
+/// span may be empty to skip it.
+void EuclidSqDistGrad(std::span<const double> x, std::span<const double> y,
+                      double scale, std::span<double> grad_x,
+                      std::span<double> grad_y);
+
+/// Per-row mean of `table` rows selected by each row of `memberships`
+/// (e.g. an item's mean tag embedding). Rows with no members are zero.
+Matrix RowMeans(const CsrMatrix& memberships, const Matrix& table);
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_BASELINES_EMBEDDING_MODEL_H_

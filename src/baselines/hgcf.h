@@ -1,0 +1,40 @@
+// HGCF (Sun et al., WWW 2021): hyperbolic graph convolution for
+// collaborative filtering. Lorentz embeddings are mapped to the tangent
+// space at the origin, propagated with the bipartite GCN, mapped back, and
+// trained with a margin loss on hyperbolic distances via Riemannian SGD.
+// This is the strongest tag-free baseline in Table II and the closest
+// relative of TaxoRec (TaxoRec = HGCF + tag channel + taxonomy).
+#ifndef TAXOREC_BASELINES_HGCF_H_
+#define TAXOREC_BASELINES_HGCF_H_
+
+#include <memory>
+
+#include "baselines/recommender.h"
+#include "math/matrix.h"
+#include "nn/gcn.h"
+
+namespace taxorec {
+
+class Hgcf : public Recommender {
+ public:
+  explicit Hgcf(const ModelConfig& config) : config_(config) {}
+
+  std::string name() const override { return "HGCF"; }
+  void Fit(const DataSplit& split, Rng* rng) override;
+  void ScoreItems(uint32_t user, std::span<double> out) const override;
+
+ private:
+  /// Runs log → GCN → exp from the current leaves into users_out_/items_out_.
+  void Propagate(nn::GcnContext* ctx);
+
+  ModelConfig config_;
+  std::unique_ptr<nn::BipartiteGcn> gcn_;
+  Matrix users0_, items0_;        // Lorentz leaves, (dim+1) coords
+  Matrix zu0_, zv0_;              // tangent inputs (cached per step)
+  Matrix sum_u_, sum_v_;          // GCN outputs (cached per step)
+  Matrix users_out_, items_out_;  // hyperboloid outputs
+};
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_BASELINES_HGCF_H_

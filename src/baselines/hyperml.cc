@@ -1,0 +1,60 @@
+#include "baselines/hyperml.h"
+
+#include "data/sampler.h"
+#include "hyperbolic/lorentz.h"
+#include "math/vec_ops.h"
+#include "nn/losses.h"
+
+namespace taxorec {
+
+void HyperMl::Fit(const DataSplit& split, Rng* rng) {
+  const size_t d1 = config_.dim + 1;
+  users_ = Matrix(split.num_users, d1);
+  items_ = Matrix(split.num_items, d1);
+  for (size_t u = 0; u < users_.rows(); ++u) {
+    lorentz::RandomPoint(rng, 0.1, users_.row(u));
+  }
+  for (size_t v = 0; v < items_.rows(); ++v) {
+    lorentz::RandomPoint(rng, 0.1, items_.row(v));
+  }
+
+  TripletSampler sampler(&split.train, config_.neg_sampling);
+  std::vector<double> gu(d1), gp(d1), gq(d1);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    const size_t steps = config_.batches_per_epoch * config_.batch_size;
+    for (size_t s = 0; s < steps; ++s) {
+      const Triplet t = sampler.Sample(rng);
+      auto u = users_.row(t.user);
+      auto vp = items_.row(t.pos);
+      auto vq = items_.row(t.neg);
+      const double dp = lorentz::SqDistance(u, vp);
+      const double dq = lorentz::SqDistance(u, vq);
+      double dpos, dneg;
+      if (nn::HingeTriplet(config_.margin, dp, dq, &dpos, &dneg) <= 0.0) {
+        continue;
+      }
+      vec::Zero(vec::Span(gu));
+      vec::Zero(vec::Span(gp));
+      vec::Zero(vec::Span(gq));
+      lorentz::SqDistanceGrad(u, vp, dpos, vec::Span(gu), vec::Span(gp));
+      lorentz::SqDistanceGrad(u, vq, dneg, vec::Span(gu), vec::Span(gq));
+      if (config_.grad_clip > 0.0) {
+        vec::ClipNorm(vec::Span(gu), config_.grad_clip);
+        vec::ClipNorm(vec::Span(gp), config_.grad_clip);
+        vec::ClipNorm(vec::Span(gq), config_.grad_clip);
+      }
+      lorentz::RsgdStep(u, vec::ConstSpan(gu), config_.lr);
+      lorentz::RsgdStep(vp, vec::ConstSpan(gp), config_.lr);
+      lorentz::RsgdStep(vq, vec::ConstSpan(gq), config_.lr);
+    }
+  }
+}
+
+void HyperMl::ScoreItems(uint32_t user, std::span<double> out) const {
+  const auto u = users_.row(user);
+  for (size_t v = 0; v < items_.rows(); ++v) {
+    out[v] = -lorentz::SqDistance(u, items_.row(v));
+  }
+}
+
+}  // namespace taxorec

@@ -1,0 +1,30 @@
+// HyperML (Vinh Tran et al., WSDM 2020): metric learning in hyperbolic
+// space. Users and items are Lorentz-model points; the LMNN hinge loss is
+// applied to squared hyperbolic distances and parameters are updated with
+// Riemannian SGD. This model doubles as the "Hyper + CML" row of the
+// paper's ablation (Table III).
+#ifndef TAXOREC_BASELINES_HYPERML_H_
+#define TAXOREC_BASELINES_HYPERML_H_
+
+#include "baselines/recommender.h"
+#include "math/matrix.h"
+
+namespace taxorec {
+
+class HyperMl : public Recommender {
+ public:
+  explicit HyperMl(const ModelConfig& config) : config_(config) {}
+
+  std::string name() const override { return "HyperML"; }
+  void Fit(const DataSplit& split, Rng* rng) override;
+  void ScoreItems(uint32_t user, std::span<double> out) const override;
+
+ private:
+  ModelConfig config_;
+  Matrix users_;  // num_users × (dim+1), Lorentz points
+  Matrix items_;  // num_items × (dim+1)
+};
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_BASELINES_HYPERML_H_

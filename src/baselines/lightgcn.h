@@ -1,0 +1,35 @@
+// LightGCN (He et al., SIGIR 2020): linear graph convolution over the
+// user-item bipartite graph; the final representation is the mean of the
+// layer-0 embedding and all propagated layers; BPR training.
+#ifndef TAXOREC_BASELINES_LIGHTGCN_H_
+#define TAXOREC_BASELINES_LIGHTGCN_H_
+
+#include <memory>
+
+#include "baselines/recommender.h"
+#include "math/matrix.h"
+#include "nn/gcn.h"
+
+namespace taxorec {
+
+class LightGcn : public Recommender {
+ public:
+  explicit LightGcn(const ModelConfig& config) : config_(config) {}
+
+  std::string name() const override { return "LightGCN"; }
+  void Fit(const DataSplit& split, Rng* rng) override;
+  void ScoreItems(uint32_t user, std::span<double> out) const override;
+
+ private:
+  /// Recomputes the propagated output embeddings from the current leaves.
+  void Propagate(nn::GcnContext* ctx);
+
+  ModelConfig config_;
+  std::unique_ptr<nn::LightGcnPropagation> gcn_;
+  Matrix users0_, items0_;      // leaf embeddings
+  Matrix users_out_, items_out_;  // propagated means
+};
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_BASELINES_LIGHTGCN_H_

@@ -1,0 +1,39 @@
+// LRML (Tay et al., WWW 2018): latent relational metric learning. Each
+// user-item pair induces a latent translation vector r via attention over
+// a shared memory module; the metric is ||u + r - v||^2. Simplification
+// vs. the original (documented in DESIGN.md): a small fixed number of
+// memory slices (10) and hinge loss on squared distances.
+#ifndef TAXOREC_BASELINES_LRML_H_
+#define TAXOREC_BASELINES_LRML_H_
+
+#include "baselines/recommender.h"
+#include "math/matrix.h"
+
+namespace taxorec {
+
+class Lrml : public Recommender {
+ public:
+  explicit Lrml(const ModelConfig& config) : config_(config) {}
+
+  std::string name() const override { return "LRML"; }
+  void Fit(const DataSplit& split, Rng* rng) override;
+  void ScoreItems(uint32_t user, std::span<double> out) const override;
+
+ private:
+  static constexpr size_t kMemorySlices = 10;
+
+  /// Computes r for the pair (u, v) and returns ||u + r - v||^2. Caches the
+  /// attention weights in *attn (size kMemorySlices) and r in *rel.
+  double PairSqDist(std::span<const double> u, std::span<const double> v,
+                    std::span<double> attn, std::span<double> rel) const;
+
+  ModelConfig config_;
+  Matrix users_;
+  Matrix items_;
+  Matrix keys_;    // kMemorySlices × d
+  Matrix memory_;  // kMemorySlices × d
+};
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_BASELINES_LRML_H_

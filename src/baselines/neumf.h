@@ -1,0 +1,39 @@
+// NeuMF (He et al., WWW 2017): neural collaborative filtering fusing a
+// generalized matrix factorization (GMF) branch with an MLP branch.
+// Simplifications vs. the original (documented in DESIGN.md): a fixed
+// two-hidden-layer MLP tower and BPR pairwise training instead of
+// pointwise log loss with sampled negatives.
+#ifndef TAXOREC_BASELINES_NEUMF_H_
+#define TAXOREC_BASELINES_NEUMF_H_
+
+#include <memory>
+
+#include "baselines/recommender.h"
+#include "math/matrix.h"
+#include "nn/mlp.h"
+
+namespace taxorec {
+
+class NeuMf : public Recommender {
+ public:
+  explicit NeuMf(const ModelConfig& config) : config_(config) {}
+
+  std::string name() const override { return "NeuMF"; }
+  void Fit(const DataSplit& split, Rng* rng) override;
+  void ScoreItems(uint32_t user, std::span<double> out) const override;
+
+ private:
+  double Score(uint32_t user, uint32_t item) const;
+
+  ModelConfig config_;
+  size_t gmf_dim_ = 0;
+  size_t mlp_dim_ = 0;
+  Matrix gmf_users_, gmf_items_;  // GMF branch embeddings
+  Matrix mlp_users_, mlp_items_;  // MLP branch embeddings
+  std::vector<double> h_;         // GMF output weights
+  std::unique_ptr<nn::Mlp> tower_;
+};
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_BASELINES_NEUMF_H_

@@ -1,0 +1,44 @@
+// NGCF (Wang et al., SIGIR 2019): neural graph collaborative filtering.
+// Each layer propagates neighbour embeddings, applies a learned linear
+// transform and a LeakyReLU, and the final representation sums all layers.
+// Simplification vs. the original (documented in DESIGN.md): the
+// bi-interaction (element-wise) term is dropped and a single weight matrix
+// per layer is used: z^{l+1} = LeakyReLU((z^l + P z^l) W_l).
+#ifndef TAXOREC_BASELINES_NGCF_H_
+#define TAXOREC_BASELINES_NGCF_H_
+
+#include <vector>
+
+#include "baselines/recommender.h"
+#include "math/csr.h"
+#include "math/matrix.h"
+
+namespace taxorec {
+
+class Ngcf : public Recommender {
+ public:
+  explicit Ngcf(const ModelConfig& config) : config_(config) {}
+
+  std::string name() const override { return "NGCF"; }
+  void Fit(const DataSplit& split, Rng* rng) override;
+  void ScoreItems(uint32_t user, std::span<double> out) const override;
+
+ private:
+  struct ForwardCache {
+    std::vector<Matrix> zu, zv;      // layer outputs, 0..L
+    std::vector<Matrix> su, sv;      // propagated sums per layer, 0..L-1
+    std::vector<Matrix> pre_u, pre_v;  // pre-activations per layer, 0..L-1
+  };
+
+  void Forward(ForwardCache* cache);
+
+  ModelConfig config_;
+  CsrMatrix pui_, piu_, pui_t_, piu_t_;
+  Matrix users0_, items0_;
+  std::vector<Matrix> weights_;  // one d×d matrix per layer
+  Matrix users_out_, items_out_;
+};
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_BASELINES_NGCF_H_

@@ -1,0 +1,28 @@
+// NMF (Lee & Seung, 1999): non-negative matrix factorization of the binary
+// implicit-feedback matrix with multiplicative updates for the squared
+// loss; scores are reconstructed inner products.
+#ifndef TAXOREC_BASELINES_NMF_H_
+#define TAXOREC_BASELINES_NMF_H_
+
+#include "baselines/recommender.h"
+#include "math/matrix.h"
+
+namespace taxorec {
+
+class Nmf : public Recommender {
+ public:
+  explicit Nmf(const ModelConfig& config) : config_(config) {}
+
+  std::string name() const override { return "NMF"; }
+  void Fit(const DataSplit& split, Rng* rng) override;
+  void ScoreItems(uint32_t user, std::span<double> out) const override;
+
+ private:
+  ModelConfig config_;
+  Matrix w_;  // users × d
+  Matrix h_;  // items × d (H^T of the classical formulation)
+};
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_BASELINES_NMF_H_

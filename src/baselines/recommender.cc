@@ -1,0 +1,53 @@
+#include "baselines/recommender.h"
+
+#include "baselines/agcn.h"
+#include "baselines/amf.h"
+#include "baselines/bprmf.h"
+#include "baselines/cml.h"
+#include "baselines/cmlf.h"
+#include "baselines/hgcf.h"
+#include "baselines/hyperml.h"
+#include "baselines/lightgcn.h"
+#include "baselines/lrml.h"
+#include "baselines/neumf.h"
+#include "baselines/ngcf.h"
+#include "baselines/nmf.h"
+#include "baselines/sml.h"
+#include "baselines/transcf.h"
+#include "core/taxorec_model.h"
+
+namespace taxorec {
+
+std::vector<std::string> RegisteredModelNames() {
+  // Table II row order: general, metric learning, graph based, tag based,
+  // then TaxoRec.
+  return {"BPRMF",    "NMF",  "NeuMF", "CML",  "TransCF",
+          "LRML",     "SML",  "HyperML", "NGCF", "LightGCN",
+          "HGCF",     "CMLF", "AMF",   "AGCN", "TaxoRec"};
+}
+
+std::unique_ptr<Recommender> MakeModel(const std::string& name,
+                                       const ModelConfig& config) {
+  if (name == "BPRMF") return std::make_unique<BprMf>(config);
+  if (name == "NMF") return std::make_unique<Nmf>(config);
+  if (name == "NeuMF") return std::make_unique<NeuMf>(config);
+  if (name == "CML") return std::make_unique<Cml>(config);
+  if (name == "TransCF") return std::make_unique<TransCf>(config);
+  if (name == "LRML") return std::make_unique<Lrml>(config);
+  if (name == "SML") return std::make_unique<Sml>(config);
+  if (name == "HyperML") return std::make_unique<HyperMl>(config);
+  if (name == "NGCF") return std::make_unique<Ngcf>(config);
+  if (name == "LightGCN") return std::make_unique<LightGcn>(config);
+  if (name == "HGCF") return std::make_unique<Hgcf>(config);
+  if (name == "CMLF") return std::make_unique<Cmlf>(config);
+  if (name == "AMF") return std::make_unique<Amf>(config);
+  if (name == "AGCN") return std::make_unique<Agcn>(config);
+  if (name == "TaxoRec") {
+    TaxoRecOptions opts;
+    opts.lambda = config.reg_lambda;
+    return std::make_unique<TaxoRecModel>(config, opts);
+  }
+  return nullptr;
+}
+
+}  // namespace taxorec

@@ -1,0 +1,86 @@
+// Common interface for every recommendation model in the repository
+// (the 14 baselines of §V-A3 and the TaxoRec core), plus a name-based
+// factory used by the benchmark harness.
+#ifndef TAXOREC_BASELINES_RECOMMENDER_H_
+#define TAXOREC_BASELINES_RECOMMENDER_H_
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/sampler.h"
+#include "math/rng.h"
+
+namespace taxorec {
+
+/// Knobs shared by all models; each model reads what applies to it.
+struct ModelConfig {
+  size_t dim = 64;        // total embedding dimension D
+  size_t tag_dim = 12;    // D_t for tag-based models (paper §V-A4)
+  int epochs = 30;
+  size_t batches_per_epoch = 20;
+  size_t batch_size = 512;
+  double lr = 0.05;
+  double margin = 1.0;       // m for metric models (paper grid scaled by 5x; see EXPERIMENTS.md)
+  int gcn_layers = 3;        // L for graph models
+  double reg_lambda = 0.1;   // λ for TaxoRec's taxonomy regularizer
+  /// Learning-rate multiplier for TaxoRec's tag channel (the warm-up does
+  /// the heavy lifting of organizing the tag space; values above ~2
+  /// destabilize joint training).
+  double tag_lr_mult = 1.0;
+  /// Multiplier on the personalized tag weight α_u in Eq. 17. Squared
+  /// distances grow linearly with dimension, so the D_t-dimensional tag
+  /// term is structurally down-weighted by ~D_t/D_i relative to the
+  /// ir-channel term; a scale of roughly D_i/D_t rebalances the channels
+  /// (see DESIGN.md §4). The effective weight is min(1, alpha_scale·α_u).
+  double alpha_scale = 4.0;
+  double grad_clip = 1.0;
+  /// Negative candidates per triplet for hinge models that support hard
+  /// negative mining (the most-violating candidate is used). 1 = plain
+  /// uniform sampling.
+  int num_negatives = 1;
+  /// Negative sampling strategy (uniform or popularity-weighted).
+  NegativeSampling neg_sampling = NegativeSampling::kUniform;
+  uint64_t seed = 13;
+  // TaxoRec taxonomy knobs (also read by the builder).
+  int taxo_k = 3;
+  double taxo_delta = 0.5;
+  int taxo_rebuild_every = 5;  // epochs between taxonomy rebuilds
+  /// Tag-space warm-up: contrastive co-occurrence steps (per tag) run on
+  /// the Poincaré tag table before joint training. Equivalent to front-
+  /// loading the tag-channel epochs of joint training; 0 disables.
+  int tag_warmup_per_tag = 400;
+};
+
+/// A trained (or trainable) top-N recommender.
+class Recommender {
+ public:
+  virtual ~Recommender() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Trains on the training split. `rng` drives sampling/initialization.
+  virtual void Fit(const DataSplit& split, Rng* rng) = 0;
+
+  /// Writes a preference score for every item (higher = better) for `user`.
+  /// `out` has split.num_items entries.
+  virtual void ScoreItems(uint32_t user, std::span<double> out) const = 0;
+};
+
+using RecommenderFactory =
+    std::function<std::unique_ptr<Recommender>(const ModelConfig&)>;
+
+/// Names registered in the factory, in Table II row order.
+std::vector<std::string> RegisteredModelNames();
+
+/// Creates a model by Table II name ("BPRMF", "CML", ..., "TaxoRec").
+/// Returns nullptr for unknown names.
+std::unique_ptr<Recommender> MakeModel(const std::string& name,
+                                       const ModelConfig& config);
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_BASELINES_RECOMMENDER_H_

@@ -1,0 +1,30 @@
+// SML (Li et al., AAAI 2020): symmetric metric learning. Extends CML with
+// an item-centric triplet term that pushes the sampled negative away from
+// the positive item as well. Simplification vs. the original: the two
+// margins are fixed hyperparameters rather than learned per-entity
+// (documented in DESIGN.md).
+#ifndef TAXOREC_BASELINES_SML_H_
+#define TAXOREC_BASELINES_SML_H_
+
+#include "baselines/recommender.h"
+#include "math/matrix.h"
+
+namespace taxorec {
+
+class Sml : public Recommender {
+ public:
+  explicit Sml(const ModelConfig& config) : config_(config) {}
+
+  std::string name() const override { return "SML"; }
+  void Fit(const DataSplit& split, Rng* rng) override;
+  void ScoreItems(uint32_t user, std::span<double> out) const override;
+
+ private:
+  ModelConfig config_;
+  Matrix users_;
+  Matrix items_;
+};
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_BASELINES_SML_H_

@@ -1,0 +1,35 @@
+// TransCF (Park et al., ICDM 2018): collaborative translational metric
+// learning. The user-item distance is ||u + r_uv - v||^2 where the
+// translation vector r_uv is built from the pair's neighbourhoods
+// (r_uv = alpha_u ⊙ beta_v, with alpha_u the mean embedding of the user's
+// items and beta_v the mean embedding of the item's users).
+// Simplification vs. the original (documented in DESIGN.md): neighbourhood
+// means are refreshed once per epoch and treated as constants during the
+// gradient step.
+#ifndef TAXOREC_BASELINES_TRANSCF_H_
+#define TAXOREC_BASELINES_TRANSCF_H_
+
+#include "baselines/recommender.h"
+#include "math/matrix.h"
+
+namespace taxorec {
+
+class TransCf : public Recommender {
+ public:
+  explicit TransCf(const ModelConfig& config) : config_(config) {}
+
+  std::string name() const override { return "TransCF"; }
+  void Fit(const DataSplit& split, Rng* rng) override;
+  void ScoreItems(uint32_t user, std::span<double> out) const override;
+
+ private:
+  ModelConfig config_;
+  Matrix users_;
+  Matrix items_;
+  Matrix user_nbr_;  // alpha_u: mean embedding of the user's train items
+  Matrix item_nbr_;  // beta_v: mean embedding of the item's train users
+};
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_BASELINES_TRANSCF_H_

@@ -1,0 +1,39 @@
+// Invariant-checking macros used throughout the library.
+//
+// TAXOREC_CHECK aborts with a readable message when an invariant is violated;
+// it is active in all build types (kernel invariants are cheap relative to
+// the numeric work around them). TAXOREC_DCHECK compiles away in NDEBUG
+// builds and is used on per-element hot paths.
+#ifndef TAXOREC_COMMON_CHECK_H_
+#define TAXOREC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define TAXOREC_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "TAXOREC_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define TAXOREC_CHECK_MSG(cond, msg)                                         \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "TAXOREC_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define TAXOREC_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#else
+#define TAXOREC_DCHECK(cond) TAXOREC_CHECK(cond)
+#endif
+
+#endif  // TAXOREC_COMMON_CHECK_H_

@@ -1,0 +1,129 @@
+#include "common/checkpoint.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace taxorec {
+namespace {
+
+constexpr char kMagic[4] = {'T', 'X', 'R', 'C'};
+constexpr uint32_t kVersion = 1;
+
+uint64_t Fnv1a(const std::string& bytes) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+template <typename T>
+void Append(std::string* buf, const T& value) {
+  buf->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool Consume(const std::string& buf, size_t* pos, T* value) {
+  if (*pos + sizeof(T) > buf.size()) return false;
+  std::memcpy(value, buf.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+void Checkpoint::Put(const std::string& name, Matrix matrix) {
+  entries_[name] = std::move(matrix);
+}
+
+const Matrix* Checkpoint::Get(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Status Checkpoint::WriteFile(const std::string& path) const {
+  std::string payload;
+  Append(&payload, static_cast<uint32_t>(entries_.size()));
+  for (const auto& [name, m] : entries_) {
+    Append(&payload, static_cast<uint32_t>(name.size()));
+    payload.append(name);
+    Append(&payload, static_cast<uint64_t>(m.rows()));
+    Append(&payload, static_cast<uint64_t>(m.cols()));
+    const auto flat = m.flat();
+    payload.append(reinterpret_cast<const char*>(flat.data()),
+                   flat.size() * sizeof(double));
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const uint32_t version = kVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  const uint64_t checksum = Fnv1a(payload);
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<Checkpoint> Checkpoint::ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  if (contents.size() < sizeof(kMagic) + sizeof(uint32_t) + sizeof(uint64_t)) {
+    return Status::IOError("checkpoint too small: " + path);
+  }
+  if (std::memcmp(contents.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::IOError("bad checkpoint magic: " + path);
+  }
+  size_t pos = sizeof(kMagic);
+  uint32_t version = 0;
+  Consume(contents, &pos, &version);
+  if (version != kVersion) {
+    return Status::IOError("unsupported checkpoint version " +
+                           std::to_string(version) + ": " + path);
+  }
+  const std::string payload =
+      contents.substr(pos, contents.size() - pos - sizeof(uint64_t));
+  uint64_t stored_checksum = 0;
+  std::memcpy(&stored_checksum,
+              contents.data() + contents.size() - sizeof(uint64_t),
+              sizeof(uint64_t));
+  if (Fnv1a(payload) != stored_checksum) {
+    return Status::IOError("checkpoint checksum mismatch: " + path);
+  }
+
+  Checkpoint ckpt;
+  size_t p = 0;
+  uint32_t count = 0;
+  if (!Consume(payload, &p, &count)) {
+    return Status::IOError("truncated checkpoint: " + path);
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    if (!Consume(payload, &p, &name_len) || p + name_len > payload.size()) {
+      return Status::IOError("truncated checkpoint entry: " + path);
+    }
+    const std::string name = payload.substr(p, name_len);
+    p += name_len;
+    uint64_t rows = 0, cols = 0;
+    if (!Consume(payload, &p, &rows) || !Consume(payload, &p, &cols)) {
+      return Status::IOError("truncated checkpoint entry: " + path);
+    }
+    const size_t bytes = rows * cols * sizeof(double);
+    if (p + bytes > payload.size()) {
+      return Status::IOError("truncated checkpoint data: " + path);
+    }
+    Matrix m(rows, cols);
+    std::memcpy(m.flat().data(), payload.data() + p, bytes);
+    p += bytes;
+    ckpt.Put(name, std::move(m));
+  }
+  return ckpt;
+}
+
+}  // namespace taxorec

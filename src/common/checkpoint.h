@@ -1,0 +1,48 @@
+// Named-matrix checkpoints: binary persistence for trained embeddings.
+//
+// Format (little-endian, as written by the host):
+//   magic "TXRC" | version u32 | count u32 |
+//   per entry: name_len u32 | name bytes | rows u64 | cols u64 | doubles
+// A trailing FNV-1a checksum over the payload detects truncation.
+#ifndef TAXOREC_COMMON_CHECKPOINT_H_
+#define TAXOREC_COMMON_CHECKPOINT_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "math/matrix.h"
+
+namespace taxorec {
+
+/// A set of named matrices (embedding tables, weights) with file I/O.
+class Checkpoint {
+ public:
+  Checkpoint() = default;
+
+  /// Inserts or replaces an entry.
+  void Put(const std::string& name, Matrix matrix);
+
+  /// Returns the entry or nullptr.
+  const Matrix* Get(const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return entries_.count(name) > 0;
+  }
+  size_t size() const { return entries_.size(); }
+  const std::map<std::string, Matrix>& entries() const { return entries_; }
+
+  /// Writes all entries to `path` (overwrites).
+  Status WriteFile(const std::string& path) const;
+
+  /// Reads a checkpoint written by WriteFile; validates magic, version and
+  /// checksum.
+  static StatusOr<Checkpoint> ReadFile(const std::string& path);
+
+ private:
+  std::map<std::string, Matrix> entries_;
+};
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_COMMON_CHECKPOINT_H_

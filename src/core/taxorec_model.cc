@@ -1,0 +1,506 @@
+#include "core/taxorec_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "baselines/embedding_model.h"
+#include "common/check.h"
+#include "data/sampler.h"
+#include "hyperbolic/klein.h"
+#include "hyperbolic/lorentz.h"
+#include "hyperbolic/maps.h"
+#include "hyperbolic/poincare.h"
+#include "math/vec_ops.h"
+#include "nn/losses.h"
+#include "nn/lorentz_layers.h"
+#include "optim/rsgd.h"
+#include "optim/sgd.h"
+
+namespace taxorec {
+namespace {
+
+// Euclidean fallback max row norm (CML-style ball constraint).
+constexpr double kEuclidMaxNorm = 1.5;
+
+}  // namespace
+
+TaxoRecModel::TaxoRecModel(const ModelConfig& config, TaxoRecOptions options)
+    : config_(config), options_(std::move(options)) {
+  const size_t di =
+      options_.use_tags ? config_.dim - config_.tag_dim : config_.dim;
+  const size_t dt = options_.use_tags ? config_.tag_dim : 0;
+  TAXOREC_CHECK(di >= 2);
+  di_cols_ = options_.hyperbolic ? di + 1 : di;
+  dt_cols_ = options_.use_tags ? (options_.hyperbolic ? dt + 1 : dt) : 0;
+}
+
+void TaxoRecModel::ComputeAlpha(const DataSplit& split) {
+  // Eq. 16: alpha_u = sum_{v in V_u} |T_v| / (|V_u| * |union T_v|).
+  alpha_.assign(num_users_, 0.0);
+  for (uint32_t u = 0; u < num_users_; ++u) {
+    const auto items = split.train.RowCols(u);
+    if (items.empty()) continue;
+    size_t tag_slots = 0;
+    std::unordered_set<uint32_t> distinct;
+    for (uint32_t v : items) {
+      const auto tags = item_tags_.RowCols(v);
+      tag_slots += tags.size();
+      distinct.insert(tags.begin(), tags.end());
+    }
+    if (distinct.empty()) continue;
+    alpha_[u] = static_cast<double>(tag_slots) /
+                (static_cast<double>(items.size()) *
+                 static_cast<double>(distinct.size()));
+    // Channel rebalancing (see ModelConfig::alpha_scale).
+    alpha_[u] *= std::max(1.0, config_.alpha_scale);
+    if (alpha_[u] > 1.0) alpha_[u] = 1.0;
+  }
+}
+
+void TaxoRecModel::WarmUpTags(Rng* rng) {
+  const size_t steps =
+      static_cast<size_t>(std::max(0, config_.tag_warmup_per_tag)) *
+      num_tags_;
+  if (steps == 0) return;
+  const double kWarmupMargin = 0.5;
+  const size_t dt = tags_.cols();
+  std::vector<double> g1(dt), g2(dt), g3(dt);
+  for (size_t step = 0; step < steps; ++step) {
+    const uint32_t v = static_cast<uint32_t>(rng->Uniform(num_items_));
+    const auto tags = item_tags_.RowCols(v);
+    if (tags.size() < 2) continue;
+    const uint32_t t1 = tags[rng->Uniform(tags.size())];
+    const uint32_t t2 = tags[rng->Uniform(tags.size())];
+    if (t1 == t2) continue;
+    uint32_t t3 = static_cast<uint32_t>(rng->Uniform(num_tags_));
+    for (int tries = 0; tries < 16 && item_tags_.Contains(v, t3); ++tries) {
+      t3 = static_cast<uint32_t>(rng->Uniform(num_tags_));
+    }
+    const double dp = poincare::Distance(tags_.row(t1), tags_.row(t2));
+    const double dq = poincare::Distance(tags_.row(t1), tags_.row(t3));
+    double dpos, dneg;
+    if (nn::HingeTriplet(kWarmupMargin, dp, dq, &dpos, &dneg) <= 0.0) {
+      continue;
+    }
+    vec::Zero(vec::Span(g1));
+    vec::Zero(vec::Span(g2));
+    vec::Zero(vec::Span(g3));
+    poincare::DistanceGradX(tags_.row(t1), tags_.row(t2), dpos, vec::Span(g1));
+    poincare::DistanceGradX(tags_.row(t2), tags_.row(t1), dpos, vec::Span(g2));
+    poincare::DistanceGradX(tags_.row(t1), tags_.row(t3), dneg, vec::Span(g1));
+    poincare::DistanceGradX(tags_.row(t3), tags_.row(t1), dneg, vec::Span(g3));
+    if (config_.grad_clip > 0.0) {
+      vec::ClipNorm(vec::Span(g1), config_.grad_clip);
+      vec::ClipNorm(vec::Span(g2), config_.grad_clip);
+      vec::ClipNorm(vec::Span(g3), config_.grad_clip);
+    }
+    poincare::RsgdStep(tags_.row(t1), vec::ConstSpan(g1), config_.lr);
+    poincare::RsgdStep(tags_.row(t2), vec::ConstSpan(g2), config_.lr);
+    poincare::RsgdStep(tags_.row(t3), vec::ConstSpan(g3), config_.lr);
+  }
+}
+
+void TaxoRecModel::InitUserTagEmbeddings() {
+  // Data-driven start for the tag channel: each user's u^tg' is the
+  // Einstein midpoint (in Klein coordinates) of the warmed-up embeddings of
+  // the tags on their training items, weighted by co-occurrence counts —
+  // the user-side analogue of the item local aggregation (Eq. 10).
+  const size_t dt = tags_.cols();
+  Matrix tags_klein(num_tags_, dt);
+  for (size_t t = 0; t < num_tags_; ++t) {
+    hyper::PoincareToKlein(tags_.row(t), tags_klein.row(t));
+  }
+  std::vector<double> weights(num_tags_, 0.0);
+  std::vector<uint32_t> idx;
+  std::vector<double> w;
+  std::vector<double> mid(dt);
+  for (uint32_t u = 0; u < num_users_; ++u) {
+    std::fill(weights.begin(), weights.end(), 0.0);
+    bool any = false;
+    for (uint32_t v : train_.RowCols(u)) {
+      for (uint32_t t : item_tags_.RowCols(v)) {
+        weights[t] += 1.0;
+        any = true;
+      }
+    }
+    if (!any) continue;
+    idx.clear();
+    w.clear();
+    for (uint32_t t = 0; t < num_tags_; ++t) {
+      if (weights[t] > 0.0) {
+        idx.push_back(t);
+        w.push_back(weights[t]);
+      }
+    }
+    klein::EinsteinMidpoint(tags_klein, idx, w, vec::Span(mid));
+    hyper::KleinToLorentz(mid, users_tg_.row(u));
+  }
+}
+
+void TaxoRecModel::RebuildTaxonomy() {
+  if (options_.fixed_taxonomy != nullptr) {
+    taxonomy_ = std::make_unique<Taxonomy>(*options_.fixed_taxonomy);
+    return;
+  }
+  TaxonomyBuildConfig cfg;
+  cfg.K = config_.taxo_k;
+  cfg.delta = config_.taxo_delta;
+  cfg.seed = config_.seed + 1;
+  taxonomy_ = std::make_unique<Taxonomy>(
+      BuildTaxonomy(tags_, item_tags_, tag_items_, cfg));
+}
+
+void TaxoRecModel::Propagate() {
+  // Local aggregation: item tag-relevant leaves from the tag table.
+  if (options_.use_tags) {
+    if (options_.hyperbolic) {
+      tag_agg_->Forward(tags_, &tag_ctx_, &items_tg_leaf_);
+    } else {
+      items_tg_leaf_ = RowMeans(item_tags_, tags_);
+    }
+  }
+  // Global aggregation on both channels.
+  auto run_channel = [&](const Matrix& users_leaf, const Matrix& items_leaf,
+                         nn::GcnContext* ctx, Matrix* sum_u, Matrix* sum_v,
+                         Matrix* out_u, Matrix* out_v) {
+    if (!options_.use_gcn) {
+      *out_u = users_leaf;
+      *out_v = items_leaf;
+      return;
+    }
+    if (options_.hyperbolic) {
+      Matrix zu, zv;
+      nn::LogMapOriginForward(users_leaf, &zu);
+      nn::LogMapOriginForward(items_leaf, &zv);
+      gcn_->Forward(zu, zv, ctx, sum_u, sum_v);
+      nn::ExpMapOriginForward(*sum_u, out_u);
+      nn::ExpMapOriginForward(*sum_v, out_v);
+    } else {
+      gcn_->Forward(users_leaf, items_leaf, ctx, sum_u, sum_v);
+      *out_u = *sum_u;
+      *out_v = *sum_v;
+    }
+  };
+  run_channel(users_ir_, items_ir_, &ir_ctx_, &sum_u_ir_, &sum_v_ir_,
+              &out_u_ir_, &out_v_ir_);
+  if (options_.use_tags) {
+    run_channel(users_tg_, items_tg_leaf_, &tg_ctx_gcn_, &sum_u_tg_,
+                &sum_v_tg_, &out_u_tg_, &out_v_tg_);
+  }
+}
+
+double TaxoRecModel::Similarity(uint32_t user, uint32_t item) const {
+  const bool hyp = options_.hyperbolic;
+  double g = hyp ? lorentz::SqDistance(out_u_ir_.row(user),
+                                       out_v_ir_.row(item))
+                 : vec::SqDist(out_u_ir_.row(user), out_v_ir_.row(item));
+  if (options_.use_tags) {
+    const double a = alpha_[user];
+    if (a > 0.0) {
+      g += a * (hyp ? lorentz::SqDistance(out_u_tg_.row(user),
+                                          out_v_tg_.row(item))
+                    : vec::SqDist(out_u_tg_.row(user), out_v_tg_.row(item)));
+    }
+  }
+  return g;
+}
+
+void TaxoRecModel::TrainStep(const std::vector<Triplet>& batch) {
+  const bool hyp = options_.hyperbolic;
+  // Summed (not averaged) batch gradients, matching per-triplet SGD scale.
+  const double scale = 1.0;
+
+  auto sq_dist_grad = [&](vec::ConstSpan x, vec::ConstSpan y, double s,
+                          vec::Span gx, vec::Span gy) {
+    if (hyp) {
+      lorentz::SqDistanceGrad(x, y, s, gx, gy);
+    } else {
+      EuclidSqDistGrad(x, y, s, gx, gy);
+    }
+  };
+
+  Matrix up_u_ir(num_users_, di_cols_);
+  Matrix up_v_ir(num_items_, di_cols_);
+  Matrix up_u_tg, up_v_tg;
+  if (options_.use_tags) {
+    up_u_tg = Matrix(num_users_, dt_cols_);
+    up_v_tg = Matrix(num_items_, dt_cols_);
+  }
+
+  for (const Triplet& batch_t : batch) {
+    Triplet t = batch_t;
+    const double a = options_.use_tags ? alpha_[t.user] : 0.0;
+    const double g_pos = Similarity(t.user, t.pos);
+    double g_neg = Similarity(t.user, t.neg);
+    // Hard negative mining: of num_negatives uniform candidates, keep the
+    // most-violating (closest) one. Uniform negatives quickly stop being
+    // informative for margin losses.
+    for (int c = 1; c < config_.num_negatives; ++c) {
+      uint32_t cand = static_cast<uint32_t>(train_rng_.Uniform(num_items_));
+      for (int tries = 0; tries < 16 && train_.Contains(t.user, cand);
+           ++tries) {
+        cand = static_cast<uint32_t>(train_rng_.Uniform(num_items_));
+      }
+      const double g_cand = Similarity(t.user, cand);
+      if (g_cand < g_neg) {
+        g_neg = g_cand;
+        t.neg = cand;
+      }
+    }
+    const auto u_ir = out_u_ir_.row(t.user);
+    const auto vp_ir = out_v_ir_.row(t.pos);
+    const auto vq_ir = out_v_ir_.row(t.neg);
+    double dpos, dneg;
+    if (nn::HingeTriplet(config_.margin, g_pos, g_neg, &dpos, &dneg) <= 0.0) {
+      continue;
+    }
+    sq_dist_grad(u_ir, vp_ir, dpos * scale, up_u_ir.row(t.user),
+                 up_v_ir.row(t.pos));
+    sq_dist_grad(u_ir, vq_ir, dneg * scale, up_u_ir.row(t.user),
+                 up_v_ir.row(t.neg));
+    if (options_.use_tags && a > 0.0) {
+      sq_dist_grad(out_u_tg_.row(t.user), out_v_tg_.row(t.pos),
+                   a * dpos * scale, up_u_tg.row(t.user), up_v_tg.row(t.pos));
+      sq_dist_grad(out_u_tg_.row(t.user), out_v_tg_.row(t.neg),
+                   a * dneg * scale, up_u_tg.row(t.user), up_v_tg.row(t.neg));
+    }
+  }
+
+  // Backward through the global aggregation of one channel; produces leaf
+  // gradients for the channel's user and item leaves.
+  auto channel_backward = [&](const Matrix& users_leaf,
+                              const Matrix& items_leaf, const Matrix& sum_u,
+                              const Matrix& sum_v, const Matrix& up_u,
+                              const Matrix& up_v, Matrix* leaf_gu,
+                              Matrix* leaf_gv) {
+    if (!options_.use_gcn) {
+      *leaf_gu = up_u;
+      *leaf_gv = up_v;
+      return;
+    }
+    if (hyp) {
+      Matrix gsum_u(up_u.rows(), up_u.cols());
+      Matrix gsum_v(up_v.rows(), up_v.cols());
+      nn::ExpMapOriginBackward(sum_u, up_u, &gsum_u);
+      nn::ExpMapOriginBackward(sum_v, up_v, &gsum_v);
+      Matrix gz_u, gz_v;
+      gcn_->Backward(gsum_u, gsum_v, &gz_u, &gz_v);
+      *leaf_gu = Matrix(up_u.rows(), up_u.cols());
+      *leaf_gv = Matrix(up_v.rows(), up_v.cols());
+      nn::LogMapOriginBackward(users_leaf, gz_u, leaf_gu);
+      nn::LogMapOriginBackward(items_leaf, gz_v, leaf_gv);
+    } else {
+      gcn_->Backward(up_u, up_v, leaf_gu, leaf_gv);
+    }
+  };
+
+  // --- ir channel ---
+  Matrix leaf_gu_ir, leaf_gv_ir;
+  channel_backward(users_ir_, items_ir_, sum_u_ir_, sum_v_ir_, up_u_ir,
+                   up_v_ir, &leaf_gu_ir, &leaf_gv_ir);
+  if (hyp) {
+    optim::LorentzRsgdUpdate(&users_ir_, leaf_gu_ir, config_.lr,
+                             config_.grad_clip);
+    optim::LorentzRsgdUpdate(&items_ir_, leaf_gv_ir, config_.lr,
+                             config_.grad_clip);
+  } else {
+    optim::SgdUpdate(&users_ir_, leaf_gu_ir, config_.lr);
+    optim::SgdUpdate(&items_ir_, leaf_gv_ir, config_.lr);
+    optim::ProjectRowsToBall(&users_ir_, kEuclidMaxNorm);
+    optim::ProjectRowsToBall(&items_ir_, kEuclidMaxNorm);
+  }
+
+  // --- tag channel ---
+  if (options_.use_tags) {
+    const double tag_lr = config_.lr * std::max(1.0, config_.tag_lr_mult);
+    Matrix leaf_gu_tg, leaf_gv_tg;
+    channel_backward(users_tg_, items_tg_leaf_, sum_u_tg_, sum_v_tg_, up_u_tg,
+                     up_v_tg, &leaf_gu_tg, &leaf_gv_tg);
+    Matrix grad_tags(num_tags_, tags_.cols());
+    if (hyp) {
+      optim::LorentzRsgdUpdate(&users_tg_, leaf_gu_tg, tag_lr,
+                               config_.grad_clip);
+      // Local aggregation backward: item tag-leaf grads → Poincaré tags.
+      tag_agg_->Backward(tags_, tag_ctx_, leaf_gv_tg, &grad_tags);
+    } else {
+      optim::SgdUpdate(&users_tg_, leaf_gu_tg, tag_lr);
+      optim::ProjectRowsToBall(&users_tg_, kEuclidMaxNorm);
+      // Euclidean mean backward.
+      for (size_t v = 0; v < num_items_; ++v) {
+        const auto tags = item_tags_.RowCols(v);
+        if (tags.empty()) continue;
+        const double w = 1.0 / static_cast<double>(tags.size());
+        for (uint32_t tg : tags) {
+          vec::Axpy(w, leaf_gv_tg.row(v), grad_tags.row(tg));
+        }
+      }
+    }
+    // Taxonomy-aware regularization (Eq. 8), hyperbolic mode only. The
+    // per-call scale normalizes by the tag count so λ is comparable across
+    // datasets.
+    if (hyp && options_.lambda > 0.0 && taxonomy_ != nullptr) {
+      TaxonomyRegLossAndGrad(*taxonomy_, tags_,
+                             options_.lambda / static_cast<double>(num_tags_),
+                             &grad_tags, options_.reg);
+    }
+    if (hyp) {
+      optim::PoincareRsgdUpdate(&tags_, grad_tags, tag_lr,
+                                config_.grad_clip);
+    } else {
+      optim::SgdUpdate(&tags_, grad_tags, tag_lr);
+      optim::ProjectRowsToBall(&tags_, kEuclidMaxNorm);
+    }
+  }
+}
+
+void TaxoRecModel::InitFromSplit(const DataSplit& split, Rng* rng,
+                                 bool init_params) {
+  num_users_ = split.num_users;
+  num_items_ = split.num_items;
+  num_tags_ = split.num_tags;
+  train_ = split.train;
+  item_tags_ = split.item_tags;
+  tag_items_ = item_tags_.Transposed();
+  ComputeAlpha(split);
+
+  const bool hyp = options_.hyperbolic;
+  users_ir_ = Matrix(num_users_, di_cols_);
+  items_ir_ = Matrix(num_items_, di_cols_);
+  if (options_.use_tags) {
+    users_tg_ = Matrix(num_users_, dt_cols_);
+    const size_t dt = hyp ? dt_cols_ - 1 : dt_cols_;
+    tags_ = Matrix(num_tags_, dt);
+    if (hyp) tag_agg_ = std::make_unique<nn::TagAggregation>(&item_tags_);
+  }
+  if (options_.use_gcn) {
+    gcn_ = std::make_unique<nn::BipartiteGcn>(split.train, config_.gcn_layers);
+  }
+  if (!init_params) return;
+  TAXOREC_CHECK(rng != nullptr);
+  if (hyp) {
+    for (size_t u = 0; u < num_users_; ++u) {
+      lorentz::RandomPoint(rng, 0.1, users_ir_.row(u));
+    }
+    for (size_t v = 0; v < num_items_; ++v) {
+      lorentz::RandomPoint(rng, 0.1, items_ir_.row(v));
+    }
+  } else {
+    users_ir_.FillGaussian(rng, 0.1);
+    items_ir_.FillGaussian(rng, 0.1);
+  }
+  if (options_.use_tags) {
+    if (hyp) {
+      for (size_t u = 0; u < num_users_; ++u) {
+        lorentz::RandomPoint(rng, 0.1, users_tg_.row(u));
+      }
+      for (size_t t = 0; t < num_tags_; ++t) {
+        poincare::RandomPoint(rng, 0.5, tags_.row(t));
+      }
+    } else {
+      users_tg_.FillGaussian(rng, 0.1);
+      tags_.FillGaussian(rng, 0.1);
+    }
+  }
+}
+
+void TaxoRecModel::Fit(const DataSplit& split, Rng* rng) {
+  InitFromSplit(split, rng, /*init_params=*/true);
+  train_rng_ = Rng(config_.seed + 0x5EED);  // hard-negative candidate stream
+  const bool hyp = options_.hyperbolic;
+  if (options_.use_tags && hyp) {
+    WarmUpTags(rng);
+    InitUserTagEmbeddings();
+    RebuildTaxonomy();
+  }
+
+  TripletSampler sampler(&split.train, config_.neg_sampling);
+  std::vector<Triplet> batch;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    if (options_.use_tags && hyp && epoch > 0 &&
+        epoch % std::max(1, config_.taxo_rebuild_every) == 0) {
+      RebuildTaxonomy();
+    }
+    for (size_t b = 0; b < config_.batches_per_epoch; ++b) {
+      Propagate();
+      sampler.SampleBatch(rng, config_.batch_size, &batch);
+      TrainStep(batch);
+    }
+  }
+  if (options_.use_tags && hyp) RebuildTaxonomy();
+  Propagate();
+}
+
+void TaxoRecModel::ScoreItems(uint32_t user, std::span<double> out) const {
+  const bool hyp = options_.hyperbolic;
+  const auto u_ir = out_u_ir_.row(user);
+  const double a = options_.use_tags ? alpha_[user] : 0.0;
+  for (size_t v = 0; v < num_items_; ++v) {
+    double g = hyp ? lorentz::SqDistance(u_ir, out_v_ir_.row(v))
+                   : vec::SqDist(u_ir, out_v_ir_.row(v));
+    if (options_.use_tags && a > 0.0) {
+      g += a * (hyp ? lorentz::SqDistance(out_u_tg_.row(user),
+                                          out_v_tg_.row(v))
+                    : vec::SqDist(out_u_tg_.row(user), out_v_tg_.row(v)));
+    }
+    out[v] = -g;
+  }
+}
+
+Checkpoint TaxoRecModel::SaveCheckpoint() const {
+  Checkpoint ckpt;
+  ckpt.Put("users_ir", users_ir_);
+  ckpt.Put("items_ir", items_ir_);
+  if (options_.use_tags) {
+    ckpt.Put("users_tg", users_tg_);
+    ckpt.Put("tags", tags_);
+  }
+  return ckpt;
+}
+
+Status TaxoRecModel::RestoreCheckpoint(const Checkpoint& ckpt,
+                                       const DataSplit& split) {
+  InitFromSplit(split, /*rng=*/nullptr, /*init_params=*/false);
+  auto load = [&](const char* name, Matrix* dst) -> Status {
+    const Matrix* src = ckpt.Get(name);
+    if (src == nullptr) {
+      return Status::NotFound(std::string("missing checkpoint entry: ") +
+                              name);
+    }
+    if (src->rows() != dst->rows() || src->cols() != dst->cols()) {
+      return Status::InvalidArgument(
+          std::string("checkpoint shape mismatch for ") + name);
+    }
+    *dst = *src;
+    return Status::OK();
+  };
+  TAXOREC_RETURN_NOT_OK(load("users_ir", &users_ir_));
+  TAXOREC_RETURN_NOT_OK(load("items_ir", &items_ir_));
+  if (options_.use_tags) {
+    TAXOREC_RETURN_NOT_OK(load("users_tg", &users_tg_));
+    TAXOREC_RETURN_NOT_OK(load("tags", &tags_));
+    if (options_.hyperbolic) RebuildTaxonomy();
+  }
+  Propagate();
+  return Status::OK();
+}
+
+std::vector<double> TaxoRecModel::UserTagDistances(uint32_t user) const {
+  TAXOREC_CHECK(options_.use_tags);
+  std::vector<double> dist(num_tags_, 0.0);
+  const auto u = out_u_tg_.row(user);
+  if (options_.hyperbolic) {
+    std::vector<double> lorentz_tag(tags_.cols() + 1);
+    for (size_t t = 0; t < num_tags_; ++t) {
+      hyper::PoincareToLorentz(tags_.row(t), vec::Span(lorentz_tag));
+      dist[t] = lorentz::Distance(u, vec::ConstSpan(lorentz_tag));
+    }
+  } else {
+    for (size_t t = 0; t < num_tags_; ++t) {
+      dist[t] = std::sqrt(vec::SqDist(u, tags_.row(t)));
+    }
+  }
+  return dist;
+}
+
+}  // namespace taxorec

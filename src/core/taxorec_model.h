@@ -1,0 +1,147 @@
+// TaxoRec: joint tag-taxonomy construction and recommendation in hyperbolic
+// space (§IV of the paper).
+//
+// Architecture (hyperbolic mode):
+//   - tag-irrelevant channel: Lorentz embeddings u^ir', v^ir'
+//   - tag-relevant channel:   Lorentz user embeddings u^tg' and item
+//     embeddings v^tg' produced from the Poincaré tag table T^P by the
+//     Einstein-midpoint local aggregation (Eq. 9–11)
+//   - global aggregation: log_o → bipartite GCN (Eq. 13–14) → exp_o
+//     (Eq. 12, 15) applied to both channels
+//   - similarity: g(u,v) = d_H²(u^ir, v^ir) + α_u d_H²(u^tg, v^tg) (Eq. 17)
+//     with the personalized tag weight α_u of Eq. 16
+//   - objective: LMNN hinge (Eq. 18) + λ·L^reg (Eq. 8), optimized with
+//     Riemannian SGD (§IV-E); the taxonomy is rebuilt from the current tag
+//     embeddings every few epochs (Algorithm 1).
+//
+// The switches in TaxoRecOptions realize the paper's ablations (Table III):
+//   hyperbolic=false              →  "CML + Agg" (Euclidean variant)
+//   use_tags=false, use_gcn=false →  "Hyper + CML" (= HyperML)
+//   lambda=0                      →  "Hyper + CML + Agg"
+#ifndef TAXOREC_CORE_TAXOREC_MODEL_H_
+#define TAXOREC_CORE_TAXOREC_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/recommender.h"
+#include "common/checkpoint.h"
+#include "data/sampler.h"
+#include "math/csr.h"
+#include "math/matrix.h"
+#include "nn/gcn.h"
+#include "nn/midpoint.h"
+#include "taxonomy/builder.h"
+#include "taxonomy/regularizer.h"
+#include "taxonomy/tree.h"
+
+namespace taxorec {
+
+struct TaxoRecOptions {
+  bool hyperbolic = true;
+  bool use_tags = true;
+  bool use_gcn = true;
+  /// Taxonomy regularization weight λ (0 disables; only meaningful in
+  /// hyperbolic mode, where the tag table lives in the Poincaré ball).
+  double lambda = 0.1;
+  RegularizerOptions reg;
+  /// Optional pre-existing taxonomy (e.g. TaxonomyFromParents of data
+  /// supplied with the catalogue). When set, automated construction is
+  /// skipped and the regularizer uses this tree — the "incorporating
+  /// existing taxonomies" extension of the paper's conclusion. Not owned;
+  /// must outlive the model.
+  const Taxonomy* fixed_taxonomy = nullptr;
+  std::string display_name = "TaxoRec";
+};
+
+class TaxoRecModel : public Recommender {
+ public:
+  TaxoRecModel(const ModelConfig& config, TaxoRecOptions options);
+
+  std::string name() const override { return options_.display_name; }
+  void Fit(const DataSplit& split, Rng* rng) override;
+  void ScoreItems(uint32_t user, std::span<double> out) const override;
+
+  /// Latest constructed taxonomy (null before Fit or when use_tags=false
+  /// or in Euclidean mode).
+  const Taxonomy* taxonomy() const { return taxonomy_.get(); }
+
+  /// Poincaré tag embeddings (hyperbolic mode).
+  const Matrix& tag_embeddings() const { return tags_; }
+
+  /// Personalized tag weight α_u (Eq. 16), available after Fit.
+  double alpha(uint32_t user) const { return alpha_[user]; }
+
+  /// Distances from the user's tag-channel representation to every tag
+  /// (hyperbolic mode; used by the Table V case study). Requires use_tags.
+  std::vector<double> UserTagDistances(uint32_t user) const;
+
+  /// Exports the trained leaf parameters as a named-matrix checkpoint
+  /// ("users_ir", "items_ir", and with tags "users_tg", "tags").
+  Checkpoint SaveCheckpoint() const;
+
+  /// Restores a model from a checkpoint + the dataset split it was trained
+  /// on (graph/tag structure is rebuilt from the split, then the final
+  /// forward pass is recomputed). Shapes must match this model's config.
+  Status RestoreCheckpoint(const Checkpoint& ckpt, const DataSplit& split);
+
+ private:
+  void ComputeAlpha(const DataSplit& split);
+  /// Sets up dataset views, α, layers and (optionally) random leaves.
+  void InitFromSplit(const DataSplit& split, Rng* rng, bool init_params);
+  void RebuildTaxonomy();
+  /// Data-driven initialization of u^tg' from the warmed-up tag table
+  /// (Einstein midpoint of the user's interacted tags).
+  void InitUserTagEmbeddings();
+  /// Tag-enhanced similarity g(u, v) (Eq. 17) on the current propagated
+  /// embeddings.
+  double Similarity(uint32_t user, uint32_t item) const;
+  /// Contrastive co-occurrence warm-up of the Poincaré tag table: tags
+  /// sharing an item are pulled together, random non-co-occurring tags
+  /// pushed apart (hinge + Poincaré RSGD). This organizes the tag space so
+  /// Algorithm 1 has signal from the first rebuild; joint training then
+  /// refines it (DESIGN.md §4).
+  void WarmUpTags(Rng* rng);
+  /// Runs the full forward pass from the current leaves.
+  void Propagate();
+  void TrainStep(const std::vector<Triplet>& batch);
+
+  ModelConfig config_;
+  TaxoRecOptions options_;
+
+  // Dataset views (owned copies so the model is self-contained after Fit).
+  CsrMatrix train_;
+  CsrMatrix item_tags_;
+  CsrMatrix tag_items_;
+  size_t num_users_ = 0, num_items_ = 0, num_tags_ = 0;
+  std::vector<double> alpha_;
+
+  // Dimensions: ir-channel Di, tag-channel Dt (columns include the Lorentz
+  // time coordinate in hyperbolic mode).
+  size_t di_cols_ = 0;
+  size_t dt_cols_ = 0;
+
+  // Parameters (leaves).
+  Matrix users_ir_, items_ir_;  // tag-irrelevant
+  Matrix users_tg_;             // tag-relevant user embeddings
+  Matrix tags_;                 // T^P (Poincaré, Dt) or Euclidean tag table
+
+  // Layers.
+  std::unique_ptr<nn::BipartiteGcn> gcn_;
+  std::unique_ptr<nn::TagAggregation> tag_agg_;
+  std::unique_ptr<Taxonomy> taxonomy_;
+
+  // Forward caches.
+  nn::TagAggContext tag_ctx_;
+  Matrix items_tg_leaf_;  // v^tg' before global aggregation
+  nn::GcnContext ir_ctx_, tg_ctx_gcn_;
+  Matrix sum_u_ir_, sum_v_ir_, sum_u_tg_, sum_v_tg_;  // GCN outputs
+  Matrix out_u_ir_, out_v_ir_, out_u_tg_, out_v_tg_;  // final embeddings
+
+  Rng train_rng_{13};
+};
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_CORE_TAXOREC_MODEL_H_

@@ -1,0 +1,40 @@
+#include "core/trainer.h"
+
+#include "baselines/cml.h"
+#include "baselines/hyperml.h"
+#include "core/taxorec_model.h"
+
+namespace taxorec {
+
+EvalResult TrainAndEvaluate(Recommender* model, const DataSplit& split,
+                            Rng* rng, const EvalOptions& eval_opts) {
+  model->Fit(split, rng);
+  return EvaluateRanking(*model, split, eval_opts);
+}
+
+std::unique_ptr<Recommender> MakeAblationVariant(const std::string& variant,
+                                                 const ModelConfig& config) {
+  if (variant == "CML") return std::make_unique<Cml>(config);
+  if (variant == "Hyper+CML") return std::make_unique<HyperMl>(config);
+  if (variant == "CML+Agg") {
+    TaxoRecOptions opts;
+    opts.hyperbolic = false;
+    opts.lambda = 0.0;
+    opts.display_name = "CML+Agg";
+    return std::make_unique<TaxoRecModel>(config, opts);
+  }
+  if (variant == "Hyper+CML+Agg") {
+    TaxoRecOptions opts;
+    opts.lambda = 0.0;
+    opts.display_name = "Hyper+CML+Agg";
+    return std::make_unique<TaxoRecModel>(config, opts);
+  }
+  if (variant == "TaxoRec") {
+    TaxoRecOptions opts;
+    opts.lambda = config.reg_lambda;
+    return std::make_unique<TaxoRecModel>(config, opts);
+  }
+  return nullptr;
+}
+
+}  // namespace taxorec

@@ -1,0 +1,27 @@
+// Convenience training/evaluation entry points used by examples, tests and
+// the benchmark harness.
+#ifndef TAXOREC_CORE_TRAINER_H_
+#define TAXOREC_CORE_TRAINER_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/recommender.h"
+#include "eval/evaluator.h"
+
+namespace taxorec {
+
+/// Fits `model` on the split and evaluates it in one call.
+EvalResult TrainAndEvaluate(Recommender* model, const DataSplit& split,
+                            Rng* rng, const EvalOptions& eval_opts = {});
+
+/// Ablation variants of Table III. Accepted names: "CML", "CML+Agg",
+/// "Hyper+CML", "Hyper+CML+Agg", "TaxoRec". Returns nullptr for unknown
+/// names. ("CML" and "Hyper+CML" resolve to the CML and HyperML baselines,
+/// exactly as in the paper's ablation rows.)
+std::unique_ptr<Recommender> MakeAblationVariant(const std::string& variant,
+                                                 const ModelConfig& config);
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_CORE_TRAINER_H_

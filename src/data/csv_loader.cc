@@ -1,0 +1,135 @@
+#include "data/csv_loader.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace taxorec {
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line, char delimiter) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream ss(line);
+  while (std::getline(ss, field, delimiter)) out.push_back(field);
+  return out;
+}
+
+// Dense id assignment in first-seen order.
+class IdMap {
+ public:
+  uint32_t GetOrAdd(const std::string& key) {
+    const auto [it, inserted] =
+        map_.emplace(key, static_cast<uint32_t>(map_.size()));
+    return it->second;
+  }
+  const uint32_t* Find(const std::string& key) const {
+    const auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<std::string, uint32_t> map_;
+};
+
+Status BadLine(const std::string& path, size_t line_no, const char* what) {
+  return Status::IOError(path + ":" + std::to_string(line_no) + ": " + what);
+}
+
+}  // namespace
+
+StatusOr<Dataset> LoadDelimited(const std::string& interactions_path,
+                                const std::string& tags_path,
+                                const CsvLoadOptions& opts) {
+  std::ifstream in(interactions_path);
+  if (!in) return Status::IOError("cannot open: " + interactions_path);
+
+  Dataset data;
+  data.name = interactions_path;
+  IdMap users, items, tags;
+
+  std::string line;
+  size_t line_no = 0;
+  int skip = opts.skip_header_lines;
+  const int max_col = std::max(
+      {opts.user_column, opts.item_column, opts.rating_column,
+       opts.timestamp_column});
+  int64_t order = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (skip > 0) {
+      --skip;
+      continue;
+    }
+    if (line.empty()) continue;
+    const auto fields = SplitLine(line, opts.delimiter);
+    if (static_cast<int>(fields.size()) <= max_col) {
+      return BadLine(interactions_path, line_no, "too few columns");
+    }
+    if (opts.rating_column >= 0) {
+      char* end = nullptr;
+      const double rating =
+          std::strtod(fields[opts.rating_column].c_str(), &end);
+      if (end == fields[opts.rating_column].c_str()) {
+        return BadLine(interactions_path, line_no, "unparsable rating");
+      }
+      if (rating < opts.rating_threshold) continue;
+    }
+    Interaction x;
+    x.user = users.GetOrAdd(fields[opts.user_column]);
+    x.item = items.GetOrAdd(fields[opts.item_column]);
+    if (opts.timestamp_column >= 0) {
+      char* end = nullptr;
+      x.timestamp = std::strtoll(fields[opts.timestamp_column].c_str(), &end,
+                                 10);
+      if (end == fields[opts.timestamp_column].c_str()) {
+        return BadLine(interactions_path, line_no, "unparsable timestamp");
+      }
+    } else {
+      x.timestamp = order++;
+    }
+    data.interactions.push_back(x);
+  }
+  if (data.interactions.empty()) {
+    return Status::InvalidArgument("no interactions loaded from " +
+                                   interactions_path);
+  }
+  data.num_users = users.size();
+  data.num_items = items.size();
+
+  if (!tags_path.empty()) {
+    std::ifstream tin(tags_path);
+    if (!tin) return Status::IOError("cannot open: " + tags_path);
+    line_no = 0;
+    const int tag_max_col = std::max(opts.tag_item_column, opts.tag_column);
+    while (std::getline(tin, line)) {
+      ++line_no;
+      if (line.empty()) continue;
+      const auto fields = SplitLine(line, opts.delimiter);
+      if (static_cast<int>(fields.size()) <= tag_max_col) {
+        return BadLine(tags_path, line_no, "too few columns");
+      }
+      // Items never interacted with are dropped (no dense id).
+      const uint32_t* item = items.Find(fields[opts.tag_item_column]);
+      if (item == nullptr) continue;
+      const uint32_t tag = tags.GetOrAdd(fields[opts.tag_column]);
+      if (tag >= data.tag_names.size()) {
+        data.tag_names.push_back(fields[opts.tag_column]);
+      }
+      data.item_tags.emplace_back(*item, tag);
+    }
+    data.num_tags = tags.size();
+  } else {
+    data.num_tags = 0;
+  }
+  if (!data.Valid()) {
+    return Status::Internal("loaded dataset failed validation");
+  }
+  return data;
+}
+
+}  // namespace taxorec

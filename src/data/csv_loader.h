@@ -1,0 +1,43 @@
+// Generic delimited-text ingestion for external datasets (MovieLens-style
+// ratings dumps, tag lists). Ids are remapped to dense 0-based indices;
+// optional rating thresholds convert explicit feedback to implicit.
+#ifndef TAXOREC_DATA_CSV_LOADER_H_
+#define TAXOREC_DATA_CSV_LOADER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace taxorec {
+
+struct CsvLoadOptions {
+  char delimiter = ',';
+  /// Number of header lines to skip.
+  int skip_header_lines = 0;
+  /// 0-based column indices in the interactions file.
+  int user_column = 0;
+  int item_column = 1;
+  /// Rating column; -1 when the file has no rating (pure implicit).
+  int rating_column = 2;
+  /// Timestamp column; -1 assigns file order as time.
+  int timestamp_column = 3;
+  /// Keep interactions with rating >= threshold (ignored when
+  /// rating_column < 0).
+  double rating_threshold = 0.0;
+  /// Columns for the optional tag file: item, tag (tag names are free text
+  /// and define the tag vocabulary in first-seen order).
+  int tag_item_column = 0;
+  int tag_column = 1;
+};
+
+/// Loads interactions (and optionally a tag file; pass "" to skip) into a
+/// Dataset with densely remapped ids. Items that appear only in the tag
+/// file are dropped; users/items keep first-seen order.
+StatusOr<Dataset> LoadDelimited(const std::string& interactions_path,
+                                const std::string& tags_path,
+                                const CsvLoadOptions& opts = {});
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_DATA_CSV_LOADER_H_

@@ -1,0 +1,26 @@
+#include "data/dataset.h"
+
+namespace taxorec {
+
+double Dataset::Density() const {
+  if (num_users == 0 || num_items == 0) return 0.0;
+  return static_cast<double>(interactions.size()) /
+         (static_cast<double>(num_users) * static_cast<double>(num_items));
+}
+
+bool Dataset::Valid() const {
+  if (num_users == 0 || num_items == 0) return false;
+  for (const auto& x : interactions) {
+    if (x.user >= num_users || x.item >= num_items) return false;
+  }
+  for (const auto& [item, tag] : item_tags) {
+    if (item >= num_items || tag >= num_tags) return false;
+  }
+  if (!tag_parent.empty() && tag_parent.size() != num_tags) return false;
+  for (int32_t p : tag_parent) {
+    if (p >= 0 && static_cast<size_t>(p) >= num_tags) return false;
+  }
+  return true;
+}
+
+}  // namespace taxorec

@@ -1,0 +1,66 @@
+// Core dataset types: raw interaction logs and the train/val/test split
+// consumed by every model.
+//
+// A Dataset mirrors what the paper assumes as input (§III-A): an implicit
+// feedback matrix X (user–item, with timestamps for the temporal split) and
+// an item-tag attribute matrix A (Ψ). Synthetic datasets additionally carry
+// the planted ground-truth taxonomy used to score construction quality.
+#ifndef TAXOREC_DATA_DATASET_H_
+#define TAXOREC_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "math/csr.h"
+
+namespace taxorec {
+
+/// One implicit-feedback event.
+struct Interaction {
+  uint32_t user = 0;
+  uint32_t item = 0;
+  int64_t timestamp = 0;
+};
+
+/// A full recommendation dataset (pre-split).
+struct Dataset {
+  std::string name;
+  size_t num_users = 0;
+  size_t num_items = 0;
+  size_t num_tags = 0;
+  std::vector<Interaction> interactions;
+  /// (item, tag) membership edges — the attribute matrix A.
+  std::vector<std::pair<uint32_t, uint32_t>> item_tags;
+  /// Optional human-readable tag names (hierarchical codes for synthetic).
+  std::vector<std::string> tag_names;
+  /// Optional planted taxonomy: parent tag index per tag, -1 for top level.
+  /// Empty when unknown (real data).
+  std::vector<int32_t> tag_parent;
+
+  /// Interaction density |X| / (|U| * |V|), as a fraction.
+  double Density() const;
+
+  /// Basic sanity validation (index ranges, non-emptiness).
+  bool Valid() const;
+};
+
+/// Train/validation/test views of a Dataset (per-user temporal 60/20/20).
+struct DataSplit {
+  size_t num_users = 0;
+  size_t num_items = 0;
+  size_t num_tags = 0;
+  /// Training interactions, user × item (binary).
+  CsrMatrix train;
+  /// Item × tag attribute matrix Ψ (shared across splits).
+  CsrMatrix item_tags;
+  /// Held-out positives per user.
+  std::vector<std::vector<uint32_t>> val_items;
+  std::vector<std::vector<uint32_t>> test_items;
+
+  size_t TrainNnz() const { return train.nnz(); }
+};
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_DATA_DATASET_H_

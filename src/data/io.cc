@@ -1,0 +1,92 @@
+#include "data/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace taxorec {
+
+Status SaveDataset(const Dataset& data, const std::string& path) {
+  if (!data.Valid()) {
+    return Status::InvalidArgument("dataset failed validation: " + data.name);
+  }
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << "# taxorec-dataset v1\n";
+  out << "meta " << (data.name.empty() ? "unnamed" : data.name) << ' '
+      << data.num_users << ' ' << data.num_items << ' ' << data.num_tags
+      << '\n';
+  for (const auto& x : data.interactions) {
+    out << "i " << x.user << ' ' << x.item << ' ' << x.timestamp << '\n';
+  }
+  for (const auto& [item, tag] : data.item_tags) {
+    out << "t " << item << ' ' << tag << '\n';
+  }
+  for (size_t t = 0; t < data.tag_names.size(); ++t) {
+    out << "n " << t << ' ' << data.tag_names[t] << '\n';
+  }
+  for (size_t t = 0; t < data.tag_parent.size(); ++t) {
+    out << "p " << t << ' ' << data.tag_parent[t] << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<Dataset> LoadDataset(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  Dataset data;
+  std::string line;
+  bool saw_meta = false;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string kind;
+    ss >> kind;
+    auto bad = [&](const char* what) {
+      return Status::IOError("parse error at line " + std::to_string(line_no) +
+                             " (" + what + "): " + path);
+    };
+    if (kind == "meta") {
+      if (!(ss >> data.name >> data.num_users >> data.num_items >>
+            data.num_tags)) {
+        return bad("meta");
+      }
+      data.tag_names.assign(data.num_tags, "");
+      saw_meta = true;
+    } else if (kind == "i") {
+      Interaction x;
+      if (!(ss >> x.user >> x.item >> x.timestamp)) return bad("interaction");
+      data.interactions.push_back(x);
+    } else if (kind == "t") {
+      uint32_t item, tag;
+      if (!(ss >> item >> tag)) return bad("item-tag");
+      data.item_tags.emplace_back(item, tag);
+    } else if (kind == "n") {
+      size_t tag;
+      std::string name;
+      if (!(ss >> tag >> name)) return bad("tag-name");
+      if (tag >= data.tag_names.size()) return bad("tag-name range");
+      data.tag_names[tag] = name;
+    } else if (kind == "p") {
+      size_t tag;
+      int32_t parent;
+      if (!(ss >> tag >> parent)) return bad("tag-parent");
+      if (data.tag_parent.empty()) {
+        data.tag_parent.assign(data.num_tags, -1);
+      }
+      if (tag >= data.tag_parent.size()) return bad("tag-parent range");
+      data.tag_parent[tag] = parent;
+    } else {
+      return bad("unknown record kind");
+    }
+  }
+  if (!saw_meta) return Status::IOError("missing meta record: " + path);
+  if (!data.Valid()) return Status::IOError("loaded dataset invalid: " + path);
+  return data;
+}
+
+}  // namespace taxorec

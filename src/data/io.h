@@ -1,0 +1,28 @@
+// TSV persistence for datasets.
+//
+// Format (single file):
+//   # taxorec-dataset v1
+//   meta <name> <num_users> <num_items> <num_tags>
+//   i <user> <item> <timestamp>          (one per interaction)
+//   t <item> <tag>                       (one per item-tag edge)
+//   n <tag> <name>                       (optional tag names)
+//   p <tag> <parent|-1>                  (optional planted taxonomy)
+#ifndef TAXOREC_DATA_IO_H_
+#define TAXOREC_DATA_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace taxorec {
+
+/// Writes `data` to `path`. Overwrites existing content.
+Status SaveDataset(const Dataset& data, const std::string& path);
+
+/// Reads a dataset previously written by SaveDataset.
+StatusOr<Dataset> LoadDataset(const std::string& path);
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_DATA_IO_H_

@@ -1,0 +1,87 @@
+#include "data/profiles.h"
+
+#include <cstdlib>
+
+namespace taxorec {
+namespace {
+
+double ScaleFactor() {
+  const char* env = std::getenv("TAXOREC_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0.0 ? v : 1.0;
+}
+
+size_t Scaled(size_t base, double s) {
+  const double v = static_cast<double>(base) * s;
+  return v < 8.0 ? 8 : static_cast<size_t>(v);
+}
+
+}  // namespace
+
+const std::vector<std::string>& ProfileNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "ciao", "amazon-cd", "amazon-book", "yelp"};
+  return *names;
+}
+
+StatusOr<SyntheticConfig> ProfileConfig(const std::string& name) {
+  const double s = ScaleFactor();
+  SyntheticConfig cfg;
+  cfg.name = name;
+  if (name == "ciao") {
+    // Small, densest of the four, very few tags, shallow hierarchy (paper:
+    // 5.2k users, 8.8k items, 0.229% density, 28 tags).
+    cfg.seed = 101;
+    cfg.num_users = Scaled(450, s);
+    cfg.num_items = Scaled(800, s);
+    cfg.num_tags = 28;
+    cfg.num_roots = 4;
+    cfg.branching = 3;
+    cfg.mean_interactions_per_user = 16.0;
+    cfg.tag_affinity_mean = 0.6;
+  } else if (name == "amazon-cd") {
+    // Mid-size, sparse (paper: 32.6k users, 20.6k items, 0.077%, 331 tags).
+    cfg.seed = 202;
+    cfg.num_users = Scaled(800, s);
+    cfg.num_items = Scaled(1200, s);
+    cfg.num_tags = 80;
+    cfg.num_roots = 4;
+    cfg.branching = 3;
+    cfg.mean_interactions_per_user = 12.0;
+    cfg.tag_affinity_mean = 0.7;
+  } else if (name == "amazon-book") {
+    // Largest interaction count (paper: 79.4k users, 62.4k items, 0.094%,
+    // 510 tags).
+    cfg.seed = 303;
+    cfg.num_users = Scaled(1000, s);
+    cfg.num_items = Scaled(1500, s);
+    cfg.num_tags = 120;
+    cfg.num_roots = 5;
+    cfg.branching = 3;
+    cfg.mean_interactions_per_user = 14.0;
+    cfg.tag_affinity_mean = 0.7;
+  } else if (name == "yelp") {
+    // Sparsest, most tags, deepest hierarchy (paper: 97.5k users, 48.3k
+    // items, 0.048%, 1138 tags).
+    cfg.seed = 404;
+    cfg.num_users = Scaled(1200, s);
+    cfg.num_items = Scaled(1800, s);
+    cfg.num_tags = 180;
+    cfg.num_roots = 5;
+    cfg.branching = 3;
+    cfg.mean_interactions_per_user = 10.0;
+    cfg.tag_affinity_mean = 0.8;
+  } else {
+    return Status::InvalidArgument("unknown dataset profile: " + name);
+  }
+  return cfg;
+}
+
+StatusOr<Dataset> MakeProfileDataset(const std::string& name) {
+  auto cfg = ProfileConfig(name);
+  if (!cfg.ok()) return cfg.status();
+  return GenerateSynthetic(*cfg);
+}
+
+}  // namespace taxorec

@@ -1,0 +1,33 @@
+// Scaled-down synthetic profiles of the paper's four benchmark datasets
+// (Table I). Relative shape is preserved: ciao is small/dense with few
+// flat-ish tags; yelp is the largest and sparsest with the most tags and
+// the deepest tag hierarchy.
+//
+// Set the environment variable TAXOREC_SCALE (a positive float, default 1)
+// to grow/shrink every profile together, e.g. TAXOREC_SCALE=2 doubles user
+// and item counts.
+#ifndef TAXOREC_DATA_PROFILES_H_
+#define TAXOREC_DATA_PROFILES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/synthetic.h"
+
+namespace taxorec {
+
+/// Names of the four paper-analogue profiles, in Table I order:
+/// {"ciao", "amazon-cd", "amazon-book", "yelp"}.
+const std::vector<std::string>& ProfileNames();
+
+/// Returns the generator config for a named profile, scaled by
+/// TAXOREC_SCALE. Unknown names yield InvalidArgument.
+StatusOr<SyntheticConfig> ProfileConfig(const std::string& name);
+
+/// Convenience: generate the dataset for a named profile.
+StatusOr<Dataset> MakeProfileDataset(const std::string& name);
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_DATA_PROFILES_H_

@@ -1,0 +1,68 @@
+#include "data/sampler.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace taxorec {
+
+TripletSampler::TripletSampler(const CsrMatrix* train,
+                               NegativeSampling strategy)
+    : train_(train), strategy_(strategy) {
+  TAXOREC_CHECK(train != nullptr);
+  positives_.reserve(train->nnz());
+  for (size_t u = 0; u < train->rows(); ++u) {
+    for (uint32_t v : train->RowCols(u)) {
+      positives_.emplace_back(static_cast<uint32_t>(u), v);
+    }
+  }
+  TAXOREC_CHECK_MSG(!positives_.empty(), "empty training matrix");
+  if (strategy_ == NegativeSampling::kPopularity) {
+    // Smoothed popularity (count + 1) so unseen items stay reachable.
+    popularity_cdf_.assign(train->cols(), 1.0);
+    for (const auto& [u, v] : positives_) popularity_cdf_[v] += 1.0;
+    double acc = 0.0;
+    for (double& w : popularity_cdf_) {
+      acc += w;
+      w = acc;
+    }
+  }
+}
+
+uint32_t TripletSampler::SampleNegative(uint32_t user, Rng* rng) const {
+  const size_t num_items = train_->cols();
+  auto draw = [&]() -> uint32_t {
+    if (strategy_ == NegativeSampling::kUniform) {
+      return static_cast<uint32_t>(rng->Uniform(num_items));
+    }
+    const double target = rng->NextDouble() * popularity_cdf_.back();
+    const auto it = std::upper_bound(popularity_cdf_.begin(),
+                                     popularity_cdf_.end(), target);
+    return static_cast<uint32_t>(it - popularity_cdf_.begin());
+  };
+  // Rejection-sample: training rows are sparse relative to the catalogue,
+  // so a handful of draws suffices; bail out after 64 tries.
+  uint32_t neg = draw();
+  for (int tries = 0; tries < 64 && train_->Contains(user, neg); ++tries) {
+    neg = draw();
+  }
+  return neg;
+}
+
+Triplet TripletSampler::Sample(Rng* rng) const {
+  const auto& [u, pos] = positives_[rng->Uniform(positives_.size())];
+  Triplet t;
+  t.user = u;
+  t.pos = pos;
+  t.neg = SampleNegative(u, rng);
+  return t;
+}
+
+void TripletSampler::SampleBatch(Rng* rng, size_t n,
+                                 std::vector<Triplet>* out) const {
+  out->clear();
+  out->reserve(n);
+  for (size_t i = 0; i < n; ++i) out->push_back(Sample(rng));
+}
+
+}  // namespace taxorec

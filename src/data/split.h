@@ -1,0 +1,29 @@
+// Temporal 60/20/20 per-user splitting (§V-A2 of the paper).
+#ifndef TAXOREC_DATA_SPLIT_H_
+#define TAXOREC_DATA_SPLIT_H_
+
+#include "data/dataset.h"
+
+namespace taxorec {
+
+struct SplitOptions {
+  double train_frac = 0.6;
+  double val_frac = 0.2;
+  // Remainder is the test fraction.
+};
+
+/// Splits each user's interactions by timestamp: the earliest train_frac go
+/// to training, the next val_frac to validation, the rest to test. Users
+/// with fewer than 3 interactions put everything in training. Duplicated
+/// (user, item) pairs are collapsed (first occurrence wins).
+DataSplit TemporalSplit(const Dataset& data, const SplitOptions& opts = {});
+
+/// Leave-one-out split (the NeuMF-family protocol): per user, the latest
+/// interaction goes to test, the second-latest to validation, the rest to
+/// training. Users with fewer than 3 interactions keep everything in
+/// training.
+DataSplit LeaveOneOutSplit(const Dataset& data);
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_DATA_SPLIT_H_

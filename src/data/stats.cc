@@ -1,0 +1,61 @@
+#include "data/stats.h"
+
+#include <algorithm>
+
+#include "stats/descriptive.h"
+
+namespace taxorec {
+
+DatasetStats ComputeStats(const Dataset& data) {
+  DatasetStats s;
+  s.num_users = data.num_users;
+  s.num_items = data.num_items;
+  s.num_interactions = data.interactions.size();
+  s.num_tags = data.num_tags;
+  s.num_item_tag_edges = data.item_tags.size();
+  s.density = data.Density();
+
+  std::vector<double> per_user(data.num_users, 0.0);
+  std::vector<double> per_item(data.num_items, 0.0);
+  for (const auto& x : data.interactions) {
+    per_user[x.user] += 1.0;
+    per_item[x.item] += 1.0;
+  }
+  s.mean_interactions_per_user = stats::Mean(per_user);
+  s.median_interactions_per_user = stats::Median(per_user);
+
+  if (data.num_items > 0) {
+    s.mean_tags_per_item = static_cast<double>(data.item_tags.size()) /
+                           static_cast<double>(data.num_items);
+  }
+
+  // Gini of item popularity via the sorted-rank identity:
+  // G = (2 * sum_i i*x_(i) / (n * sum x)) - (n+1)/n, ranks 1-based.
+  std::sort(per_item.begin(), per_item.end());
+  double total = 0.0, weighted = 0.0;
+  for (size_t i = 0; i < per_item.size(); ++i) {
+    total += per_item[i];
+    weighted += static_cast<double>(i + 1) * per_item[i];
+  }
+  if (total > 0.0 && !per_item.empty()) {
+    const double n = static_cast<double>(per_item.size());
+    s.item_popularity_gini = 2.0 * weighted / (n * total) - (n + 1.0) / n;
+  }
+
+  if (!data.tag_parent.empty()) {
+    for (size_t t = 0; t < data.num_tags; ++t) {
+      int depth = 1;
+      for (int32_t p = data.tag_parent[t]; p >= 0; p = data.tag_parent[p]) {
+        ++depth;
+      }
+      if (static_cast<size_t>(depth) > s.tags_per_depth.size()) {
+        s.tags_per_depth.resize(depth, 0);
+      }
+      ++s.tags_per_depth[depth - 1];
+      s.max_tag_depth = std::max(s.max_tag_depth, depth);
+    }
+  }
+  return s;
+}
+
+}  // namespace taxorec

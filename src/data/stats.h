@@ -1,0 +1,35 @@
+// Descriptive statistics of a dataset: interaction and tag structure.
+// Used by the Table I bench and handy for sanity-checking custom data.
+#ifndef TAXOREC_DATA_STATS_H_
+#define TAXOREC_DATA_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace taxorec {
+
+struct DatasetStats {
+  size_t num_users = 0;
+  size_t num_items = 0;
+  size_t num_interactions = 0;
+  size_t num_tags = 0;
+  size_t num_item_tag_edges = 0;
+  double density = 0.0;  // fraction
+  double mean_interactions_per_user = 0.0;
+  double median_interactions_per_user = 0.0;
+  double mean_tags_per_item = 0.0;
+  /// Gini coefficient of item popularity (0 = uniform, →1 = concentrated).
+  double item_popularity_gini = 0.0;
+  /// Planted-taxonomy depth profile (index d = #tags at depth d+1);
+  /// empty when the dataset has no taxonomy.
+  std::vector<size_t> tags_per_depth;
+  int max_tag_depth = 0;
+};
+
+DatasetStats ComputeStats(const Dataset& data);
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_DATA_STATS_H_

@@ -1,0 +1,72 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "eval/metrics.h"
+
+namespace taxorec {
+
+EvalResult EvaluateRanking(const Recommender& model, const DataSplit& split,
+                           const EvalOptions& opts) {
+  TAXOREC_CHECK(!opts.ks.empty());
+  EvalResult result;
+  result.ks = opts.ks;
+  result.recall.assign(opts.ks.size(), 0.0);
+  result.ndcg.assign(opts.ks.size(), 0.0);
+  const int max_k = *std::max_element(opts.ks.begin(), opts.ks.end());
+
+  std::vector<double> scores(split.num_items);
+  std::vector<uint32_t> order(split.num_items);
+
+  for (uint32_t u = 0; u < split.num_users; ++u) {
+    const auto& targets_vec =
+        opts.use_test ? split.test_items[u] : split.val_items[u];
+    if (targets_vec.empty()) continue;
+    const std::unordered_set<uint32_t> targets(targets_vec.begin(),
+                                               targets_vec.end());
+
+    model.ScoreItems(u, std::span<double>(scores));
+    // Mask already-seen items out of the ranking.
+    for (uint32_t v : split.train.RowCols(u)) {
+      scores[v] = -std::numeric_limits<double>::infinity();
+    }
+    if (opts.use_test) {
+      for (uint32_t v : split.val_items[u]) {
+        scores[v] = -std::numeric_limits<double>::infinity();
+      }
+    }
+
+    std::iota(order.begin(), order.end(), 0u);
+    const size_t top =
+        std::min<size_t>(static_cast<size_t>(max_k), order.size());
+    std::partial_sort(order.begin(), order.begin() + top, order.end(),
+                      [&](uint32_t a, uint32_t b) {
+                        if (scores[a] != scores[b]) return scores[a] > scores[b];
+                        return a < b;  // Deterministic tiebreak.
+                      });
+    const std::span<const uint32_t> ranked(order.data(), top);
+
+    for (size_t i = 0; i < opts.ks.size(); ++i) {
+      result.recall[i] += RecallAtK(ranked, targets, opts.ks[i]);
+      result.ndcg[i] += NdcgAtK(ranked, targets, opts.ks[i]);
+    }
+    result.per_user_recall.push_back(RecallAtK(ranked, targets, opts.ks[0]));
+    result.per_user_ndcg.push_back(NdcgAtK(ranked, targets, opts.ks[0]));
+    ++result.num_eval_users;
+  }
+
+  if (result.num_eval_users > 0) {
+    const double n = static_cast<double>(result.num_eval_users);
+    for (size_t i = 0; i < opts.ks.size(); ++i) {
+      result.recall[i] /= n;
+      result.ndcg[i] /= n;
+    }
+  }
+  return result;
+}
+
+}  // namespace taxorec

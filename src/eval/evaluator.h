@@ -1,0 +1,39 @@
+// Full-ranking evaluation of a trained recommender (§V-A2 protocol).
+//
+// For every user with held-out positives, scores all items, masks items
+// seen in training (and in validation when evaluating on test), and
+// computes Recall@K / NDCG@K over the full ranking.
+#ifndef TAXOREC_EVAL_EVALUATOR_H_
+#define TAXOREC_EVAL_EVALUATOR_H_
+
+#include <vector>
+
+#include "baselines/recommender.h"
+#include "data/dataset.h"
+
+namespace taxorec {
+
+struct EvalOptions {
+  std::vector<int> ks = {10, 20};
+  /// true → evaluate on test (masking train+val); false → validation
+  /// (masking train only).
+  bool use_test = true;
+};
+
+struct EvalResult {
+  std::vector<int> ks;
+  std::vector<double> recall;  // mean over evaluated users, aligned with ks
+  std::vector<double> ndcg;
+  /// Per-user metrics at ks[0] (inputs for the Wilcoxon signed-rank test);
+  /// ordered by ascending user id over evaluated users.
+  std::vector<double> per_user_recall;
+  std::vector<double> per_user_ndcg;
+  size_t num_eval_users = 0;
+};
+
+EvalResult EvaluateRanking(const Recommender& model, const DataSplit& split,
+                           const EvalOptions& opts = {});
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_EVAL_EVALUATOR_H_

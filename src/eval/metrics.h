@@ -1,0 +1,45 @@
+// Ranking metrics: Recall@K and NDCG@K over full (non-sampled) rankings,
+// as required by §V-A2 (the paper follows Krichene & Rendle's advice to
+// avoid sampled metrics).
+#ifndef TAXOREC_EVAL_METRICS_H_
+#define TAXOREC_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+namespace taxorec {
+
+/// Recall@K: |top-K ∩ relevant| / |relevant|. `ranked` is the top-K item
+/// list in rank order (may be longer; only the first K entries are used).
+double RecallAtK(std::span<const uint32_t> ranked,
+                 const std::unordered_set<uint32_t>& relevant, int k);
+
+/// NDCG@K with binary relevance: DCG over the top-K hits divided by the
+/// ideal DCG of min(K, |relevant|) hits.
+double NdcgAtK(std::span<const uint32_t> ranked,
+               const std::unordered_set<uint32_t>& relevant, int k);
+
+/// Precision@K: |top-K ∩ relevant| / K.
+double PrecisionAtK(std::span<const uint32_t> ranked,
+                    const std::unordered_set<uint32_t>& relevant, int k);
+
+/// Reciprocal rank of the first hit within the top K (0 if none).
+double MrrAtK(std::span<const uint32_t> ranked,
+              const std::unordered_set<uint32_t>& relevant, int k);
+
+/// Average precision at K (AP@K): mean of precision at each hit position,
+/// normalized by min(K, |relevant|).
+double AveragePrecisionAtK(std::span<const uint32_t> ranked,
+                           const std::unordered_set<uint32_t>& relevant,
+                           int k);
+
+/// Catalogue coverage of a batch of top-K lists: fraction of `num_items`
+/// that appear in at least one list (an aggregate diversity measure).
+double ItemCoverage(const std::vector<std::vector<uint32_t>>& top_k_lists,
+                    size_t num_items);
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_EVAL_METRICS_H_

@@ -1,0 +1,50 @@
+#include "eval/recommend.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace taxorec {
+
+std::vector<ScoredItem> RecommendTopK(const Recommender& model,
+                                      const DataSplit& split, uint32_t user,
+                                      const RecommendOptions& opts) {
+  TAXOREC_CHECK(user < split.num_users);
+  std::vector<double> scores(split.num_items);
+  model.ScoreItems(user, std::span<double>(scores));
+  if (opts.exclude_train) {
+    for (uint32_t v : split.train.RowCols(user)) {
+      scores[v] = -std::numeric_limits<double>::infinity();
+    }
+  }
+  std::vector<uint32_t> order(split.num_items);
+  std::iota(order.begin(), order.end(), 0u);
+  const size_t top = std::min(opts.k, order.size());
+  std::partial_sort(order.begin(), order.begin() + top, order.end(),
+                    [&](uint32_t a, uint32_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  std::vector<ScoredItem> out;
+  out.reserve(top);
+  for (size_t i = 0; i < top; ++i) {
+    out.push_back({order[i], scores[order[i]]});
+  }
+  return out;
+}
+
+std::vector<std::vector<uint32_t>> RecommendAllUsers(
+    const Recommender& model, const DataSplit& split,
+    const RecommendOptions& opts) {
+  std::vector<std::vector<uint32_t>> out(split.num_users);
+  for (uint32_t u = 0; u < split.num_users; ++u) {
+    const auto scored = RecommendTopK(model, split, u, opts);
+    out[u].reserve(scored.size());
+    for (const auto& s : scored) out[u].push_back(s.item);
+  }
+  return out;
+}
+
+}  // namespace taxorec

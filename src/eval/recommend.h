@@ -1,0 +1,39 @@
+// Top-N recommendation convenience API over any trained Recommender.
+#ifndef TAXOREC_EVAL_RECOMMEND_H_
+#define TAXOREC_EVAL_RECOMMEND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/recommender.h"
+#include "data/dataset.h"
+
+namespace taxorec {
+
+struct RecommendOptions {
+  size_t k = 10;
+  /// Remove items the user already interacted with in training.
+  bool exclude_train = true;
+};
+
+/// One scored recommendation.
+struct ScoredItem {
+  uint32_t item = 0;
+  double score = 0.0;
+};
+
+/// Returns the top-k items for `user`, best first, deterministic under
+/// score ties (lower item id wins).
+std::vector<ScoredItem> RecommendTopK(const Recommender& model,
+                                      const DataSplit& split, uint32_t user,
+                                      const RecommendOptions& opts = {});
+
+/// Batch variant over all users; result[u] is the user's top-k item list
+/// (ids only — suitable for ItemCoverage and downstream serving).
+std::vector<std::vector<uint32_t>> RecommendAllUsers(
+    const Recommender& model, const DataSplit& split,
+    const RecommendOptions& opts = {});
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_EVAL_RECOMMEND_H_

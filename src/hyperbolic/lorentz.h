@@ -1,0 +1,78 @@
+// Lorentz (hyperboloid) model of hyperbolic space (curvature -1).
+//
+// H^d = { x in R^{d+1} : <x,x>_L = -1, x_0 > 0 } with the Lorentzian inner
+// product <x,y>_L = -x_0 y_0 + sum_i x_i y_i. (The paper's §III-B writes the
+// constraint as <x,x>_L = 1 — a typo; the standard hyperboloid constraint,
+// which makes its own distance formula d = acosh(-<x,y>_L) well-defined,
+// is <x,x>_L = -1, and that is what we implement.)
+//
+// Used for user/item embeddings and metric learning (§IV-D): distances,
+// squared-distance gradients, exp/log maps at the origin (Eq. 12, 15),
+// the general exp map for RSGD (Eq. 23), and tangent projection (Eq. 20
+// analogue for the Lorentz metric).
+#ifndef TAXOREC_HYPERBOLIC_LORENTZ_H_
+#define TAXOREC_HYPERBOLIC_LORENTZ_H_
+
+#include <span>
+#include <vector>
+
+#include "math/rng.h"
+
+namespace taxorec::lorentz {
+
+using Span = std::span<double>;
+using ConstSpan = std::span<const double>;
+
+/// Lorentzian inner product <x, y>_L = -x0*y0 + sum_{i>=1} xi*yi.
+double Inner(ConstSpan x, ConstSpan y);
+
+/// Writes the origin o = (1, 0, ..., 0).
+void Origin(Span o);
+
+/// Recomputes x0 = sqrt(1 + ||x_spatial||^2) so x lies exactly on the
+/// hyperboloid (called after every RSGD step).
+void ProjectToHyperboloid(Span x);
+
+/// Lifts spatial coordinates z in R^d onto the hyperboloid point
+/// (sqrt(1+||z||^2), z). out has size d+1.
+void LiftFromSpatial(ConstSpan z, Span out);
+
+/// Distance d_H(x, y) = acosh(-<x,y>_L).
+double Distance(ConstSpan x, ConstSpan y);
+
+/// Squared distance d_H(x, y)^2.
+double SqDistance(ConstSpan x, ConstSpan y);
+
+/// Euclidean gradients of SqDistance(x, y): accumulates
+/// grad_x += scale * d(d^2)/dx and grad_y += scale * d(d^2)/dy.
+/// Either output may be empty (size 0) to skip it.
+void SqDistanceGrad(ConstSpan x, ConstSpan y, double scale, Span grad_x,
+                    Span grad_y);
+
+/// Projects a Euclidean gradient at x onto the tangent space T_x H^d,
+/// producing the Riemannian gradient: h = G * grad_E (G = diag(-1,1,..,1)),
+/// grad_R = h + <x,h>_L x. In place.
+void EuclideanToRiemannianGrad(ConstSpan x, Span grad);
+
+/// Exponential map at x for a tangent vector eta (Eq. 23):
+/// exp_x(eta) = cosh(||eta||_L) x + sinh(||eta||_L) eta/||eta||_L.
+void ExpMap(ConstSpan x, ConstSpan eta, Span out);
+
+/// Riemannian SGD step: x <- exp_x(-lr * grad_R), from a Euclidean gradient;
+/// re-projects onto the hyperboloid.
+void RsgdStep(Span x, ConstSpan euclidean_grad, double lr);
+
+/// Log map at the origin (Eq. 12): maps a hyperboloid point x to the tangent
+/// space at o. Output has the same d+1 layout with out[0] == 0.
+void LogMapOrigin(ConstSpan x, Span out);
+
+/// Exp map at the origin (Eq. 15): maps a tangent vector z (z[0] == 0
+/// expected) back to the hyperboloid.
+void ExpMapOrigin(ConstSpan z, Span out);
+
+/// Random point: Gaussian spatial coordinates of stddev `stddev`, lifted.
+void RandomPoint(Rng* rng, double stddev, Span x);
+
+}  // namespace taxorec::lorentz
+
+#endif  // TAXOREC_HYPERBOLIC_LORENTZ_H_

@@ -1,0 +1,69 @@
+#include "hyperbolic/maps.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "math/vec_ops.h"
+
+namespace taxorec::hyper {
+namespace {
+
+constexpr double kDenomFloor = 1e-10;
+
+double FlooredOneMinusSq(ConstSpan x) {
+  double v = 1.0 - vec::SqNorm(x);
+  return v < kDenomFloor ? kDenomFloor : v;
+}
+
+}  // namespace
+
+void LorentzToPoincare(ConstSpan x, Span out) {
+  TAXOREC_DCHECK(x.size() == out.size() + 1);
+  double den = x[0] + 1.0;
+  if (den < kDenomFloor) den = kDenomFloor;
+  for (size_t i = 0; i < out.size(); ++i) out[i] = x[i + 1] / den;
+}
+
+void PoincareToLorentz(ConstSpan x, Span out) {
+  TAXOREC_DCHECK(out.size() == x.size() + 1);
+  const double den = FlooredOneMinusSq(x);
+  out[0] = (1.0 + vec::SqNorm(x)) / den;
+  for (size_t i = 0; i < x.size(); ++i) out[i + 1] = 2.0 * x[i] / den;
+}
+
+void PoincareToKlein(ConstSpan x, Span out) {
+  TAXOREC_DCHECK(x.size() == out.size());
+  const double den = 1.0 + vec::SqNorm(x);
+  vec::ScaleTo(x, 2.0 / den, out);
+}
+
+void KleinToPoincare(ConstSpan k, Span out) {
+  TAXOREC_DCHECK(k.size() == out.size());
+  double inside = 1.0 - vec::SqNorm(k);
+  if (inside < 0.0) inside = 0.0;
+  const double den = 1.0 + std::sqrt(inside);
+  vec::ScaleTo(k, 1.0 / den, out);
+}
+
+void KleinToLorentz(ConstSpan k, Span out) {
+  TAXOREC_DCHECK(out.size() == k.size() + 1);
+  const double gamma = 1.0 / std::sqrt(FlooredOneMinusSq(k));
+  out[0] = gamma;
+  for (size_t i = 0; i < k.size(); ++i) out[i + 1] = gamma * k[i];
+}
+
+void KleinToLorentzGrad(ConstSpan k, ConstSpan upstream, double scale,
+                        Span grad_k) {
+  TAXOREC_DCHECK(upstream.size() == k.size() + 1);
+  TAXOREC_DCHECK(grad_k.size() == k.size());
+  const double gamma = 1.0 / std::sqrt(FlooredOneMinusSq(k));
+  const double gamma3 = gamma * gamma * gamma;
+  double k_dot_gs = 0.0;
+  for (size_t i = 0; i < k.size(); ++i) k_dot_gs += k[i] * upstream[i + 1];
+  const double common = gamma3 * (upstream[0] + k_dot_gs);
+  for (size_t i = 0; i < k.size(); ++i) {
+    grad_k[i] += scale * (gamma * upstream[i + 1] + common * k[i]);
+  }
+}
+
+}  // namespace taxorec::hyper

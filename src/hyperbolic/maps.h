@@ -1,0 +1,41 @@
+// Diffeomorphisms between the Poincaré, Lorentz, and Klein models.
+//
+// Implements Eq. 2 (Lorentz→Poincaré p), Eq. 3 (Poincaré→Lorentz p⁻¹),
+// Eq. 9 (Poincaré→Klein), its inverse, and the fused Klein→Lorentz map used
+// by the local aggregation (Eq. 10–11 collapse to x = (γ, γμ) with
+// γ = 1/sqrt(1-||μ||²); see DESIGN.md §4).
+#ifndef TAXOREC_HYPERBOLIC_MAPS_H_
+#define TAXOREC_HYPERBOLIC_MAPS_H_
+
+#include <span>
+
+namespace taxorec::hyper {
+
+using Span = std::span<double>;
+using ConstSpan = std::span<const double>;
+
+/// Lorentz (d+1 coords) → Poincaré (d coords): p(x) = x_spatial / (x0 + 1).
+void LorentzToPoincare(ConstSpan x, Span out);
+
+/// Poincaré (d coords) → Lorentz (d+1 coords):
+/// p⁻¹(x) = (1 + ||x||², 2x) / (1 - ||x||²).
+void PoincareToLorentz(ConstSpan x, Span out);
+
+/// Poincaré → Klein: k = 2x / (1 + ||x||²)  (Eq. 9).
+void PoincareToKlein(ConstSpan x, Span out);
+
+/// Klein → Poincaré: x = k / (1 + sqrt(1 - ||k||²)).
+void KleinToPoincare(ConstSpan k, Span out);
+
+/// Klein (d coords) → Lorentz (d+1 coords): x = (γ, γk), γ = 1/sqrt(1-||k||²).
+/// This equals PoincareToLorentz(KleinToPoincare(k)) in closed form.
+void KleinToLorentz(ConstSpan k, Span out);
+
+/// Backward of KleinToLorentz: given upstream Euclidean gradient g (d+1)
+/// at out, accumulates grad_k += scale * J^T g (d coords).
+void KleinToLorentzGrad(ConstSpan k, ConstSpan upstream, double scale,
+                        Span grad_k);
+
+}  // namespace taxorec::hyper
+
+#endif  // TAXOREC_HYPERBOLIC_MAPS_H_

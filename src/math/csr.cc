@@ -1,0 +1,110 @@
+#include "math/csr.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "math/vec_ops.h"
+
+namespace taxorec {
+
+CsrMatrix CsrMatrix::FromPairs(
+    size_t rows, size_t cols,
+    std::vector<std::pair<uint32_t, uint32_t>> edges) {
+  std::vector<std::tuple<uint32_t, uint32_t, double>> triplets;
+  triplets.reserve(edges.size());
+  for (const auto& [r, c] : edges) triplets.emplace_back(r, c, 1.0);
+  return FromTriplets(rows, cols, std::move(triplets));
+}
+
+CsrMatrix CsrMatrix::FromTriplets(
+    size_t rows, size_t cols,
+    std::vector<std::tuple<uint32_t, uint32_t, double>> triplets) {
+  std::sort(triplets.begin(), triplets.end(),
+            [](const auto& a, const auto& b) {
+              return std::tie(std::get<0>(a), std::get<1>(a)) <
+                     std::tie(std::get<0>(b), std::get<1>(b));
+            });
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  m.col_idx_.reserve(triplets.size());
+  m.weights_.reserve(triplets.size());
+  for (size_t i = 0; i < triplets.size();) {
+    const uint32_t r = std::get<0>(triplets[i]);
+    const uint32_t c = std::get<1>(triplets[i]);
+    TAXOREC_CHECK(r < rows && c < cols);
+    double w = 0.0;
+    while (i < triplets.size() && std::get<0>(triplets[i]) == r &&
+           std::get<1>(triplets[i]) == c) {
+      w += std::get<2>(triplets[i]);
+      ++i;
+    }
+    m.col_idx_.push_back(c);
+    m.weights_.push_back(w);
+    m.row_ptr_[r + 1] = m.col_idx_.size();
+  }
+  // Rows with no entries inherit the running prefix.
+  for (size_t r = 1; r <= rows; ++r) {
+    if (m.row_ptr_[r] < m.row_ptr_[r - 1]) m.row_ptr_[r] = m.row_ptr_[r - 1];
+  }
+  return m;
+}
+
+bool CsrMatrix::Contains(uint32_t r, uint32_t c) const {
+  if (r >= rows_) return false;
+  const auto cols = RowCols(r);
+  return std::binary_search(cols.begin(), cols.end(), c);
+}
+
+CsrMatrix CsrMatrix::Transposed() const {
+  std::vector<std::tuple<uint32_t, uint32_t, double>> triplets;
+  triplets.reserve(nnz());
+  for (size_t r = 0; r < rows_; ++r) {
+    const auto cols = RowCols(r);
+    const auto w = RowWeights(r);
+    for (size_t k = 0; k < cols.size(); ++k) {
+      triplets.emplace_back(cols[k], static_cast<uint32_t>(r), w[k]);
+    }
+  }
+  return FromTriplets(cols_, rows_, std::move(triplets));
+}
+
+void CsrMatrix::Multiply(const Matrix& dense, Matrix* out) const {
+  TAXOREC_CHECK(dense.rows() == cols_);
+  if (out->rows() != rows_ || out->cols() != dense.cols()) {
+    *out = Matrix(rows_, dense.cols());
+  } else {
+    out->SetZero();
+  }
+  MultiplyAccum(dense, 1.0, out);
+}
+
+void CsrMatrix::MultiplyAccum(const Matrix& dense, double alpha,
+                              Matrix* out) const {
+  TAXOREC_CHECK(dense.rows() == cols_);
+  TAXOREC_CHECK(out->rows() == rows_ && out->cols() == dense.cols());
+  for (size_t r = 0; r < rows_; ++r) {
+    const auto cols = RowCols(r);
+    const auto w = RowWeights(r);
+    auto out_row = out->row(r);
+    for (size_t k = 0; k < cols.size(); ++k) {
+      vec::Axpy(alpha * w[k], dense.row(cols[k]), out_row);
+    }
+  }
+}
+
+CsrMatrix CsrMatrix::RowNormalized() const {
+  CsrMatrix m = *this;
+  for (size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) sum += weights_[k];
+    if (sum <= 0.0) continue;
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      m.weights_[k] = weights_[k] / sum;
+    }
+  }
+  return m;
+}
+
+}  // namespace taxorec

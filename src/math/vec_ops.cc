@@ -1,0 +1,79 @@
+#include "math/vec_ops.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace taxorec::vec {
+
+double Dot(ConstSpan x, ConstSpan y) {
+  TAXOREC_DCHECK(x.size() == y.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double SqNorm(ConstSpan x) { return Dot(x, x); }
+
+double Norm(ConstSpan x) { return std::sqrt(SqNorm(x)); }
+
+double SqDist(ConstSpan x, ConstSpan y) {
+  TAXOREC_DCHECK(x.size() == y.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+void Copy(ConstSpan x, Span out) {
+  TAXOREC_DCHECK(x.size() == out.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = x[i];
+}
+
+void Zero(Span out) {
+  for (double& v : out) v = 0.0;
+}
+
+void Scale(Span x, double a) {
+  for (double& v : x) v *= a;
+}
+
+void ScaleTo(ConstSpan x, double a, Span out) {
+  TAXOREC_DCHECK(x.size() == out.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = a * x[i];
+}
+
+void Axpy(double a, ConstSpan x, Span y) {
+  TAXOREC_DCHECK(x.size() == y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+void Add(ConstSpan x, ConstSpan y, Span out) {
+  TAXOREC_DCHECK(x.size() == y.size() && x.size() == out.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = x[i] + y[i];
+}
+
+void Sub(ConstSpan x, ConstSpan y, Span out) {
+  TAXOREC_DCHECK(x.size() == y.size() && x.size() == out.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = x[i] - y[i];
+}
+
+void Combine(double a, ConstSpan x, double b, ConstSpan y, Span out) {
+  TAXOREC_DCHECK(x.size() == y.size() && x.size() == out.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = a * x[i] + b * y[i];
+}
+
+void Hadamard(ConstSpan x, ConstSpan y, Span out) {
+  TAXOREC_DCHECK(x.size() == y.size() && x.size() == out.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = x[i] * y[i];
+}
+
+void ClipNorm(Span x, double max_norm) {
+  TAXOREC_DCHECK(max_norm > 0.0);
+  const double n = Norm(x);
+  if (n > max_norm) Scale(x, max_norm / n);
+}
+
+}  // namespace taxorec::vec

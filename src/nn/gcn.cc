@@ -1,0 +1,158 @@
+#include "nn/gcn.h"
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/check.h"
+
+namespace taxorec::nn {
+
+BipartiteGcn::BipartiteGcn(const CsrMatrix& interactions, int num_layers)
+    : num_layers_(num_layers),
+      pui_(interactions.RowNormalized()),
+      piu_(interactions.Transposed().RowNormalized()),
+      pui_t_(pui_.Transposed()),
+      piu_t_(piu_.Transposed()) {
+  TAXOREC_CHECK(num_layers >= 1);
+}
+
+void BipartiteGcn::Forward(const Matrix& zu0, const Matrix& zv0,
+                           GcnContext* ctx, Matrix* out_u,
+                           Matrix* out_v) const {
+  TAXOREC_CHECK(zu0.rows() == num_users() && zv0.rows() == num_items());
+  TAXOREC_CHECK(zu0.cols() == zv0.cols());
+  const size_t d = zu0.cols();
+
+  ctx->zu.assign(static_cast<size_t>(num_layers_) + 1, Matrix());
+  ctx->zv.assign(static_cast<size_t>(num_layers_) + 1, Matrix());
+  ctx->zu[0] = zu0;
+  ctx->zv[0] = zv0;
+
+  *out_u = Matrix(num_users(), d);
+  *out_v = Matrix(num_items(), d);
+  for (int l = 0; l < num_layers_; ++l) {
+    Matrix next_u = ctx->zu[l];
+    pui_.MultiplyAccum(ctx->zv[l], 1.0, &next_u);
+    Matrix next_v = ctx->zv[l];
+    piu_.MultiplyAccum(ctx->zu[l], 1.0, &next_v);
+    for (double& x : next_u.flat()) x *= 0.5;
+    for (double& x : next_v.flat()) x *= 0.5;
+    ctx->zu[l + 1] = std::move(next_u);
+    ctx->zv[l + 1] = std::move(next_v);
+    out_u->Axpy(1.0, ctx->zu[l + 1]);
+    out_v->Axpy(1.0, ctx->zv[l + 1]);
+  }
+}
+
+void BipartiteGcn::Backward(const Matrix& up_u, const Matrix& up_v,
+                            Matrix* grad_u0, Matrix* grad_v0) const {
+  TAXOREC_CHECK(up_u.rows() == num_users() && up_v.rows() == num_items());
+  // Adjoint recursion: a^L = upstream; for l = L-1 .. 0:
+  //   au^l = [l >= 1] * up_u + (au^{l+1} + Piu^T av^{l+1}) / 2
+  //   av^l = [l >= 1] * up_v + (av^{l+1} + Pui^T au^{l+1}) / 2
+  Matrix au = up_u;  // a^{l+1}, starts at l+1 = L
+  Matrix av = up_v;
+  for (int l = num_layers_ - 1; l >= 0; --l) {
+    Matrix au_next = au;
+    piu_t_.MultiplyAccum(av, 1.0, &au_next);
+    Matrix av_next = av;
+    pui_t_.MultiplyAccum(au, 1.0, &av_next);
+    for (double& x : au_next.flat()) x *= 0.5;
+    for (double& x : av_next.flat()) x *= 0.5;
+    if (l >= 1) {
+      au_next.Axpy(1.0, up_u);
+      av_next.Axpy(1.0, up_v);
+    }
+    au = std::move(au_next);
+    av = std::move(av_next);
+  }
+  *grad_u0 = std::move(au);
+  *grad_v0 = std::move(av);
+}
+
+namespace {
+
+// Â = D_u^{-1/2} X D_v^{-1/2} from the binary interaction matrix.
+CsrMatrix SymmetricNormalized(const CsrMatrix& x) {
+  std::vector<double> du(x.rows(), 0.0), dv(x.cols(), 0.0);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    for (uint32_t c : x.RowCols(r)) {
+      du[r] += 1.0;
+      dv[c] += 1.0;
+    }
+  }
+  std::vector<std::tuple<uint32_t, uint32_t, double>> triplets;
+  triplets.reserve(x.nnz());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    for (uint32_t c : x.RowCols(r)) {
+      const double w = 1.0 / std::sqrt(du[r] * dv[c]);
+      triplets.emplace_back(static_cast<uint32_t>(r), c, w);
+    }
+  }
+  return CsrMatrix::FromTriplets(x.rows(), x.cols(), std::move(triplets));
+}
+
+}  // namespace
+
+LightGcnPropagation::LightGcnPropagation(const CsrMatrix& interactions,
+                                         int num_layers)
+    : num_layers_(num_layers),
+      a_(SymmetricNormalized(interactions)),
+      a_t_(a_.Transposed()) {
+  TAXOREC_CHECK(num_layers >= 1);
+}
+
+void LightGcnPropagation::Forward(const Matrix& zu0, const Matrix& zv0,
+                                  GcnContext* ctx, Matrix* out_u,
+                                  Matrix* out_v) const {
+  TAXOREC_CHECK(zu0.rows() == num_users() && zv0.rows() == num_items());
+  ctx->zu.assign(static_cast<size_t>(num_layers_) + 1, Matrix());
+  ctx->zv.assign(static_cast<size_t>(num_layers_) + 1, Matrix());
+  ctx->zu[0] = zu0;
+  ctx->zv[0] = zv0;
+  *out_u = zu0;
+  *out_v = zv0;
+  for (int l = 0; l < num_layers_; ++l) {
+    Matrix next_u, next_v;
+    a_.Multiply(ctx->zv[l], &next_u);
+    a_t_.Multiply(ctx->zu[l], &next_v);
+    ctx->zu[l + 1] = std::move(next_u);
+    ctx->zv[l + 1] = std::move(next_v);
+    out_u->Axpy(1.0, ctx->zu[l + 1]);
+    out_v->Axpy(1.0, ctx->zv[l + 1]);
+  }
+  const double inv = 1.0 / static_cast<double>(num_layers_ + 1);
+  for (double& x : out_u->flat()) x *= inv;
+  for (double& x : out_v->flat()) x *= inv;
+}
+
+void LightGcnPropagation::Backward(const Matrix& up_u, const Matrix& up_v,
+                                   Matrix* grad_u0, Matrix* grad_v0) const {
+  // out = (1/(L+1)) * sum_l Z^l with Z^{l+1} = op(Z^l) and op swapping
+  // sides; adjoint: a^L = up/(L+1); a^l = up/(L+1) + op^T(a^{l+1}).
+  const double inv = 1.0 / static_cast<double>(num_layers_ + 1);
+  Matrix au = up_u;
+  Matrix av = up_v;
+  for (double& x : au.flat()) x *= inv;
+  for (double& x : av.flat()) x *= inv;
+  for (int l = num_layers_ - 1; l >= 0; --l) {
+    Matrix next_au, next_av;
+    // Z_u^{l+1} = Â Z_v^l → contributes Â^T a_u^{l+1} to a_v^l, and
+    // Z_v^{l+1} = Â^T Z_u^l → contributes Â a_v^{l+1} to a_u^l.
+    a_.Multiply(av, &next_au);
+    a_t_.Multiply(au, &next_av);
+    for (size_t i = 0; i < next_au.flat().size(); ++i) {
+      next_au.flat()[i] += inv * up_u.flat()[i];
+    }
+    for (size_t i = 0; i < next_av.flat().size(); ++i) {
+      next_av.flat()[i] += inv * up_v.flat()[i];
+    }
+    au = std::move(next_au);
+    av = std::move(next_av);
+  }
+  *grad_u0 = std::move(au);
+  *grad_v0 = std::move(av);
+}
+
+}  // namespace taxorec::nn

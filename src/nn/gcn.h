@@ -1,0 +1,92 @@
+// Bipartite graph-convolution propagation (Eq. 13–14) with exact backward.
+//
+// Forward per layer (simultaneous update from layer-l values):
+//   Zu^{l+1} = (Zu^l + Pui Zv^l) / 2   (Pui: row-normalized user→item)
+//   Zv^{l+1} = (Zv^l + Piu Zu^l) / 2   (Piu: row-normalized item→user)
+// Outputs are the layer sums  out = sum_{l=1..L} Z^l.
+//
+// The 1/2 normalizes the residual mix (Eq. 13 as written has per-layer gain
+// up to 2, i.e. 2^L overall, which in the Lorentz pipeline pushes points far
+// from the origin and collapses training — see DESIGN.md §4). Since both
+// terms are row-stochastic-weighted, layer magnitudes stay bounded by the
+// inputs' and the paper's margin grid m ∈ [0.1, 0.4] stays meaningful.
+// All operations are linear, so the backward pass is the adjoint recursion
+// with the transposed operators.
+#ifndef TAXOREC_NN_GCN_H_
+#define TAXOREC_NN_GCN_H_
+
+#include <vector>
+
+#include "math/csr.h"
+#include "math/matrix.h"
+
+namespace taxorec::nn {
+
+/// Forward context: layer activations needed only to size the backward.
+struct GcnContext {
+  std::vector<Matrix> zu;  // zu[l], l = 0..L
+  std::vector<Matrix> zv;  // zv[l], l = 0..L
+};
+
+/// Bipartite LightGCN-style propagation operator.
+class BipartiteGcn {
+ public:
+  /// `interactions` is the binary user×item matrix X (training split).
+  BipartiteGcn(const CsrMatrix& interactions, int num_layers);
+
+  int num_layers() const { return num_layers_; }
+
+  /// Computes out_u = sum_{l=1..L} Zu^l (and likewise out_v) from inputs
+  /// Zu0 (users × D), Zv0 (items × D). Fills ctx for Backward.
+  void Forward(const Matrix& zu0, const Matrix& zv0, GcnContext* ctx,
+               Matrix* out_u, Matrix* out_v) const;
+
+  /// Computes grad wrt the inputs: grad_u0/grad_v0 are *overwritten* with
+  /// the adjoints of upstream gradients on (out_u, out_v).
+  void Backward(const Matrix& up_u, const Matrix& up_v, Matrix* grad_u0,
+                Matrix* grad_v0) const;
+
+  size_t num_users() const { return pui_.rows(); }
+  size_t num_items() const { return piu_.rows(); }
+
+ private:
+  int num_layers_;
+  CsrMatrix pui_;    // user → item, rows sum to 1
+  CsrMatrix piu_;    // item → user, rows sum to 1
+  CsrMatrix pui_t_;  // transpose of pui_
+  CsrMatrix piu_t_;  // transpose of piu_
+};
+
+/// Faithful LightGCN propagation: symmetric-normalized pure neighbour
+/// aggregation WITHOUT self-connections,
+///   Zu^{l+1} = Â Zv^l,   Zv^{l+1} = Â^T Zu^l,   Â = D_u^{-1/2} X D_v^{-1/2},
+/// and the final representation is the mean of layers 0..L. This is
+/// deliberately distinct from BipartiteGcn: TaxoRec's Eq. 13 carries a
+/// residual self-term; LightGCN's defining design drops self-connections.
+class LightGcnPropagation {
+ public:
+  LightGcnPropagation(const CsrMatrix& interactions, int num_layers);
+
+  int num_layers() const { return num_layers_; }
+
+  /// out = mean(Z^0 .. Z^L). ctx holds the per-layer activations.
+  void Forward(const Matrix& zu0, const Matrix& zv0, GcnContext* ctx,
+               Matrix* out_u, Matrix* out_v) const;
+
+  /// Overwrites grad_u0/grad_v0 with the adjoints of upstream gradients on
+  /// the outputs.
+  void Backward(const Matrix& up_u, const Matrix& up_v, Matrix* grad_u0,
+                Matrix* grad_v0) const;
+
+  size_t num_users() const { return a_.rows(); }
+  size_t num_items() const { return a_.cols(); }
+
+ private:
+  int num_layers_;
+  CsrMatrix a_;    // Â, user × item
+  CsrMatrix a_t_;  // Â^T
+};
+
+}  // namespace taxorec::nn
+
+#endif  // TAXOREC_NN_GCN_H_

@@ -1,0 +1,37 @@
+#include "nn/losses.h"
+
+#include <cmath>
+
+namespace taxorec::nn {
+
+double HingeTriplet(double margin, double pos, double neg, double* dpos,
+                    double* dneg) {
+  const double v = margin + pos - neg;
+  if (v <= 0.0) {
+    *dpos = 0.0;
+    *dneg = 0.0;
+    return 0.0;
+  }
+  *dpos = 1.0;
+  *dneg = -1.0;
+  return v;
+}
+
+double Sigmoid(double x) {
+  if (x >= 0.0) {
+    const double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+double Bpr(double diff, double* ddiff) {
+  // -log(sigmoid(diff)); derivative is -(1 - sigmoid(diff)) = -sigmoid(-diff).
+  *ddiff = -Sigmoid(-diff);
+  // log1p(exp(-diff)) computed stably.
+  if (diff > 0.0) return std::log1p(std::exp(-diff));
+  return -diff + std::log1p(std::exp(diff));
+}
+
+}  // namespace taxorec::nn

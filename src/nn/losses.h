@@ -1,0 +1,25 @@
+// Scalar ranking losses with derivative outputs.
+//
+// HingeTriplet implements the LMNN objective of Eq. 18; Bpr implements the
+// Bayesian personalized-ranking loss used by the MF/GCN baselines.
+#ifndef TAXOREC_NN_LOSSES_H_
+#define TAXOREC_NN_LOSSES_H_
+
+namespace taxorec::nn {
+
+/// Hinge loss [m + pos - neg]_+ where `pos`/`neg` are (squared) distances of
+/// positive/negative pairs. Sets *dpos (=dLoss/dpos) and *dneg; both are 0
+/// when the triplet is inactive. Returns the loss value.
+double HingeTriplet(double margin, double pos, double neg, double* dpos,
+                    double* dneg);
+
+/// BPR loss -log(sigmoid(diff)) where diff = score_pos - score_neg.
+/// Sets *ddiff = dLoss/ddiff = -sigmoid(-diff). Returns the loss value.
+double Bpr(double diff, double* ddiff);
+
+/// Numerically-stable logistic sigmoid.
+double Sigmoid(double x);
+
+}  // namespace taxorec::nn
+
+#endif  // TAXOREC_NN_LOSSES_H_

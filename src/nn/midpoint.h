@@ -1,0 +1,55 @@
+// Local tag aggregation layer (Eq. 9–11) with exact backward.
+//
+// For every item v with tag set Ψ_v, the layer maps the Poincaré tag
+// embeddings T^P to the Klein model (Eq. 9), computes the Einstein midpoint
+// μ_v of the item's tags (Eq. 10), and maps μ_v to the Lorentz model
+// (Eq. 11 composed with Eq. 3, which collapses to x = (γ, γμ)). The result
+// is the item's tag-relevant Lorentz embedding v^{tg'}.
+//
+// Backward propagates gradients on v^{tg'} all the way to the Poincaré tag
+// embeddings T^P, which is how the recommendation objective refines the
+// taxonomy's tag space (the "joint" part of TaxoRec).
+#ifndef TAXOREC_NN_MIDPOINT_H_
+#define TAXOREC_NN_MIDPOINT_H_
+
+#include <vector>
+
+#include "math/csr.h"
+#include "math/matrix.h"
+
+namespace taxorec::nn {
+
+/// Forward cache for TagAggregation::Backward.
+struct TagAggContext {
+  Matrix tags_klein;          // S × Dt, tag embeddings in Klein coords
+  std::vector<double> gamma;  // S, Lorentz factor per tag (in Klein)
+  Matrix mu;                  // items × Dt, per-item midpoint (Klein)
+  std::vector<double> denom;  // items, midpoint denominators
+};
+
+/// Einstein-midpoint tag aggregation over the item-tag matrix Ψ.
+class TagAggregation {
+ public:
+  /// `item_tags` is the binary item×tag matrix A (Ψ in the paper).
+  explicit TagAggregation(const CsrMatrix* item_tags);
+
+  /// tags_poincare: S × Dt Poincaré ball points. Writes out (items × Dt+1)
+  /// Lorentz rows; items without tags map to the Lorentz origin.
+  void Forward(const Matrix& tags_poincare, TagAggContext* ctx,
+               Matrix* out) const;
+
+  /// Accumulates grad_tags (S × Dt, Euclidean gradient w.r.t. the Poincaré
+  /// coordinates) from upstream (items × Dt+1) gradients on the output.
+  void Backward(const Matrix& tags_poincare, const TagAggContext& ctx,
+                const Matrix& upstream, Matrix* grad_tags) const;
+
+  size_t num_items() const { return item_tags_->rows(); }
+  size_t num_tags() const { return item_tags_->cols(); }
+
+ private:
+  const CsrMatrix* item_tags_;  // not owned
+};
+
+}  // namespace taxorec::nn
+
+#endif  // TAXOREC_NN_MIDPOINT_H_

@@ -1,0 +1,50 @@
+// Small fully-connected network with manual backprop (used by the NeuMF
+// and LRML baselines). Hidden layers use ReLU, the output layer is linear.
+// Single-example API: Forward caches activations, Backward accumulates
+// weight gradients and returns the input gradient, Step applies SGD.
+#ifndef TAXOREC_NN_MLP_H_
+#define TAXOREC_NN_MLP_H_
+
+#include <vector>
+
+#include "math/matrix.h"
+#include "math/rng.h"
+
+namespace taxorec::nn {
+
+class Mlp {
+ public:
+  /// dims = {in, hidden..., out}. Weights ~ N(0, sqrt(2/fan_in)).
+  Mlp(std::vector<size_t> dims, Rng* rng);
+
+  size_t input_dim() const { return dims_.front(); }
+  size_t output_dim() const { return dims_.back(); }
+
+  /// Computes the output for x; caches activations for Backward.
+  std::vector<double> Forward(std::span<const double> x);
+
+  /// Backpropagates grad_out (w.r.t. the last Forward output); accumulates
+  /// parameter gradients and returns dLoss/dx.
+  std::vector<double> Backward(std::span<const double> grad_out);
+
+  /// SGD update with the accumulated gradients, then clears them.
+  void Step(double lr);
+
+  /// Clears accumulated parameter gradients.
+  void ZeroGrad();
+
+ private:
+  std::vector<size_t> dims_;
+  std::vector<Matrix> weights_;      // layer l: dims[l+1] × dims[l]
+  std::vector<std::vector<double>> biases_;
+  std::vector<Matrix> grad_weights_;
+  std::vector<std::vector<double>> grad_biases_;
+  // Cached activations from the last Forward: act_[0] = input,
+  // act_[l+1] = post-activation output of layer l; pre_[l] = pre-activation.
+  std::vector<std::vector<double>> act_;
+  std::vector<std::vector<double>> pre_;
+};
+
+}  // namespace taxorec::nn
+
+#endif  // TAXOREC_NN_MLP_H_

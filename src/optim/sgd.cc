@@ -1,0 +1,23 @@
+#include "optim/sgd.h"
+
+#include "math/vec_ops.h"
+
+namespace taxorec::optim {
+
+void SgdUpdate(Matrix* params, const Matrix& grads, double lr) {
+  params->Axpy(-lr, grads);
+}
+
+void ClipRowNorms(Matrix* grads, double max_norm) {
+  for (size_t r = 0; r < grads->rows(); ++r) {
+    vec::ClipNorm(grads->row(r), max_norm);
+  }
+}
+
+void ProjectRowsToBall(Matrix* params, double max_norm) {
+  for (size_t r = 0; r < params->rows(); ++r) {
+    vec::ClipNorm(params->row(r), max_norm);
+  }
+}
+
+}  // namespace taxorec::optim

@@ -1,0 +1,21 @@
+// Euclidean SGD update helpers for embedding tables.
+#ifndef TAXOREC_OPTIM_SGD_H_
+#define TAXOREC_OPTIM_SGD_H_
+
+#include "math/matrix.h"
+
+namespace taxorec::optim {
+
+/// params -= lr * grads (same shape).
+void SgdUpdate(Matrix* params, const Matrix& grads, double lr);
+
+/// Rescales each row of grads whose norm exceeds max_norm (gradient clip).
+void ClipRowNorms(Matrix* grads, double max_norm);
+
+/// Projects every row of params into the Euclidean ball of radius
+/// max_norm (CML's unit-ball constraint).
+void ProjectRowsToBall(Matrix* params, double max_norm);
+
+}  // namespace taxorec::optim
+
+#endif  // TAXOREC_OPTIM_SGD_H_

@@ -1,0 +1,18 @@
+// Small descriptive-statistics helpers used by the experiment harness.
+#ifndef TAXOREC_STATS_DESCRIPTIVE_H_
+#define TAXOREC_STATS_DESCRIPTIVE_H_
+
+#include <vector>
+
+namespace taxorec::stats {
+
+double Mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for n < 2.
+double StdDev(const std::vector<double>& xs);
+
+double Median(std::vector<double> xs);
+
+}  // namespace taxorec::stats
+
+#endif  // TAXOREC_STATS_DESCRIPTIVE_H_

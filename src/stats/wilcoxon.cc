@@ -1,0 +1,82 @@
+#include "stats/wilcoxon.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace taxorec::stats {
+namespace {
+
+// Standard normal CDF via erfc.
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+}  // namespace
+
+WilcoxonResult WilcoxonSignedRank(const std::vector<double>& x,
+                                  const std::vector<double>& y) {
+  TAXOREC_CHECK(x.size() == y.size());
+  WilcoxonResult r;
+
+  struct Diff {
+    double abs;
+    int sign;
+  };
+  std::vector<Diff> diffs;
+  diffs.reserve(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    if (d == 0.0) continue;
+    diffs.push_back({std::abs(d), d > 0.0 ? 1 : -1});
+  }
+  r.n_nonzero = diffs.size();
+  if (diffs.empty()) return r;
+
+  std::sort(diffs.begin(), diffs.end(),
+            [](const Diff& a, const Diff& b) { return a.abs < b.abs; });
+
+  // Average ranks for ties; accumulate the tie-correction term.
+  const size_t n = diffs.size();
+  double tie_correction = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j < n && diffs[j].abs == diffs[i].abs) ++j;
+    const double avg_rank =
+        0.5 * (static_cast<double>(i + 1) + static_cast<double>(j));
+    const double t = static_cast<double>(j - i);
+    if (t > 1.0) tie_correction += t * t * t - t;
+    for (size_t k = i; k < j; ++k) {
+      if (diffs[k].sign > 0) {
+        r.w_plus += avg_rank;
+      } else {
+        r.w_minus += avg_rank;
+      }
+    }
+    i = j;
+  }
+
+  const double nn = static_cast<double>(n);
+  const double mean = nn * (nn + 1.0) / 4.0;
+  double var = nn * (nn + 1.0) * (2.0 * nn + 1.0) / 24.0 -
+               tie_correction / 48.0;
+  if (var <= 0.0) var = 1e-12;
+  // Continuity-corrected z for W+ (direction: positive z means x > y).
+  const double w = r.w_plus;
+  double z = w - mean;
+  if (z > 0.5) {
+    z -= 0.5;
+  } else if (z < -0.5) {
+    z += 0.5;
+  } else {
+    z = 0.0;
+  }
+  z /= std::sqrt(var);
+  r.z = z;
+  r.p_greater = 1.0 - NormalCdf(z);
+  r.p_two_sided = 2.0 * std::min(NormalCdf(z), 1.0 - NormalCdf(z));
+  if (r.p_two_sided > 1.0) r.p_two_sided = 1.0;
+  return r;
+}
+
+}  // namespace taxorec::stats

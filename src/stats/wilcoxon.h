@@ -1,0 +1,30 @@
+// Wilcoxon signed-rank test (paired), used by Table II's significance
+// stars: the paper marks TaxoRec improvements significant at the 5% level
+// under this test over paired per-user metrics.
+#ifndef TAXOREC_STATS_WILCOXON_H_
+#define TAXOREC_STATS_WILCOXON_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace taxorec::stats {
+
+struct WilcoxonResult {
+  double w_plus = 0.0;   // sum of ranks of positive differences
+  double w_minus = 0.0;  // sum of ranks of negative differences
+  double z = 0.0;        // normal approximation statistic
+  double p_two_sided = 1.0;
+  /// One-sided p-value for the alternative "x > y".
+  double p_greater = 1.0;
+  size_t n_nonzero = 0;  // pairs remaining after dropping zero differences
+};
+
+/// Paired test over aligned samples x, y. Zero differences are dropped;
+/// tied |differences| receive average ranks; the normal approximation
+/// includes the tie correction. Sizes must match.
+WilcoxonResult WilcoxonSignedRank(const std::vector<double>& x,
+                                  const std::vector<double>& y);
+
+}  // namespace taxorec::stats
+
+#endif  // TAXOREC_STATS_WILCOXON_H_

@@ -1,0 +1,85 @@
+#include "taxonomy/export.h"
+
+#include <sstream>
+
+namespace taxorec {
+namespace {
+
+std::string TagLabel(uint32_t tag, const std::vector<std::string>& names) {
+  if (tag < names.size() && !names[tag].empty()) return names[tag];
+  return "#" + std::to_string(tag);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void JsonNode(const Taxonomy& taxo, int32_t id,
+              const std::vector<std::string>& names, std::ostringstream* out) {
+  *out << "{\"id\":" << id << ",\"retained\":[";
+  const auto retained = taxo.RetainedTags(id);
+  for (size_t i = 0; i < retained.size(); ++i) {
+    if (i > 0) *out << ',';
+    *out << '"' << JsonEscape(TagLabel(retained[i], names)) << '"';
+  }
+  *out << "],\"children\":[";
+  const auto& node = taxo.node(id);
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (i > 0) *out << ',';
+    JsonNode(taxo, node.children[i], names, out);
+  }
+  *out << "]}";
+}
+
+}  // namespace
+
+std::string TaxonomyToDot(const Taxonomy& taxo,
+                          const std::vector<std::string>& tag_names,
+                          size_t max_tags_per_node) {
+  std::ostringstream out;
+  out << "digraph taxonomy {\n  node [shape=box];\n";
+  for (size_t id = 0; id < taxo.num_nodes(); ++id) {
+    const auto retained = taxo.RetainedTags(static_cast<int32_t>(id));
+    out << "  n" << id << " [label=\"";
+    if (id == 0) out << "root\\n";
+    for (size_t i = 0; i < retained.size() && i < max_tags_per_node; ++i) {
+      if (i > 0) out << "\\n";
+      out << TagLabel(retained[i], tag_names);
+    }
+    if (retained.size() > max_tags_per_node) out << "\\n...";
+    out << "\"];\n";
+  }
+  for (size_t id = 0; id < taxo.num_nodes(); ++id) {
+    for (int32_t c : taxo.node(static_cast<int32_t>(id)).children) {
+      out << "  n" << id << " -> n" << c << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string TaxonomyToJson(const Taxonomy& taxo,
+                           const std::vector<std::string>& tag_names) {
+  std::ostringstream out;
+  JsonNode(taxo, taxo.root(), tag_names, &out);
+  return out.str();
+}
+
+}  // namespace taxorec

@@ -1,0 +1,25 @@
+// Taxonomy serialization for visualization and downstream pipelines.
+#ifndef TAXOREC_TAXONOMY_EXPORT_H_
+#define TAXOREC_TAXONOMY_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "taxonomy/tree.h"
+
+namespace taxorec {
+
+/// Graphviz DOT rendering: one box per node labeled with its retained tags
+/// (up to `max_tags_per_node`), edges parent → child.
+std::string TaxonomyToDot(const Taxonomy& taxo,
+                          const std::vector<std::string>& tag_names,
+                          size_t max_tags_per_node = 6);
+
+/// JSON rendering: nested {"retained": [...], "children": [...]} objects,
+/// tags as names when available, "#id" otherwise. Stable field order.
+std::string TaxonomyToJson(const Taxonomy& taxo,
+                           const std::vector<std::string>& tag_names);
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_TAXONOMY_EXPORT_H_

@@ -1,0 +1,121 @@
+#include "taxonomy/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/check.h"
+
+namespace taxorec {
+namespace {
+
+// Ground-truth top-level root of each tag (follows parents to -1).
+std::vector<uint32_t> TopRoots(const std::vector<int32_t>& parent) {
+  std::vector<uint32_t> root(parent.size());
+  for (size_t t = 0; t < parent.size(); ++t) {
+    uint32_t cur = static_cast<uint32_t>(t);
+    while (parent[cur] >= 0) cur = static_cast<uint32_t>(parent[cur]);
+    root[t] = cur;
+  }
+  return root;
+}
+
+// All ground-truth (ancestor, descendant) pairs.
+std::set<std::pair<uint32_t, uint32_t>> TrueAncestors(
+    const std::vector<int32_t>& parent) {
+  std::set<std::pair<uint32_t, uint32_t>> out;
+  for (size_t t = 0; t < parent.size(); ++t) {
+    for (int32_t a = parent[t]; a >= 0; a = parent[a]) {
+      out.emplace(static_cast<uint32_t>(a), static_cast<uint32_t>(t));
+    }
+  }
+  return out;
+}
+
+double SafeDiv(double num, double den) { return den > 0.0 ? num / den : 0.0; }
+
+double F1(double p, double r) { return SafeDiv(2.0 * p * r, p + r); }
+
+}  // namespace
+
+TaxonomyQuality EvaluateTaxonomy(const Taxonomy& taxo,
+                                 const std::vector<int32_t>& true_parent) {
+  TaxonomyQuality q;
+  if (true_parent.empty()) return q;
+  const auto roots = TopRoots(true_parent);
+
+  // --- Depth-1 cluster purity and pairwise same-subtree P/R/F1. ---
+  const auto& root_node = taxo.node(taxo.root());
+  std::vector<std::vector<uint32_t>> depth1;
+  for (int32_t c : root_node.children) {
+    depth1.push_back(taxo.node(c).member_tags);
+  }
+  if (!depth1.empty()) {
+    double covered = 0.0, pure = 0.0;
+    for (const auto& cluster : depth1) {
+      std::map<uint32_t, size_t> counts;
+      for (uint32_t t : cluster) ++counts[roots[t]];
+      size_t best = 0;
+      for (const auto& [label, n] : counts) best = std::max(best, n);
+      covered += static_cast<double>(cluster.size());
+      pure += static_cast<double>(best);
+    }
+    q.top_level_purity = SafeDiv(pure, covered);
+
+    // Pair counting over tags that appear in a depth-1 cluster.
+    std::vector<int> cluster_of(true_parent.size(), -1);
+    for (size_t k = 0; k < depth1.size(); ++k) {
+      for (uint32_t t : depth1[k]) cluster_of[t] = static_cast<int>(k);
+    }
+    double tp = 0.0, fp = 0.0, fn = 0.0;
+    const size_t S = true_parent.size();
+    for (size_t i = 0; i < S; ++i) {
+      if (cluster_of[i] < 0) continue;
+      for (size_t j = i + 1; j < S; ++j) {
+        if (cluster_of[j] < 0) continue;
+        const bool same_pred = cluster_of[i] == cluster_of[j];
+        const bool same_true = roots[i] == roots[j];
+        if (same_pred && same_true) tp += 1.0;
+        if (same_pred && !same_true) fp += 1.0;
+        if (!same_pred && same_true) fn += 1.0;
+      }
+    }
+    q.pair_precision = SafeDiv(tp, tp + fp);
+    q.pair_recall = SafeDiv(tp, tp + fn);
+    q.pair_f1 = F1(q.pair_precision, q.pair_recall);
+  }
+
+  // --- Ancestor-relation P/R/F1. ---
+  // Predicted: general tag `a` retained at node n  →  ancestor of every tag
+  // appearing in a strict descendant of n.
+  std::set<std::pair<uint32_t, uint32_t>> predicted;
+  for (size_t id = 0; id < taxo.num_nodes(); ++id) {
+    const auto retained = taxo.RetainedTags(static_cast<int32_t>(id));
+    if (retained.empty()) continue;
+    // Collect descendant members (all member tags of children subtrees).
+    std::set<uint32_t> desc;
+    std::vector<int32_t> stack(taxo.node(static_cast<int32_t>(id)).children);
+    while (!stack.empty()) {
+      const int32_t c = stack.back();
+      stack.pop_back();
+      for (uint32_t t : taxo.node(c).member_tags) desc.insert(t);
+      for (int32_t cc : taxo.node(c).children) stack.push_back(cc);
+    }
+    for (uint32_t a : retained) {
+      for (uint32_t t : desc) {
+        if (a != t) predicted.emplace(a, t);
+      }
+    }
+  }
+  const auto truth = TrueAncestors(true_parent);
+  double tp = 0.0;
+  for (const auto& pr : predicted) {
+    if (truth.count(pr)) tp += 1.0;
+  }
+  q.ancestor_precision = SafeDiv(tp, static_cast<double>(predicted.size()));
+  q.ancestor_recall = SafeDiv(tp, static_cast<double>(truth.size()));
+  q.ancestor_f1 = F1(q.ancestor_precision, q.ancestor_recall);
+  return q;
+}
+
+}  // namespace taxorec

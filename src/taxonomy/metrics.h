@@ -1,0 +1,37 @@
+// Quality metrics for a constructed taxonomy against a planted ground
+// truth (the quantitative counterpart of the paper's Fig. 6 case study,
+// possible here because the synthetic generator knows the true tree).
+#ifndef TAXOREC_TAXONOMY_METRICS_H_
+#define TAXOREC_TAXONOMY_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "taxonomy/tree.h"
+
+namespace taxorec {
+
+struct TaxonomyQuality {
+  /// Fraction of depth-1 cluster mass whose ground-truth top-level subtree
+  /// matches the cluster majority (1.0 = perfect split).
+  double top_level_purity = 0.0;
+  /// Precision/recall/F1 of "same top-level subtree" pairs: a tag pair is
+  /// predicted-positive when both tags land in the same depth-1 cluster.
+  double pair_precision = 0.0;
+  double pair_recall = 0.0;
+  double pair_f1 = 0.0;
+  /// Precision/recall/F1 of predicted ancestor relations: (a, t) is
+  /// predicted when a is retained at a node and t is a member of one of
+  /// that node's strict descendants; ground truth is tree ancestry.
+  double ancestor_precision = 0.0;
+  double ancestor_recall = 0.0;
+  double ancestor_f1 = 0.0;
+};
+
+/// Evaluates `taxo` against the planted parent array (-1 = top level).
+TaxonomyQuality EvaluateTaxonomy(const Taxonomy& taxo,
+                                 const std::vector<int32_t>& true_parent);
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_TAXONOMY_METRICS_H_

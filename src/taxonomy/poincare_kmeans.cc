@@ -1,0 +1,157 @@
+#include "taxonomy/poincare_kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "hyperbolic/klein.h"
+#include "hyperbolic/maps.h"
+#include "hyperbolic/poincare.h"
+#include "math/vec_ops.h"
+
+namespace taxorec {
+namespace {
+
+// Centroid of the member points in Klein coordinates (Einstein midpoint),
+// mapped back to the ball.
+void KleinCentroid(const Matrix& points, const std::vector<uint32_t>& subset,
+                   const std::vector<int>& assignment, int k,
+                   vec::Span centroid) {
+  const size_t d = points.cols();
+  std::vector<double> klein(d);
+  std::vector<double> acc(d, 0.0);
+  double denom = 0.0;
+  for (size_t i = 0; i < subset.size(); ++i) {
+    if (assignment[i] != k) continue;
+    hyper::PoincareToKlein(points.row(subset[i]), vec::Span(klein));
+    const double g = klein::LorentzFactor(vec::ConstSpan(klein));
+    vec::Axpy(g, vec::ConstSpan(klein), vec::Span(acc));
+    denom += g;
+  }
+  if (denom <= 0.0) {
+    vec::Zero(centroid);
+    return;
+  }
+  vec::Scale(vec::Span(acc), 1.0 / denom);
+  hyper::KleinToPoincare(vec::ConstSpan(acc), centroid);
+  poincare::ProjectToBall(centroid);
+}
+
+// Centroid via Euclidean mean in the tangent space at the origin:
+// log_0(p) = 2 artanh(||p||) p/||p||, exp_0(v) = tanh(||v||/2) v/||v||.
+void TangentCentroid(const Matrix& points, const std::vector<uint32_t>& subset,
+                     const std::vector<int>& assignment, int k,
+                     vec::Span centroid) {
+  const size_t d = points.cols();
+  std::vector<double> acc(d, 0.0);
+  double count = 0.0;
+  for (size_t i = 0; i < subset.size(); ++i) {
+    if (assignment[i] != k) continue;
+    const auto p = points.row(subset[i]);
+    const double n = vec::Norm(p);
+    if (n > 1e-15) {
+      const double clipped = n > 1.0 - 1e-10 ? 1.0 - 1e-10 : n;
+      vec::Axpy(2.0 * std::atanh(clipped) / n, p, vec::Span(acc));
+    }
+    count += 1.0;
+  }
+  if (count <= 0.0) {
+    vec::Zero(centroid);
+    return;
+  }
+  vec::Scale(vec::Span(acc), 1.0 / count);
+  const double vn = vec::Norm(vec::ConstSpan(acc));
+  if (vn < 1e-15) {
+    vec::Zero(centroid);
+    return;
+  }
+  vec::ScaleTo(vec::ConstSpan(acc), std::tanh(vn / 2.0) / vn, centroid);
+  poincare::ProjectToBall(centroid);
+}
+
+}  // namespace
+
+KMeansResult PoincareKMeans(const Matrix& points,
+                            const std::vector<uint32_t>& subset, int K,
+                            Rng* rng, const KMeansOptions& opts) {
+  TAXOREC_CHECK(K >= 1);
+  TAXOREC_CHECK(subset.size() >= static_cast<size_t>(K));
+  const size_t n = subset.size();
+  const size_t d = points.cols();
+
+  KMeansResult result;
+  result.centroids = Matrix(K, d);
+  result.assignment.assign(n, 0);
+
+  // K-means++ seeding under the Poincaré metric.
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  {
+    const size_t first = rng->Uniform(n);
+    vec::Copy(points.row(subset[first]), result.centroids.row(0));
+    for (int k = 1; k < K; ++k) {
+      std::vector<double> weights(n);
+      for (size_t i = 0; i < n; ++i) {
+        const double dd = poincare::Distance(points.row(subset[i]),
+                                             result.centroids.row(k - 1));
+        if (dd < min_dist[i]) min_dist[i] = dd;
+        weights[i] = min_dist[i] * min_dist[i] + 1e-12;
+      }
+      const size_t pick = rng->Categorical(weights);
+      vec::Copy(points.row(subset[pick]), result.centroids.row(k));
+    }
+  }
+
+  std::vector<int> prev(n, -1);
+  for (int iter = 0; iter < opts.max_iters; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_k = 0;
+      for (int k = 0; k < K; ++k) {
+        const double dd =
+            poincare::Distance(points.row(subset[i]), result.centroids.row(k));
+        if (dd < best) {
+          best = dd;
+          best_k = k;
+        }
+      }
+      result.assignment[i] = best_k;
+    }
+    if (result.assignment == prev) break;
+    prev = result.assignment;
+
+    // Update step.
+    for (int k = 0; k < K; ++k) {
+      if (opts.centroid == CentroidMethod::kKleinMidpoint) {
+        KleinCentroid(points, subset, result.assignment, k,
+                      result.centroids.row(k));
+      } else {
+        TangentCentroid(points, subset, result.assignment, k,
+                        result.centroids.row(k));
+      }
+    }
+
+    // Reseed empty clusters with the globally farthest point.
+    std::vector<size_t> counts(K, 0);
+    for (int a : result.assignment) ++counts[a];
+    for (int k = 0; k < K; ++k) {
+      if (counts[k] > 0) continue;
+      double worst = -1.0;
+      size_t worst_i = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const double dd = poincare::Distance(
+            points.row(subset[i]), result.centroids.row(result.assignment[i]));
+        if (dd > worst) {
+          worst = dd;
+          worst_i = i;
+        }
+      }
+      vec::Copy(points.row(subset[worst_i]), result.centroids.row(k));
+      result.assignment[worst_i] = k;
+    }
+  }
+  return result;
+}
+
+}  // namespace taxorec

@@ -1,0 +1,44 @@
+// K-means clustering in the Poincaré ball (the Poincaré-KMEANS step of
+// Algorithm 1). Assignment uses the Poincaré distance; centroid updates use
+// the Einstein midpoint computed in the Klein model (the standard fast
+// approximation of the Fréchet mean), with a tangent-space-mean alternative
+// kept for the design-ablation bench.
+#ifndef TAXOREC_TAXONOMY_POINCARE_KMEANS_H_
+#define TAXOREC_TAXONOMY_POINCARE_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "math/matrix.h"
+#include "math/rng.h"
+
+namespace taxorec {
+
+enum class CentroidMethod {
+  kKleinMidpoint,  // map to Klein, Lorentz-factor-weighted mean, map back
+  kTangentMean,    // log-map at origin, Euclidean mean, exp-map back
+};
+
+struct KMeansOptions {
+  int max_iters = 50;
+  CentroidMethod centroid = CentroidMethod::kKleinMidpoint;
+};
+
+struct KMeansResult {
+  /// assignment[i] in [0, K) for subset[i].
+  std::vector<int> assignment;
+  /// K × d centroids (Poincaré points).
+  Matrix centroids;
+  int iterations = 0;
+};
+
+/// Clusters points.row(t) for t in subset into K groups. K-means++ seeding
+/// under the Poincaré metric; empty clusters are reseeded with the point
+/// farthest from its centroid. Requires subset.size() >= K >= 1.
+KMeansResult PoincareKMeans(const Matrix& points,
+                            const std::vector<uint32_t>& subset, int K,
+                            Rng* rng, const KMeansOptions& opts = {});
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_TAXONOMY_POINCARE_KMEANS_H_

@@ -1,0 +1,83 @@
+#include "taxonomy/regularizer.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "hyperbolic/poincare.h"
+#include "math/vec_ops.h"
+
+namespace taxorec {
+namespace {
+
+// Score-weighted Euclidean center of the node's member tags (a convex
+// combination of ball points stays inside the ball).
+bool NodeCenter(const Taxonomy::Node& node, const Matrix& tags,
+                vec::Span center) {
+  vec::Zero(center);
+  double total = 0.0;
+  for (size_t i = 0; i < node.member_tags.size(); ++i) {
+    const double w = node.tag_scores[i];
+    if (w <= 0.0) continue;
+    vec::Axpy(w, tags.row(node.member_tags[i]), center);
+    total += w;
+  }
+  if (total <= 0.0) return false;
+  vec::Scale(center, 1.0 / total);
+  return true;
+}
+
+}  // namespace
+
+double TaxonomyRegLoss(const Taxonomy& taxo, const Matrix& tags_poincare) {
+  double loss = 0.0;
+  std::vector<double> center(tags_poincare.cols());
+  for (const auto& node : taxo.nodes()) {
+    if (node.member_tags.size() < 2) continue;
+    if (!NodeCenter(node, tags_poincare, vec::Span(center))) continue;
+    for (uint32_t t : node.member_tags) {
+      loss += poincare::Distance(tags_poincare.row(t), vec::ConstSpan(center));
+    }
+  }
+  return loss;
+}
+
+double TaxonomyRegLossAndGrad(const Taxonomy& taxo,
+                              const Matrix& tags_poincare, double scale,
+                              Matrix* grad, const RegularizerOptions& opts) {
+  TAXOREC_CHECK(grad->rows() == tags_poincare.rows() &&
+                grad->cols() == tags_poincare.cols());
+  double loss = 0.0;
+  const size_t d = tags_poincare.cols();
+  std::vector<double> center(d);
+  std::vector<double> grad_center(d);
+  for (const auto& node : taxo.nodes()) {
+    if (node.member_tags.size() < 2) continue;
+    if (!NodeCenter(node, tags_poincare, vec::Span(center))) continue;
+    double weight_total = 0.0;
+    for (double w : node.tag_scores) weight_total += w > 0.0 ? w : 0.0;
+    vec::Zero(vec::Span(grad_center));
+    for (uint32_t t : node.member_tags) {
+      loss +=
+          poincare::Distance(tags_poincare.row(t), vec::ConstSpan(center));
+      poincare::DistanceGradX(tags_poincare.row(t), vec::ConstSpan(center),
+                              scale, grad->row(t));
+      if (!opts.center_stop_gradient) {
+        // d d(t, c)/dc accumulated once per member, then distributed
+        // through c = sum_j w_j T_j / sum w.
+        poincare::DistanceGradX(vec::ConstSpan(center), tags_poincare.row(t),
+                                scale, vec::Span(grad_center));
+      }
+    }
+    if (!opts.center_stop_gradient && weight_total > 0.0) {
+      for (size_t i = 0; i < node.member_tags.size(); ++i) {
+        const double w = node.tag_scores[i];
+        if (w <= 0.0) continue;
+        vec::Axpy(w / weight_total, vec::ConstSpan(grad_center),
+                  grad->row(node.member_tags[i]));
+      }
+    }
+  }
+  return loss;
+}
+
+}  // namespace taxorec

@@ -1,0 +1,250 @@
+// Tests for the scalar autodiff tape, plus tape-vs-closed-form cross
+// verification of the hyperbolic gradients (independent of the
+// finite-difference checks in hyperbolic_test / nn_gradcheck_test).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "autodiff/tape.h"
+#include "hyperbolic/lorentz.h"
+#include "hyperbolic/maps.h"
+#include "hyperbolic/poincare.h"
+#include "math/csr.h"
+#include "math/rng.h"
+#include "math/vec_ops.h"
+#include "nn/midpoint.h"
+
+namespace taxorec {
+namespace {
+
+using autodiff::Tape;
+using autodiff::VarId;
+
+TEST(TapeTest, BasicArithmetic) {
+  Tape tape;
+  const VarId x = tape.Variable(3.0);
+  const VarId y = tape.Variable(4.0);
+  // f = (x*y + x) / y - 2  →  df/dx = (y+1)/y, df/dy = -x/y^2.
+  const VarId f = tape.AddConst(
+      tape.Div(tape.Add(tape.Mul(x, y), x), y), -2.0);
+  EXPECT_NEAR(tape.value(f), (12.0 + 3.0) / 4.0 - 2.0, 1e-12);
+  const auto g = tape.Gradient(f);
+  EXPECT_NEAR(g[x], (4.0 + 1.0) / 4.0, 1e-12);
+  EXPECT_NEAR(g[y], -3.0 / 16.0, 1e-12);
+}
+
+TEST(TapeTest, TranscendentalChain) {
+  Tape tape;
+  const VarId x = tape.Variable(0.7);
+  // f = tanh(exp(x) * log(x)) — compare against finite differences.
+  const VarId f = tape.Tanh(tape.Mul(tape.Exp(x), tape.Log(x)));
+  const auto g = tape.Gradient(f);
+  const double eps = 1e-7;
+  auto eval = [](double v) {
+    return std::tanh(std::exp(v) * std::log(v));
+  };
+  EXPECT_NEAR(g[x], (eval(0.7 + eps) - eval(0.7 - eps)) / (2 * eps), 1e-6);
+}
+
+TEST(TapeTest, HyperbolicFunctions) {
+  Tape tape;
+  const VarId x = tape.Variable(1.5);
+  const auto gc = tape.Gradient(tape.Cosh(x));
+  EXPECT_NEAR(gc[x], std::sinh(1.5), 1e-12);
+  const auto gs = tape.Gradient(tape.Sinh(x));
+  EXPECT_NEAR(gs[x], std::cosh(1.5), 1e-12);
+  const auto ga = tape.Gradient(tape.Acosh(x));
+  EXPECT_NEAR(ga[x], 1.0 / std::sqrt(1.5 * 1.5 - 1.0), 1e-12);
+  Tape t2;
+  const VarId y = t2.Variable(0.4);
+  const auto gt = t2.Gradient(t2.Atanh(y));
+  EXPECT_NEAR(gt[y], 1.0 / (1.0 - 0.16), 1e-12);
+}
+
+TEST(TapeTest, ReluSubgradient) {
+  Tape tape;
+  const VarId x = tape.Variable(2.0);
+  const VarId y = tape.Variable(-1.0);
+  const VarId f = tape.Add(tape.Relu(x), tape.Relu(y));
+  const auto g = tape.Gradient(f);
+  EXPECT_DOUBLE_EQ(g[x], 1.0);
+  EXPECT_DOUBLE_EQ(g[y], 0.0);
+}
+
+TEST(TapeTest, FanOutAccumulates) {
+  Tape tape;
+  const VarId x = tape.Variable(2.0);
+  // f = x*x + 3x uses x three times.
+  const VarId f = tape.Add(tape.Mul(x, x), tape.MulConst(x, 3.0));
+  const auto g = tape.Gradient(f);
+  EXPECT_DOUBLE_EQ(g[x], 2.0 * 2.0 + 3.0);
+}
+
+// --- Cross-verification of the closed-form hyperbolic gradients. ---
+
+std::vector<VarId> MakeVars(Tape* tape, vec::ConstSpan values) {
+  std::vector<VarId> out;
+  out.reserve(values.size());
+  for (double v : values) out.push_back(tape->Variable(v));
+  return out;
+}
+
+// Poincaré distance rebuilt from tape primitives.
+VarId TapePoincareDistance(Tape* tape, const std::vector<VarId>& x,
+                           const std::vector<VarId>& y) {
+  const VarId sq = tape->SqDist(x, y);
+  const VarId ax = tape->AddConst(tape->Neg(tape->SqNorm(x)), 1.0);
+  const VarId ay = tape->AddConst(tape->Neg(tape->SqNorm(y)), 1.0);
+  const VarId arg = tape->AddConst(
+      tape->Div(tape->MulConst(sq, 2.0), tape->Mul(ax, ay)), 1.0);
+  return tape->Acosh(arg);
+}
+
+TEST(TapeCrossCheck, PoincareDistanceGrad) {
+  Rng rng(71);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> xv(5), yv(5);
+    poincare::RandomPoint(&rng, 0.9, vec::Span(xv));
+    poincare::RandomPoint(&rng, 0.9, vec::Span(yv));
+    if (vec::SqDist(xv, yv) < 1e-8) continue;
+    Tape tape;
+    const auto x = MakeVars(&tape, xv);
+    const auto y = MakeVars(&tape, yv);
+    const VarId d = TapePoincareDistance(&tape, x, y);
+    EXPECT_NEAR(tape.value(d), poincare::Distance(xv, yv), 1e-10);
+    const auto g = tape.Gradient(d);
+    std::vector<double> closed(5, 0.0);
+    poincare::DistanceGradX(xv, yv, 1.0, vec::Span(closed));
+    for (size_t i = 0; i < 5; ++i) {
+      EXPECT_NEAR(g[x[i]], closed[i], 1e-8 * std::max(1.0, std::abs(closed[i])));
+    }
+  }
+}
+
+TEST(TapeCrossCheck, LorentzSqDistanceGrad) {
+  Rng rng(72);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> xv(6), yv(6);
+    lorentz::RandomPoint(&rng, 0.8, vec::Span(xv));
+    lorentz::RandomPoint(&rng, 0.8, vec::Span(yv));
+    Tape tape;
+    const auto x = MakeVars(&tape, xv);
+    const auto y = MakeVars(&tape, yv);
+    // beta = -<x,y>_L = x0 y0 - sum_{i>=1} xi yi.
+    VarId beta = tape.Mul(x[0], y[0]);
+    for (size_t i = 1; i < 6; ++i) {
+      beta = tape.Sub(beta, tape.Mul(x[i], y[i]));
+    }
+    const VarId d = tape.Acosh(beta);
+    const VarId d2 = tape.Mul(d, d);
+    EXPECT_NEAR(tape.value(d2), lorentz::SqDistance(xv, yv), 1e-9);
+    const auto g = tape.Gradient(d2);
+    std::vector<double> gx(6, 0.0), gy(6, 0.0);
+    lorentz::SqDistanceGrad(xv, yv, 1.0, vec::Span(gx), vec::Span(gy));
+    for (size_t i = 0; i < 6; ++i) {
+      EXPECT_NEAR(g[x[i]], gx[i], 1e-7 * std::max(1.0, std::abs(gx[i])));
+      EXPECT_NEAR(g[y[i]], gy[i], 1e-7 * std::max(1.0, std::abs(gy[i])));
+    }
+  }
+}
+
+TEST(TapeCrossCheck, KleinToLorentzGrad) {
+  Rng rng(73);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> kv(4), upstream(5);
+    poincare::RandomPoint(&rng, 0.85, vec::Span(kv));
+    for (auto& u : upstream) u = rng.NextGaussian();
+    Tape tape;
+    const auto k = MakeVars(&tape, kv);
+    // gamma = 1/sqrt(1-|k|^2); out = (gamma, gamma*k); f = <upstream, out>.
+    const VarId gamma = tape.Div(
+        tape.Variable(1.0),
+        tape.Sqrt(tape.AddConst(tape.Neg(tape.SqNorm(k)), 1.0)));
+    VarId f = tape.MulConst(gamma, upstream[0]);
+    for (size_t i = 0; i < 4; ++i) {
+      f = tape.Add(f, tape.MulConst(tape.Mul(gamma, k[i]), upstream[i + 1]));
+    }
+    const auto g = tape.Gradient(f);
+    std::vector<double> closed(4, 0.0);
+    hyper::KleinToLorentzGrad(kv, upstream, 1.0, vec::Span(closed));
+    for (size_t i = 0; i < 4; ++i) {
+      EXPECT_NEAR(g[k[i]], closed[i],
+                  1e-8 * std::max(1.0, std::abs(closed[i])));
+    }
+  }
+}
+
+TEST(TapeCrossCheck, TagAggregationBackward) {
+  // Full local-aggregation pipeline for one item, rebuilt on the tape:
+  // Poincaré tags → Klein → weighted Einstein midpoint → Lorentz point,
+  // objective = <upstream, out>. Gradients must match
+  // TagAggregation::Backward w.r.t. the Poincaré coordinates.
+  Rng rng(74);
+  const size_t tags = 3, dt = 3;
+  const CsrMatrix psi = CsrMatrix::FromPairs(1, tags, {{0, 0}, {0, 1}, {0, 2}});
+  Matrix tp(tags, dt);
+  for (size_t t = 0; t < tags; ++t) poincare::RandomPoint(&rng, 0.7, tp.row(t));
+  std::vector<double> upstream(dt + 1);
+  for (auto& u : upstream) u = rng.NextGaussian();
+
+  // Closed-form gradient via the layer.
+  nn::TagAggregation agg(&psi);
+  nn::TagAggContext ctx;
+  Matrix out;
+  agg.Forward(tp, &ctx, &out);
+  Matrix up(1, dt + 1);
+  for (size_t i = 0; i <= dt; ++i) up.at(0, i) = upstream[i];
+  Matrix closed(tags, dt);
+  agg.Backward(tp, ctx, up, &closed);
+
+  // Tape rebuild.
+  Tape tape;
+  std::vector<std::vector<VarId>> p(tags);
+  for (size_t t = 0; t < tags; ++t) p[t] = MakeVars(&tape, tp.row(t));
+  // Poincaré → Klein: k = 2p/(1+|p|^2).
+  std::vector<std::vector<VarId>> k(tags);
+  std::vector<VarId> gamma(tags);
+  for (size_t t = 0; t < tags; ++t) {
+    const VarId den = tape.AddConst(tape.SqNorm(p[t]), 1.0);
+    for (size_t i = 0; i < dt; ++i) {
+      k[t].push_back(tape.Div(tape.MulConst(p[t][i], 2.0), den));
+    }
+    gamma[t] = tape.Div(
+        tape.Variable(1.0),
+        tape.Sqrt(tape.AddConst(tape.Neg(tape.SqNorm(k[t])), 1.0)));
+  }
+  // Midpoint mu = sum gamma_t k_t / sum gamma_t (uniform psi weights).
+  VarId denom = gamma[0];
+  for (size_t t = 1; t < tags; ++t) denom = tape.Add(denom, gamma[t]);
+  std::vector<VarId> mu(dt);
+  for (size_t i = 0; i < dt; ++i) {
+    VarId num = tape.Mul(gamma[0], k[0][i]);
+    for (size_t t = 1; t < tags; ++t) {
+      num = tape.Add(num, tape.Mul(gamma[t], k[t][i]));
+    }
+    mu[i] = tape.Div(num, denom);
+  }
+  // Klein → Lorentz: out = (g, g*mu), g = 1/sqrt(1-|mu|^2).
+  const VarId g_mu = tape.Div(
+      tape.Variable(1.0),
+      tape.Sqrt(tape.AddConst(tape.Neg(tape.SqNorm(mu)), 1.0)));
+  VarId f = tape.MulConst(g_mu, upstream[0]);
+  for (size_t i = 0; i < dt; ++i) {
+    f = tape.Add(f, tape.MulConst(tape.Mul(g_mu, mu[i]), upstream[i + 1]));
+  }
+  // Values must agree with the layer's forward.
+  EXPECT_NEAR(tape.value(g_mu), out.at(0, 0), 1e-9);
+
+  const auto grad = tape.Gradient(f);
+  for (size_t t = 0; t < tags; ++t) {
+    for (size_t i = 0; i < dt; ++i) {
+      EXPECT_NEAR(grad[p[t][i]], closed.at(t, i),
+                  1e-7 * std::max(1.0, std::abs(closed.at(t, i))))
+          << "tag " << t << " coord " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace taxorec

@@ -1,0 +1,192 @@
+// Behavioural tests of baseline-specific mechanics (beyond the generic
+// train/score smoke tests in baselines_test.cc): each model's defining
+// inductive bias must actually be observable.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/bprmf.h"
+#include "baselines/cml.h"
+#include "baselines/cmlf.h"
+#include "baselines/hgcf.h"
+#include "baselines/hyperml.h"
+#include "baselines/lightgcn.h"
+#include "baselines/nmf.h"
+#include "baselines/recommender.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "eval/recommend.h"
+#include "math/vec_ops.h"
+
+namespace taxorec {
+namespace {
+
+ModelConfig TinyConfig() {
+  ModelConfig cfg;
+  cfg.dim = 16;
+  cfg.tag_dim = 4;
+  cfg.epochs = 6;
+  cfg.batches_per_epoch = 4;
+  cfg.batch_size = 128;
+  cfg.gcn_layers = 2;
+  return cfg;
+}
+
+// A split where two user groups interact with two disjoint item blocks —
+// any collaborative model must separate them.
+DataSplit BlockSplit() {
+  DataSplit split;
+  split.num_users = 20;
+  split.num_items = 40;
+  split.num_tags = 2;
+  std::vector<std::pair<uint32_t, uint32_t>> train;
+  std::vector<std::pair<uint32_t, uint32_t>> tags;
+  for (uint32_t v = 0; v < 40; ++v) tags.emplace_back(v, v < 20 ? 0u : 1u);
+  Rng rng(3);
+  for (uint32_t u = 0; u < 20; ++u) {
+    const uint32_t base = u < 10 ? 0 : 20;
+    for (int k = 0; k < 8; ++k) {
+      train.emplace_back(u, base + static_cast<uint32_t>(rng.Uniform(20)));
+    }
+  }
+  split.train = CsrMatrix::FromPairs(20, 40, train);
+  split.item_tags = CsrMatrix::FromPairs(40, 2, tags);
+  split.val_items.resize(20);
+  split.test_items.resize(20);
+  for (uint32_t u = 0; u < 20; ++u) {
+    const uint32_t base = u < 10 ? 0 : 20;
+    // Held-out items from the user's own block, not in training.
+    for (uint32_t v = base; v < base + 20; ++v) {
+      if (!split.train.Contains(u, v)) {
+        split.test_items[u].push_back(v);
+        if (split.test_items[u].size() >= 3) break;
+      }
+    }
+  }
+  return split;
+}
+
+// Mean score a model assigns to in-block vs out-of-block items for user 0.
+std::pair<double, double> BlockScores(const Recommender& model,
+                                      const DataSplit& split) {
+  std::vector<double> scores(split.num_items);
+  model.ScoreItems(0, std::span<double>(scores));
+  double in = 0.0, out = 0.0;
+  for (uint32_t v = 0; v < 20; ++v) in += scores[v];
+  for (uint32_t v = 20; v < 40; ++v) out += scores[v];
+  return {in / 20.0, out / 20.0};
+}
+
+template <typename Model>
+void ExpectSeparatesBlocks(uint64_t seed) {
+  const DataSplit split = BlockSplit();
+  Model model(TinyConfig());
+  Rng rng(seed);
+  model.Fit(split, &rng);
+  const auto [in, out] = BlockScores(model, split);
+  EXPECT_GT(in, out) << model.name()
+                     << " failed to prefer the user's own item block";
+}
+
+TEST(BehaviorTest, BprmfSeparatesBlocks) { ExpectSeparatesBlocks<BprMf>(1); }
+TEST(BehaviorTest, CmlSeparatesBlocks) { ExpectSeparatesBlocks<Cml>(2); }
+TEST(BehaviorTest, HyperMlSeparatesBlocks) {
+  ExpectSeparatesBlocks<HyperMl>(3);
+}
+TEST(BehaviorTest, LightGcnSeparatesBlocks) {
+  ExpectSeparatesBlocks<LightGcn>(4);
+}
+TEST(BehaviorTest, HgcfSeparatesBlocks) { ExpectSeparatesBlocks<Hgcf>(5); }
+TEST(BehaviorTest, CmlfSeparatesBlocks) { ExpectSeparatesBlocks<Cmlf>(6); }
+
+TEST(BehaviorTest, NmfFactorsStayNonNegative) {
+  const DataSplit split = BlockSplit();
+  Nmf model(TinyConfig());
+  Rng rng(7);
+  model.Fit(split, &rng);
+  // Scores are inner products of non-negative factors → non-negative.
+  std::vector<double> scores(split.num_items);
+  for (uint32_t u = 0; u < split.num_users; ++u) {
+    model.ScoreItems(u, std::span<double>(scores));
+    for (double s : scores) EXPECT_GE(s, 0.0);
+  }
+}
+
+TEST(BehaviorTest, CmlEmbeddingsRespectUnitBall) {
+  // CML's defining constraint: all embeddings projected into the unit ball.
+  // Observable through scores: -d^2 >= -(2r)^2 = -4 for any pair.
+  const DataSplit split = BlockSplit();
+  Cml model(TinyConfig());
+  Rng rng(8);
+  model.Fit(split, &rng);
+  std::vector<double> scores(split.num_items);
+  for (uint32_t u = 0; u < split.num_users; ++u) {
+    model.ScoreItems(u, std::span<double>(scores));
+    for (double s : scores) {
+      EXPECT_LE(s, 0.0);
+      EXPECT_GE(s, -4.0 - 1e-9);
+    }
+  }
+}
+
+TEST(BehaviorTest, MetricModelsScoreAsNegativeDistances) {
+  // Metric-learning scores are -d^2: the maximum possible score is 0.
+  const DataSplit split = BlockSplit();
+  for (const char* name : {"CML", "HyperML", "HGCF", "SML", "TransCF"}) {
+    auto model = MakeModel(name, TinyConfig());
+    Rng rng(9);
+    model->Fit(split, &rng);
+    std::vector<double> scores(split.num_items);
+    model->ScoreItems(0, std::span<double>(scores));
+    for (double s : scores) EXPECT_LE(s, 1e-12) << name;
+  }
+}
+
+TEST(BehaviorTest, GraphModelsRankColdUsersByNeighborhood) {
+  // A user whose training items exactly mirror another user's should score
+  // that user's held-out block higher than the other block (2-hop signal).
+  const DataSplit split = BlockSplit();
+  LightGcn model(TinyConfig());
+  Rng rng(10);
+  model.Fit(split, &rng);
+  // User 0 and user 5 are in the same block; their top recommendations
+  // should overlap more than user 0 vs user 15 (other block).
+  const auto top0 = RecommendTopK(model, split, 0, {.k = 10});
+  auto overlap = [&](uint32_t other) {
+    const auto top = RecommendTopK(model, split, other, {.k = 10});
+    int n = 0;
+    for (const auto& a : top0) {
+      for (const auto& b : top) {
+        if (a.item == b.item) ++n;
+      }
+    }
+    return n;
+  };
+  EXPECT_GE(overlap(5), overlap(15));
+}
+
+TEST(BehaviorTest, TagModelGeneralizesThroughTags) {
+  // CMLF sees tag 0 on every block-A item; a block-A user's scores for
+  // *unseen* block-A items should beat block-B items even with few
+  // interactions (tag-mediated generalization).
+  const DataSplit split = BlockSplit();
+  Cmlf model(TinyConfig());
+  Rng rng(11);
+  model.Fit(split, &rng);
+  std::vector<double> scores(split.num_items);
+  model.ScoreItems(2, std::span<double>(scores));
+  double unseen_in = 0.0, out = 0.0;
+  int n_in = 0;
+  for (uint32_t v = 0; v < 20; ++v) {
+    if (!split.train.Contains(2, v)) {
+      unseen_in += scores[v];
+      ++n_in;
+    }
+  }
+  for (uint32_t v = 20; v < 40; ++v) out += scores[v];
+  EXPECT_GT(unseen_in / n_in, out / 20.0);
+}
+
+}  // namespace
+}  // namespace taxorec

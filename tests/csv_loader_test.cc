@@ -1,0 +1,95 @@
+// Tests for the delimited-file loader (external dataset ingestion).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/csv_loader.h"
+
+namespace taxorec {
+namespace {
+
+std::string WriteTemp(const std::string& name, const std::string& contents) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  out << contents;
+  return path;
+}
+
+TEST(CsvLoaderTest, MovieLensStyleRatings) {
+  const std::string ratings = WriteTemp("ratings.csv",
+                                        "userId,movieId,rating,timestamp\n"
+                                        "u1,m1,5.0,100\n"
+                                        "u1,m2,2.0,101\n"
+                                        "u2,m1,4.0,102\n"
+                                        "u2,m3,4.5,103\n");
+  CsvLoadOptions opts;
+  opts.skip_header_lines = 1;
+  opts.rating_threshold = 3.5;  // drops the 2.0 rating
+  auto data = LoadDelimited(ratings, "", opts);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data->num_users, 2u);
+  EXPECT_EQ(data->num_items, 2u);  // m2 filtered out entirely
+  ASSERT_EQ(data->interactions.size(), 3u);
+  EXPECT_EQ(data->interactions[0].user, 0u);   // u1 first seen → 0
+  EXPECT_EQ(data->interactions[0].item, 0u);   // m1 first seen → 0
+  EXPECT_EQ(data->interactions[0].timestamp, 100);
+}
+
+TEST(CsvLoaderTest, TagsFileJoinsOnItems) {
+  const std::string ratings = WriteTemp("r2.csv",
+                                        "u1,m1,5,1\n"
+                                        "u2,m2,5,2\n");
+  const std::string tags = WriteTemp("t2.csv",
+                                     "m1,comedy\n"
+                                     "m1,drama\n"
+                                     "m2,comedy\n"
+                                     "m9,ghost\n");  // m9 never interacted
+  auto data = LoadDelimited(ratings, tags, {});
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data->num_tags, 2u);  // ghost dropped with m9
+  ASSERT_EQ(data->item_tags.size(), 3u);
+  ASSERT_EQ(data->tag_names.size(), 2u);
+  EXPECT_EQ(data->tag_names[0], "comedy");
+  EXPECT_EQ(data->tag_names[1], "drama");
+}
+
+TEST(CsvLoaderTest, ImplicitFeedbackWithoutRatingOrTime) {
+  const std::string path = WriteTemp("r3.tsv",
+                                     "a\tx\n"
+                                     "b\ty\n"
+                                     "a\ty\n");
+  CsvLoadOptions opts;
+  opts.delimiter = '\t';
+  opts.rating_column = -1;
+  opts.timestamp_column = -1;
+  auto data = LoadDelimited(path, "", opts);
+  ASSERT_TRUE(data.ok());
+  ASSERT_EQ(data->interactions.size(), 3u);
+  // File order becomes time.
+  EXPECT_LT(data->interactions[0].timestamp, data->interactions[2].timestamp);
+}
+
+TEST(CsvLoaderTest, ErrorsAreReportedWithLineNumbers) {
+  const std::string path = WriteTemp("bad.csv", "u1,m1,5,1\nu2,m2\n");
+  auto data = LoadDelimited(path, "", {});
+  ASSERT_FALSE(data.ok());
+  EXPECT_NE(data.status().message().find(":2:"), std::string::npos);
+}
+
+TEST(CsvLoaderTest, UnparsableRatingRejected) {
+  const std::string path = WriteTemp("bad2.csv", "u1,m1,abc,1\n");
+  EXPECT_FALSE(LoadDelimited(path, "", {}).ok());
+}
+
+TEST(CsvLoaderTest, MissingFileRejected) {
+  EXPECT_FALSE(LoadDelimited("/nonexistent.csv", "", {}).ok());
+}
+
+TEST(CsvLoaderTest, EmptyFileRejected) {
+  const std::string path = WriteTemp("empty.csv", "");
+  EXPECT_FALSE(LoadDelimited(path, "", {}).ok());
+}
+
+}  // namespace
+}  // namespace taxorec

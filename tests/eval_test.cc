@@ -1,0 +1,141 @@
+// Tests for ranking metrics and the full-ranking evaluator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+
+namespace taxorec {
+namespace {
+
+TEST(MetricsTest, RecallAtK) {
+  const std::vector<uint32_t> ranked = {5, 3, 9, 1, 7};
+  const std::unordered_set<uint32_t> relevant = {3, 7, 100};
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, relevant, 1), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, relevant, 2), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, relevant, 5), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, relevant, 50), 2.0 / 3.0);
+}
+
+TEST(MetricsTest, NdcgAtK) {
+  const std::vector<uint32_t> ranked = {5, 3, 9};
+  const std::unordered_set<uint32_t> relevant = {3};
+  // Hit at rank 2 (0-based 1): DCG = 1/log2(3); IDCG = 1/log2(2) = 1.
+  EXPECT_NEAR(NdcgAtK(ranked, relevant, 10), 1.0 / std::log2(3.0), 1e-12);
+  // Perfect ranking scores 1.
+  const std::vector<uint32_t> perfect = {3, 5, 9};
+  EXPECT_DOUBLE_EQ(NdcgAtK(perfect, relevant, 10), 1.0);
+}
+
+TEST(MetricsTest, NdcgMultipleRelevant) {
+  const std::vector<uint32_t> ranked = {1, 2, 3, 4};
+  const std::unordered_set<uint32_t> relevant = {1, 3};
+  const double dcg = 1.0 / std::log2(2.0) + 1.0 / std::log2(4.0);
+  const double idcg = 1.0 / std::log2(2.0) + 1.0 / std::log2(3.0);
+  EXPECT_NEAR(NdcgAtK(ranked, relevant, 4), dcg / idcg, 1e-12);
+}
+
+TEST(MetricsTest, EmptyRelevantYieldsZero) {
+  const std::vector<uint32_t> ranked = {1, 2};
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, {}, 2), 0.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK(ranked, {}, 2), 0.0);
+}
+
+// An "oracle" recommender that knows the held-out items.
+class OracleModel : public Recommender {
+ public:
+  OracleModel(const DataSplit* split, bool use_test)
+      : split_(split), use_test_(use_test) {}
+  std::string name() const override { return "Oracle"; }
+  void Fit(const DataSplit&, Rng*) override {}
+  void ScoreItems(uint32_t user, std::span<double> out) const override {
+    for (auto& s : out) s = 0.0;
+    const auto& targets =
+        use_test_ ? split_->test_items[user] : split_->val_items[user];
+    for (uint32_t v : targets) out[v] = 1.0;
+  }
+
+ private:
+  const DataSplit* split_;
+  bool use_test_;
+};
+
+DataSplit MakeSplit() {
+  SyntheticConfig cfg;
+  cfg.num_users = 40;
+  cfg.num_items = 60;
+  cfg.num_tags = 12;
+  cfg.seed = 3;
+  return TemporalSplit(GenerateSynthetic(cfg));
+}
+
+TEST(EvaluatorTest, OracleGetsPerfectScores) {
+  const DataSplit split = MakeSplit();
+  OracleModel oracle(&split, /*use_test=*/true);
+  const EvalResult r = EvaluateRanking(oracle, split);
+  ASSERT_GT(r.num_eval_users, 0u);
+  // Recall@20 should be 1 whenever a user has <= 20 test items (always true
+  // at this scale); NDCG likewise.
+  EXPECT_NEAR(r.recall[1], 1.0, 1e-9);
+  EXPECT_NEAR(r.ndcg[1], 1.0, 1e-9);
+}
+
+// Scores train items highest, test items second; anything else zero. With
+// masking, the test items win; without, train items would crowd the top-K.
+class TrainOverTestModel : public Recommender {
+ public:
+  explicit TrainOverTestModel(const DataSplit* split) : split_(split) {}
+  std::string name() const override { return "TrainOverTest"; }
+  void Fit(const DataSplit&, Rng*) override {}
+  void ScoreItems(uint32_t user, std::span<double> out) const override {
+    for (auto& s : out) s = 0.0;
+    for (uint32_t v : split_->test_items[user]) out[v] = 1.0;
+    for (uint32_t v : split_->train.RowCols(user)) out[v] = 2.0;
+  }
+
+ private:
+  const DataSplit* split_;
+};
+
+TEST(EvaluatorTest, TrainItemsAreMasked) {
+  // User 0: 15 train items (enough to fill top-10 if unmasked), 2 test.
+  DataSplit split;
+  split.num_users = 1;
+  split.num_items = 30;
+  split.num_tags = 1;
+  std::vector<std::pair<uint32_t, uint32_t>> train_edges;
+  for (uint32_t v = 0; v < 15; ++v) train_edges.emplace_back(0, v);
+  split.train = CsrMatrix::FromPairs(1, 30, train_edges);
+  split.item_tags = CsrMatrix::FromPairs(30, 1, {});
+  split.val_items.resize(1);
+  split.test_items.resize(1);
+  split.test_items[0] = {20, 25};
+  TrainOverTestModel model(&split);
+  const EvalResult r = EvaluateRanking(model, split);
+  // Masked evaluation: test items rank 1-2 → perfect recall/NDCG@10.
+  EXPECT_NEAR(r.recall[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.ndcg[0], 1.0, 1e-12);
+}
+
+TEST(EvaluatorTest, ValidationModeUsesValItems) {
+  const DataSplit split = MakeSplit();
+  OracleModel val_oracle(&split, /*use_test=*/false);
+  EvalOptions opts;
+  opts.use_test = false;
+  const EvalResult r = EvaluateRanking(val_oracle, split, opts);
+  EXPECT_NEAR(r.recall[1], 1.0, 1e-9);
+}
+
+TEST(EvaluatorTest, PerUserVectorsSizedToEvalUsers) {
+  const DataSplit split = MakeSplit();
+  OracleModel oracle(&split, true);
+  const EvalResult r = EvaluateRanking(oracle, split);
+  EXPECT_EQ(r.per_user_recall.size(), r.num_eval_users);
+  EXPECT_EQ(r.per_user_ndcg.size(), r.num_eval_users);
+}
+
+}  // namespace
+}  // namespace taxorec

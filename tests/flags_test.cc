@@ -1,0 +1,106 @@
+// Tests for the command-line flag parser used by taxorec_cli.
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+
+namespace taxorec {
+namespace {
+
+FlagSet MakeFlags() {
+  FlagSet flags;
+  flags.DefineString("name", "default", "a string");
+  flags.DefineInt("count", 7, "an int");
+  flags.DefineDouble("rate", 0.5, "a double");
+  flags.DefineBool("verbose", false, "a bool");
+  return flags;
+}
+
+TEST(FlagsTest, DefaultsApplyWithoutArgs) {
+  FlagSet flags = MakeFlags();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.Parse(1, argv).ok());
+  EXPECT_EQ(flags.GetString("name"), "default");
+  EXPECT_EQ(flags.GetInt("count"), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 0.5);
+  EXPECT_FALSE(flags.GetBool("verbose"));
+}
+
+TEST(FlagsTest, EqualsAndSpaceForms) {
+  FlagSet flags = MakeFlags();
+  const char* argv[] = {"prog", "--name=abc", "--count", "42",
+                        "--rate=0.25", "--verbose"};
+  ASSERT_TRUE(flags.Parse(6, argv).ok());
+  EXPECT_EQ(flags.GetString("name"), "abc");
+  EXPECT_EQ(flags.GetInt("count"), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 0.25);
+  EXPECT_TRUE(flags.GetBool("verbose"));
+}
+
+TEST(FlagsTest, BoolExplicitValues) {
+  FlagSet flags = MakeFlags();
+  const char* argv[] = {"prog", "--verbose=false"};
+  ASSERT_TRUE(flags.Parse(2, argv).ok());
+  EXPECT_FALSE(flags.GetBool("verbose"));
+  const char* argv2[] = {"prog", "--verbose=1"};
+  ASSERT_TRUE(flags.Parse(2, argv2).ok());
+  EXPECT_TRUE(flags.GetBool("verbose"));
+}
+
+TEST(FlagsTest, PositionalsCollected) {
+  FlagSet flags = MakeFlags();
+  const char* argv[] = {"prog", "alpha", "--count=1", "beta"};
+  ASSERT_TRUE(flags.Parse(4, argv).ok());
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "alpha");
+  EXPECT_EQ(flags.positional()[1], "beta");
+}
+
+TEST(FlagsTest, UnknownFlagRejected) {
+  FlagSet flags = MakeFlags();
+  const char* argv[] = {"prog", "--bogus=1"};
+  const Status s = flags.Parse(2, argv);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, TypeErrorsRejected) {
+  {
+    FlagSet flags = MakeFlags();
+    const char* argv[] = {"prog", "--count=abc"};
+    EXPECT_FALSE(flags.Parse(2, argv).ok());
+  }
+  {
+    FlagSet flags = MakeFlags();
+    const char* argv[] = {"prog", "--rate=xyz"};
+    EXPECT_FALSE(flags.Parse(2, argv).ok());
+  }
+  {
+    FlagSet flags = MakeFlags();
+    const char* argv[] = {"prog", "--verbose=maybe"};
+    EXPECT_FALSE(flags.Parse(2, argv).ok());
+  }
+}
+
+TEST(FlagsTest, MissingValueRejected) {
+  FlagSet flags = MakeFlags();
+  const char* argv[] = {"prog", "--count"};
+  EXPECT_FALSE(flags.Parse(2, argv).ok());
+}
+
+TEST(FlagsTest, HelpListsFlags) {
+  FlagSet flags = MakeFlags();
+  const std::string help = flags.Help();
+  EXPECT_NE(help.find("--count"), std::string::npos);
+  EXPECT_NE(help.find("a double"), std::string::npos);
+}
+
+TEST(FlagsTest, StartOffsetSkipsSubcommand) {
+  FlagSet flags = MakeFlags();
+  const char* argv[] = {"prog", "subcmd", "--count=3"};
+  ASSERT_TRUE(flags.Parse(3, argv, 2).ok());
+  EXPECT_EQ(flags.GetInt("count"), 3);
+  EXPECT_TRUE(flags.positional().empty());
+}
+
+}  // namespace
+}  // namespace taxorec

@@ -1,0 +1,450 @@
+// Tests for the hyperbolic geometry substrate: model invariants, map
+// round-trips, distance identities, and gradient checks against central
+// finite differences (including near-boundary points).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "hyperbolic/klein.h"
+#include "hyperbolic/lorentz.h"
+#include "hyperbolic/maps.h"
+#include "hyperbolic/poincare.h"
+#include "math/rng.h"
+#include "math/vec_ops.h"
+
+namespace taxorec {
+namespace {
+
+constexpr double kTol = 1e-8;
+
+std::vector<double> RandomBallPoint(Rng* rng, size_t d, double radius) {
+  std::vector<double> x(d);
+  poincare::RandomPoint(rng, radius, vec::Span(x));
+  return x;
+}
+
+std::vector<double> RandomLorentzPoint(Rng* rng, size_t d, double stddev) {
+  std::vector<double> x(d + 1);
+  lorentz::RandomPoint(rng, stddev, vec::Span(x));
+  return x;
+}
+
+TEST(PoincareTest, DistanceIsMetricLike) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto x = RandomBallPoint(&rng, 6, 0.9);
+    auto y = RandomBallPoint(&rng, 6, 0.9);
+    auto z = RandomBallPoint(&rng, 6, 0.9);
+    const double dxy = poincare::Distance(x, y);
+    const double dyx = poincare::Distance(y, x);
+    EXPECT_NEAR(dxy, dyx, 1e-10);            // Symmetry.
+    EXPECT_GE(dxy, 0.0);                     // Non-negativity.
+    EXPECT_NEAR(poincare::Distance(x, x), 0.0, 1e-9);
+    EXPECT_LE(dxy, poincare::Distance(x, z) + poincare::Distance(z, y) +
+                       1e-9);                // Triangle inequality.
+  }
+}
+
+TEST(PoincareTest, DistanceGrowsTowardBoundary) {
+  // Hyperbolic distance from origin diverges as ||x|| -> 1.
+  std::vector<double> origin(4, 0.0);
+  std::vector<double> x(4, 0.0);
+  double prev = 0.0;
+  for (double r : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    x[0] = r;
+    const double d = poincare::Distance(origin, x);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+  EXPECT_GT(prev, 7.0);  // d(0, 0.999) = 2*atanh(0.999) ≈ 7.6.
+}
+
+TEST(PoincareTest, DistanceFromOriginClosedForm) {
+  // d(0, x) = 2 atanh(||x||).
+  Rng rng(2);
+  std::vector<double> origin(5, 0.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto x = RandomBallPoint(&rng, 5, 0.95);
+    const double expect = 2.0 * std::atanh(vec::Norm(x));
+    EXPECT_NEAR(poincare::Distance(origin, x), expect, 1e-9);
+  }
+}
+
+TEST(PoincareTest, DistanceGradMatchesFiniteDifference) {
+  Rng rng(3);
+  const double eps = 1e-6;
+  for (double radius : {0.3, 0.8, 0.97}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      auto x = RandomBallPoint(&rng, 5, radius);
+      auto y = RandomBallPoint(&rng, 5, radius);
+      if (vec::SqDist(x, y) < 1e-6) continue;
+      std::vector<double> grad(5, 0.0);
+      poincare::DistanceGradX(x, y, 1.0, vec::Span(grad));
+      for (size_t i = 0; i < x.size(); ++i) {
+        auto xp = x, xm = x;
+        xp[i] += eps;
+        xm[i] -= eps;
+        const double fd =
+            (poincare::Distance(xp, y) - poincare::Distance(xm, y)) /
+            (2.0 * eps);
+        EXPECT_NEAR(grad[i], fd, 1e-4 * std::max(1.0, std::abs(fd)))
+            << "radius=" << radius << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(PoincareTest, MobiusAddIdentityAndInverse) {
+  Rng rng(4);
+  auto x = RandomBallPoint(&rng, 4, 0.8);
+  std::vector<double> zero(4, 0.0), out(4), neg(4);
+  poincare::MobiusAdd(x, zero, vec::Span(out));
+  for (size_t i = 0; i < 4; ++i) EXPECT_NEAR(out[i], x[i], 1e-12);
+  poincare::MobiusAdd(zero, x, vec::Span(out));
+  for (size_t i = 0; i < 4; ++i) EXPECT_NEAR(out[i], x[i], 1e-12);
+  // x ⊕ (-x) = 0.
+  vec::ScaleTo(x, -1.0, vec::Span(neg));
+  poincare::MobiusAdd(x, neg, vec::Span(out));
+  EXPECT_NEAR(vec::Norm(out), 0.0, 1e-10);
+}
+
+TEST(PoincareTest, ExpMapZeroIsIdentityAndStaysInBall) {
+  Rng rng(5);
+  auto x = RandomBallPoint(&rng, 4, 0.9);
+  std::vector<double> eta(4, 0.0), out(4);
+  poincare::ExpMap(x, eta, vec::Span(out));
+  for (size_t i = 0; i < 4; ++i) EXPECT_NEAR(out[i], x[i], 1e-12);
+  // Large tangent vectors never escape the ball.
+  for (int trial = 0; trial < 30; ++trial) {
+    for (auto& e : eta) e = 10.0 * rng.NextGaussian();
+    poincare::ExpMap(x, eta, vec::Span(out));
+    EXPECT_LT(vec::Norm(out), 1.0);
+  }
+}
+
+TEST(PoincareTest, RsgdStepDecreasesDistanceLoss) {
+  // Minimizing d(x, y) over x by RSGD should walk x toward y.
+  Rng rng(6);
+  auto x = RandomBallPoint(&rng, 4, 0.5);
+  auto y = RandomBallPoint(&rng, 4, 0.5);
+  double prev = poincare::Distance(x, y);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<double> grad(4, 0.0);
+    poincare::DistanceGradX(x, y, 1.0, vec::Span(grad));
+    poincare::RsgdStep(vec::Span(x), grad, 0.05);
+  }
+  EXPECT_LT(poincare::Distance(x, y), prev * 0.5);
+}
+
+TEST(LorentzTest, RandomPointsSatisfyConstraint) {
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto x = RandomLorentzPoint(&rng, 6, 0.5);
+    EXPECT_NEAR(lorentz::Inner(x, x), -1.0, 1e-9);
+    EXPECT_GE(x[0], 1.0);
+  }
+}
+
+TEST(LorentzTest, DistanceAgreesWithPoincareAfterMapping) {
+  // d_L(x, y) must equal d_P(p(x), p(y)) — the models are isometric.
+  Rng rng(8);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto x = RandomLorentzPoint(&rng, 5, 1.0);
+    auto y = RandomLorentzPoint(&rng, 5, 1.0);
+    std::vector<double> px(5), py(5);
+    hyper::LorentzToPoincare(x, vec::Span(px));
+    hyper::LorentzToPoincare(y, vec::Span(py));
+    EXPECT_NEAR(lorentz::Distance(x, y), poincare::Distance(px, py), 1e-7);
+  }
+}
+
+TEST(LorentzTest, ExpLogOriginRoundTrip) {
+  Rng rng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto x = RandomLorentzPoint(&rng, 5, 1.0);
+    std::vector<double> z(6), back(6);
+    lorentz::LogMapOrigin(x, vec::Span(z));
+    EXPECT_NEAR(z[0], 0.0, 1e-12);
+    lorentz::ExpMapOrigin(z, vec::Span(back));
+    for (size_t i = 0; i < 6; ++i) EXPECT_NEAR(back[i], x[i], 1e-9);
+  }
+}
+
+TEST(LorentzTest, LogMapNormIsDistanceFromOrigin) {
+  Rng rng(10);
+  std::vector<double> o(6);
+  lorentz::Origin(vec::Span(o));
+  for (int trial = 0; trial < 20; ++trial) {
+    auto x = RandomLorentzPoint(&rng, 5, 1.0);
+    std::vector<double> z(6);
+    lorentz::LogMapOrigin(x, vec::Span(z));
+    EXPECT_NEAR(vec::Norm(z), lorentz::Distance(o, x), 1e-9);
+  }
+}
+
+TEST(LorentzTest, SqDistanceGradMatchesFiniteDifference) {
+  Rng rng(11);
+  const double eps = 1e-6;
+  for (int trial = 0; trial < 20; ++trial) {
+    auto x = RandomLorentzPoint(&rng, 5, 1.0);
+    auto y = RandomLorentzPoint(&rng, 5, 1.0);
+    std::vector<double> gx(6, 0.0), gy(6, 0.0);
+    lorentz::SqDistanceGrad(x, y, 1.0, vec::Span(gx), vec::Span(gy));
+    for (size_t i = 0; i < 6; ++i) {
+      auto xp = x, xm = x;
+      xp[i] += eps;
+      xm[i] -= eps;
+      const double fd =
+          (lorentz::SqDistance(xp, y) - lorentz::SqDistance(xm, y)) /
+          (2.0 * eps);
+      EXPECT_NEAR(gx[i], fd, 1e-4 * std::max(1.0, std::abs(fd)));
+      auto yp = y, ym = y;
+      yp[i] += eps;
+      ym[i] -= eps;
+      const double fdy =
+          (lorentz::SqDistance(x, yp) - lorentz::SqDistance(x, ym)) /
+          (2.0 * eps);
+      EXPECT_NEAR(gy[i], fdy, 1e-4 * std::max(1.0, std::abs(fdy)));
+    }
+  }
+}
+
+TEST(LorentzTest, RsgdStepDecreasesDistanceLoss) {
+  Rng rng(12);
+  auto x = RandomLorentzPoint(&rng, 5, 0.7);
+  auto y = RandomLorentzPoint(&rng, 5, 0.7);
+  const double before = lorentz::SqDistance(x, y);
+  for (int iter = 0; iter < 60; ++iter) {
+    std::vector<double> g(6, 0.0);
+    lorentz::SqDistanceGrad(x, y, 1.0, vec::Span(g), vec::Span{});
+    lorentz::RsgdStep(vec::Span(x), g, 0.05);
+    EXPECT_NEAR(lorentz::Inner(x, x), -1.0, 1e-8);  // Stays on manifold.
+  }
+  EXPECT_LT(lorentz::SqDistance(x, y), before * 0.25);
+}
+
+TEST(MapsTest, PoincareLorentzRoundTrip) {
+  Rng rng(13);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto p = RandomBallPoint(&rng, 5, 0.95);
+    std::vector<double> lor(6), back(5);
+    hyper::PoincareToLorentz(p, vec::Span(lor));
+    EXPECT_NEAR(lorentz::Inner(lor, lor), -1.0, 1e-8);
+    hyper::LorentzToPoincare(lor, vec::Span(back));
+    for (size_t i = 0; i < 5; ++i) EXPECT_NEAR(back[i], p[i], 1e-10);
+  }
+}
+
+TEST(MapsTest, PoincareKleinRoundTrip) {
+  Rng rng(14);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto p = RandomBallPoint(&rng, 5, 0.95);
+    std::vector<double> k(5), back(5);
+    hyper::PoincareToKlein(p, vec::Span(k));
+    EXPECT_LT(vec::Norm(k), 1.0);
+    hyper::KleinToPoincare(k, vec::Span(back));
+    for (size_t i = 0; i < 5; ++i) EXPECT_NEAR(back[i], p[i], 1e-10);
+  }
+}
+
+TEST(MapsTest, KleinToLorentzEqualsComposition) {
+  Rng rng(15);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto p = RandomBallPoint(&rng, 4, 0.9);
+    std::vector<double> k(4);
+    hyper::PoincareToKlein(p, vec::Span(k));
+    std::vector<double> direct(5), via(5);
+    hyper::KleinToLorentz(k, vec::Span(direct));
+    std::vector<double> back(4);
+    hyper::KleinToPoincare(k, vec::Span(back));
+    hyper::PoincareToLorentz(back, vec::Span(via));
+    for (size_t i = 0; i < 5; ++i) EXPECT_NEAR(direct[i], via[i], 1e-9);
+  }
+}
+
+TEST(MapsTest, KleinToLorentzGradMatchesFiniteDifference) {
+  Rng rng(16);
+  const double eps = 1e-7;
+  for (int trial = 0; trial < 20; ++trial) {
+    auto k = RandomBallPoint(&rng, 4, 0.8);
+    std::vector<double> upstream(5);
+    for (auto& g : upstream) g = rng.NextGaussian();
+    std::vector<double> grad(4, 0.0);
+    hyper::KleinToLorentzGrad(k, upstream, 1.0, vec::Span(grad));
+    for (size_t i = 0; i < 4; ++i) {
+      auto kp = k, km = k;
+      kp[i] += eps;
+      km[i] -= eps;
+      std::vector<double> op(5), om(5);
+      hyper::KleinToLorentz(kp, vec::Span(op));
+      hyper::KleinToLorentz(km, vec::Span(om));
+      double fd = 0.0;
+      for (size_t j = 0; j < 5; ++j) {
+        fd += upstream[j] * (op[j] - om[j]) / (2.0 * eps);
+      }
+      EXPECT_NEAR(grad[i], fd, 1e-4 * std::max(1.0, std::abs(fd)));
+    }
+  }
+}
+
+TEST(KleinTest, LorentzFactorAtLeastOne) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto k = RandomBallPoint(&rng, 4, 0.99);
+    EXPECT_GE(klein::LorentzFactor(k), 1.0);
+  }
+  std::vector<double> origin(4, 0.0);
+  EXPECT_NEAR(klein::LorentzFactor(origin), 1.0, 1e-12);
+}
+
+TEST(KleinTest, MidpointOfIdenticalPointsIsThePoint) {
+  Rng rng(18);
+  Matrix pts(3, 4);
+  auto p = RandomBallPoint(&rng, 4, 0.7);
+  for (size_t r = 0; r < 3; ++r) vec::Copy(p, pts.row(r));
+  std::vector<double> mid(4);
+  klein::EinsteinMidpointAll(pts, vec::Span(mid));
+  for (size_t i = 0; i < 4; ++i) EXPECT_NEAR(mid[i], p[i], 1e-10);
+}
+
+TEST(KleinTest, MidpointRespectsWeights) {
+  // With one dominant weight, the midpoint approaches that point.
+  Matrix pts(2, 2);
+  pts.at(0, 0) = 0.5;
+  pts.at(1, 0) = -0.5;
+  std::vector<uint32_t> idx = {0, 1};
+  std::vector<double> w = {100.0, 1e-6};
+  std::vector<double> mid(2);
+  klein::EinsteinMidpoint(pts, idx, w, vec::Span(mid));
+  EXPECT_NEAR(mid[0], 0.5, 1e-4);
+}
+
+// Dimension-parameterized round-trip sweeps: the model conversions must be
+// mutually consistent at every embedding size we use.
+class HyperbolicDimTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HyperbolicDimTest, AllModelDistancesAgree) {
+  const size_t d = GetParam();
+  Rng rng(100 + d);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto p = RandomBallPoint(&rng, d, 0.9);
+    auto q = RandomBallPoint(&rng, d, 0.9);
+    // Poincaré distance vs Lorentz distance after lifting.
+    std::vector<double> pl(d + 1), ql(d + 1);
+    hyper::PoincareToLorentz(p, vec::Span(pl));
+    hyper::PoincareToLorentz(q, vec::Span(ql));
+    EXPECT_NEAR(poincare::Distance(p, q), lorentz::Distance(pl, ql), 1e-7);
+    // Klein round trip via Lorentz.
+    std::vector<double> k(d), lor(d + 1), back(d);
+    hyper::PoincareToKlein(p, vec::Span(k));
+    hyper::KleinToLorentz(k, vec::Span(lor));
+    hyper::LorentzToPoincare(lor, vec::Span(back));
+    for (size_t i = 0; i < d; ++i) EXPECT_NEAR(back[i], p[i], 1e-8);
+  }
+}
+
+TEST_P(HyperbolicDimTest, ExpMapInvertsLogMap) {
+  const size_t d = GetParam();
+  Rng rng(200 + d);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto x = RandomLorentzPoint(&rng, d, 1.0);
+    std::vector<double> z(d + 1), back(d + 1);
+    lorentz::LogMapOrigin(x, vec::Span(z));
+    lorentz::ExpMapOrigin(z, vec::Span(back));
+    for (size_t i = 0; i <= d; ++i) EXPECT_NEAR(back[i], x[i], 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, HyperbolicDimTest,
+                         ::testing::Values(2, 4, 12, 52, 64));
+
+TEST(PoincareTest, LogMapInvertsExpMap) {
+  Rng rng(41);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto x = RandomBallPoint(&rng, 4, 0.8);
+    auto y = RandomBallPoint(&rng, 4, 0.8);
+    std::vector<double> v(4), back(4);
+    poincare::LogMap(x, y, vec::Span(v));
+    // ExpMap's tangent convention carries the conformal factor.
+    const double lambda = 2.0 / (1.0 - vec::SqNorm(x));
+    vec::Scale(vec::Span(v), lambda);
+    poincare::ExpMap(x, vec::ConstSpan(v), vec::Span(back));
+    for (size_t i = 0; i < 4; ++i) EXPECT_NEAR(back[i], y[i], 1e-9);
+  }
+}
+
+TEST(PoincareTest, LogMapNormEqualsDistance) {
+  // The Riemannian norm lambda_x * ||log_x(y)|| equals d_P(x, y).
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto x = RandomBallPoint(&rng, 5, 0.85);
+    auto y = RandomBallPoint(&rng, 5, 0.85);
+    std::vector<double> v(5);
+    poincare::LogMap(x, y, vec::Span(v));
+    const double lambda = 2.0 / (1.0 - vec::SqNorm(x));
+    EXPECT_NEAR(lambda * vec::Norm(v), poincare::Distance(x, y), 1e-8);
+  }
+}
+
+TEST(PoincareTest, GeodesicEndpointsAndMidpoint) {
+  Rng rng(43);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto x = RandomBallPoint(&rng, 4, 0.8);
+    auto y = RandomBallPoint(&rng, 4, 0.8);
+    std::vector<double> p0(4), p1(4), mid(4);
+    poincare::Geodesic(x, y, 0.0, vec::Span(p0));
+    poincare::Geodesic(x, y, 1.0, vec::Span(p1));
+    poincare::Geodesic(x, y, 0.5, vec::Span(mid));
+    for (size_t i = 0; i < 4; ++i) {
+      EXPECT_NEAR(p0[i], x[i], 1e-9);
+      EXPECT_NEAR(p1[i], y[i], 1e-8);
+    }
+    // The midpoint is equidistant and halves the distance.
+    const double d = poincare::Distance(x, y);
+    EXPECT_NEAR(poincare::Distance(x, mid), d / 2.0, 1e-7);
+    EXPECT_NEAR(poincare::Distance(mid, y), d / 2.0, 1e-7);
+  }
+}
+
+TEST(PoincareTest, GeodesicIsAdditiveInParameter) {
+  // geo(x, y, s+t) == geo(geo(x,y,s), y, t/(1-s) ... ) is messy; instead
+  // check that distances along the curve are proportional to t.
+  Rng rng(44);
+  auto x = RandomBallPoint(&rng, 3, 0.7);
+  auto y = RandomBallPoint(&rng, 3, 0.7);
+  const double d = poincare::Distance(x, y);
+  for (double t : {0.25, 0.5, 0.75}) {
+    std::vector<double> p(3);
+    poincare::Geodesic(x, y, t, vec::Span(p));
+    EXPECT_NEAR(poincare::Distance(x, p), t * d, 1e-7) << t;
+  }
+}
+
+TEST(LorentzTest, RsgdStepLengthIsCapped) {
+  // Even an enormous gradient moves the point at most ~lr*cap plus
+  // projection slack — no overflow, still on-manifold.
+  Rng rng(31);
+  std::vector<double> x(7);
+  lorentz::RandomPoint(&rng, 0.5, vec::Span(x));
+  const std::vector<double> before = x;
+  std::vector<double> g(7, 1e9);
+  lorentz::RsgdStep(vec::Span(x), g, 1.0);
+  EXPECT_NEAR(lorentz::Inner(x, x), -1.0, 1e-8);
+  EXPECT_LT(lorentz::Distance(before, x), 1.5);
+}
+
+TEST(KleinTest, MidpointStaysInBall) {
+  Rng rng(19);
+  Matrix pts(10, 3);
+  for (size_t r = 0; r < 10; ++r) {
+    auto p = RandomBallPoint(&rng, 3, 0.99);
+    vec::Copy(p, pts.row(r));
+  }
+  std::vector<double> mid(3);
+  klein::EinsteinMidpointAll(pts, vec::Span(mid));
+  EXPECT_LT(vec::Norm(mid), 1.0);
+}
+
+}  // namespace
+}  // namespace taxorec

@@ -1,0 +1,192 @@
+// Finite-difference gradient checks for every manually-differentiated
+// layer: Lorentz log/exp map layers, the Einstein-midpoint tag aggregation,
+// and the scalar losses. These tests pin the closed-form Jacobians that
+// replace autograd (DESIGN.md §1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "hyperbolic/lorentz.h"
+#include "hyperbolic/poincare.h"
+#include "math/csr.h"
+#include "math/matrix.h"
+#include "math/rng.h"
+#include "nn/losses.h"
+#include "nn/lorentz_layers.h"
+#include "nn/midpoint.h"
+
+namespace taxorec {
+namespace {
+
+constexpr double kEps = 1e-6;
+constexpr double kRelTol = 2e-4;
+
+void ExpectClose(double got, double want, const char* what, int i) {
+  EXPECT_NEAR(got, want, kRelTol * std::max(1.0, std::abs(want)))
+      << what << " coordinate " << i;
+}
+
+// Scalar objective: sum of upstream-weighted outputs. Its gradient w.r.t.
+// inputs equals the layer backward applied to `upstream`.
+double WeightedSum(const Matrix& out, const Matrix& upstream) {
+  double acc = 0.0;
+  for (size_t r = 0; r < out.rows(); ++r) {
+    for (size_t c = 0; c < out.cols(); ++c) {
+      acc += out.at(r, c) * upstream.at(r, c);
+    }
+  }
+  return acc;
+}
+
+TEST(GradCheckTest, LogMapOriginLayer) {
+  Rng rng(21);
+  const size_t n = 4, d1 = 6;
+  Matrix x(n, d1);
+  for (size_t r = 0; r < n; ++r) lorentz::RandomPoint(&rng, 1.0, x.row(r));
+  Matrix upstream(n, d1);
+  upstream.FillGaussian(&rng, 1.0);
+  // The forward ignores upstream[.,0] (output column 0 is identically 0);
+  // zero it so the finite difference of the weighted sum matches.
+  for (size_t r = 0; r < n; ++r) upstream.at(r, 0) = 0.0;
+
+  Matrix grad(n, d1);
+  nn::LogMapOriginBackward(x, upstream, &grad);
+
+  Matrix z;
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < d1; ++c) {
+      Matrix xp = x, xm = x;
+      xp.at(r, c) += kEps;
+      xm.at(r, c) -= kEps;
+      Matrix zp, zm;
+      nn::LogMapOriginForward(xp, &zp);
+      nn::LogMapOriginForward(xm, &zm);
+      const double fd =
+          (WeightedSum(zp, upstream) - WeightedSum(zm, upstream)) /
+          (2.0 * kEps);
+      ExpectClose(grad.at(r, c), fd, "logmap", static_cast<int>(c));
+    }
+  }
+}
+
+TEST(GradCheckTest, ExpMapOriginLayer) {
+  Rng rng(22);
+  const size_t n = 4, d1 = 6;
+  Matrix z(n, d1);
+  z.FillGaussian(&rng, 0.8);
+  for (size_t r = 0; r < n; ++r) z.at(r, 0) = 0.0;  // Tangent at origin.
+  Matrix upstream(n, d1);
+  upstream.FillGaussian(&rng, 1.0);
+
+  Matrix grad(n, d1);
+  nn::ExpMapOriginBackward(z, upstream, &grad);
+
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 1; c < d1; ++c) {  // z[.,0] is constrained to 0.
+      Matrix zp = z, zm = z;
+      zp.at(r, c) += kEps;
+      zm.at(r, c) -= kEps;
+      Matrix yp, ym;
+      nn::ExpMapOriginForward(zp, &yp);
+      nn::ExpMapOriginForward(zm, &ym);
+      const double fd =
+          (WeightedSum(yp, upstream) - WeightedSum(ym, upstream)) /
+          (2.0 * kEps);
+      ExpectClose(grad.at(r, c), fd, "expmap", static_cast<int>(c));
+    }
+  }
+}
+
+TEST(GradCheckTest, ExpMapNearOriginIsStable) {
+  // Tiny tangent vectors exercise the near-origin limit branch.
+  Matrix z(1, 5);
+  z.at(0, 2) = 1e-9;
+  Matrix upstream(1, 5);
+  for (size_t c = 0; c < 5; ++c) upstream.at(0, c) = 1.0;
+  Matrix grad(1, 5);
+  nn::ExpMapOriginBackward(z, upstream, &grad);
+  for (size_t c = 1; c < 5; ++c) {
+    EXPECT_TRUE(std::isfinite(grad.at(0, c)));
+    EXPECT_NEAR(grad.at(0, c), 1.0, 1e-6);  // Identity limit.
+  }
+}
+
+TEST(GradCheckTest, TagAggregationLayer) {
+  Rng rng(23);
+  const size_t items = 5, tags = 7, dt = 4;
+  // Item-tag matrix with varying fan-out, including an untagged item.
+  std::vector<std::pair<uint32_t, uint32_t>> edges = {
+      {0, 0}, {0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 4}, {3, 5}, {3, 6}, {3, 0}};
+  const CsrMatrix psi = CsrMatrix::FromPairs(items, tags, edges);
+
+  Matrix tp(tags, dt);
+  for (size_t t = 0; t < tags; ++t) {
+    poincare::RandomPoint(&rng, 0.8, tp.row(t));
+  }
+  nn::TagAggregation agg(&psi);
+  nn::TagAggContext ctx;
+  Matrix out;
+  agg.Forward(tp, &ctx, &out);
+  ASSERT_EQ(out.rows(), items);
+  ASSERT_EQ(out.cols(), dt + 1);
+
+  // Outputs are valid Lorentz points; untagged item 4 maps to the origin.
+  for (size_t v = 0; v < items; ++v) {
+    EXPECT_NEAR(lorentz::Inner(out.row(v), out.row(v)), -1.0, 1e-8);
+  }
+  EXPECT_NEAR(out.at(4, 0), 1.0, 1e-12);
+
+  Matrix upstream(items, dt + 1);
+  upstream.FillGaussian(&rng, 1.0);
+  Matrix grad(tags, dt);
+  agg.Backward(tp, ctx, upstream, &grad);
+
+  for (size_t t = 0; t < tags; ++t) {
+    for (size_t c = 0; c < dt; ++c) {
+      Matrix tpp = tp, tpm = tp;
+      tpp.at(t, c) += kEps;
+      tpm.at(t, c) -= kEps;
+      nn::TagAggContext cp, cm;
+      Matrix op, om;
+      agg.Forward(tpp, &cp, &op);
+      agg.Forward(tpm, &cm, &om);
+      const double fd =
+          (WeightedSum(op, upstream) - WeightedSum(om, upstream)) /
+          (2.0 * kEps);
+      ExpectClose(grad.at(t, c), fd, "tagagg", static_cast<int>(c));
+    }
+  }
+}
+
+TEST(LossTest, HingeTripletValuesAndGrads) {
+  double dpos, dneg;
+  EXPECT_DOUBLE_EQ(nn::HingeTriplet(0.5, 1.0, 2.0, &dpos, &dneg), 0.0);
+  EXPECT_DOUBLE_EQ(dpos, 0.0);
+  EXPECT_DOUBLE_EQ(dneg, 0.0);
+  EXPECT_DOUBLE_EQ(nn::HingeTriplet(0.5, 2.0, 1.0, &dpos, &dneg), 1.5);
+  EXPECT_DOUBLE_EQ(dpos, 1.0);
+  EXPECT_DOUBLE_EQ(dneg, -1.0);
+}
+
+TEST(LossTest, BprMatchesDefinitionAndGrad) {
+  for (double diff : {-5.0, -0.5, 0.0, 0.5, 5.0}) {
+    double ddiff;
+    const double loss = nn::Bpr(diff, &ddiff);
+    EXPECT_NEAR(loss, -std::log(nn::Sigmoid(diff)), 1e-12);
+    const double eps = 1e-7;
+    double d1, d2;
+    const double fd = (nn::Bpr(diff + eps, &d1) - nn::Bpr(diff - eps, &d2)) /
+                      (2.0 * eps);
+    EXPECT_NEAR(ddiff, fd, 1e-5);
+  }
+}
+
+TEST(LossTest, SigmoidStableAtExtremes) {
+  EXPECT_NEAR(nn::Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(nn::Sigmoid(-1000.0), 0.0, 1e-12);
+  EXPECT_NEAR(nn::Sigmoid(0.0), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace taxorec

@@ -1,0 +1,156 @@
+// Tests for the optimizers: Euclidean SGD helpers and Riemannian SGD on
+// both hyperbolic parameterizations, including parameterized sweeps over
+// embedding dimension (TEST_P) checking manifold invariants after updates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hyperbolic/lorentz.h"
+#include "hyperbolic/poincare.h"
+#include "math/matrix.h"
+#include "math/rng.h"
+#include "math/vec_ops.h"
+#include "optim/rsgd.h"
+#include "optim/sgd.h"
+
+namespace taxorec {
+namespace {
+
+TEST(SgdTest, UpdateSubtractsScaledGradient) {
+  Matrix p(2, 2), g(2, 2);
+  p.at(0, 0) = 1.0;
+  g.at(0, 0) = 2.0;
+  g.at(1, 1) = -4.0;
+  optim::SgdUpdate(&p, g, 0.5);
+  EXPECT_DOUBLE_EQ(p.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(p.at(1, 1), 2.0);
+}
+
+TEST(SgdTest, ClipRowNormsOnlyAffectsLongRows) {
+  Matrix g(2, 2);
+  g.at(0, 0) = 3.0;
+  g.at(0, 1) = 4.0;  // norm 5
+  g.at(1, 0) = 0.3;
+  optim::ClipRowNorms(&g, 1.0);
+  EXPECT_NEAR(vec::Norm(g.row(0)), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(g.at(1, 0), 0.3);
+}
+
+class RsgdDimTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RsgdDimTest, PoincareUpdatesStayInBall) {
+  const size_t d = GetParam();
+  Rng rng(1);
+  Matrix params(16, d), grads(16, d);
+  for (size_t r = 0; r < 16; ++r) {
+    poincare::RandomPoint(&rng, 0.95, params.row(r));
+  }
+  for (int step = 0; step < 20; ++step) {
+    grads.FillGaussian(&rng, 2.0);  // Deliberately large gradients.
+    optim::PoincareRsgdUpdate(&params, grads, 0.3, /*grad_clip=*/0.0);
+    for (size_t r = 0; r < 16; ++r) {
+      EXPECT_LT(vec::Norm(params.row(r)), 1.0);
+      for (double v : params.row(r)) EXPECT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+TEST_P(RsgdDimTest, LorentzUpdatesStayOnHyperboloid) {
+  const size_t d = GetParam();
+  Rng rng(2);
+  Matrix params(16, d + 1), grads(16, d + 1);
+  for (size_t r = 0; r < 16; ++r) {
+    lorentz::RandomPoint(&rng, 0.5, params.row(r));
+  }
+  for (int step = 0; step < 20; ++step) {
+    grads.FillGaussian(&rng, 2.0);
+    optim::LorentzRsgdUpdate(&params, grads, 0.3, /*grad_clip=*/1.0);
+    for (size_t r = 0; r < 16; ++r) {
+      EXPECT_NEAR(lorentz::Inner(params.row(r), params.row(r)), -1.0, 1e-8);
+      EXPECT_GE(params.at(r, 0), 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, RsgdDimTest, ::testing::Values(2, 8, 12, 64));
+
+TEST(RsgdTest, ZeroGradientRowsAreSkipped) {
+  Rng rng(3);
+  Matrix params(3, 4);
+  for (size_t r = 0; r < 3; ++r) poincare::RandomPoint(&rng, 0.5, params.row(r));
+  const Matrix before = params;
+  Matrix grads(3, 4);  // all-zero
+  grads.at(1, 2) = 0.1;  // only row 1 moves
+  optim::PoincareRsgdUpdate(&params, grads, 0.1, 1.0);
+  for (size_t c = 0; c < 4; ++c) {
+    EXPECT_DOUBLE_EQ(params.at(0, c), before.at(0, c));
+    EXPECT_DOUBLE_EQ(params.at(2, c), before.at(2, c));
+  }
+  EXPECT_NE(params.at(1, 2), before.at(1, 2));
+}
+
+TEST(RsgdTest, GradClipBoundsStepSize) {
+  // With clip c and lr, the Riemannian step length is at most lr*c (the
+  // conformal/projection factors only shrink it).
+  Rng rng(4);
+  Matrix params(1, 6);
+  lorentz::RandomPoint(&rng, 0.3, params.row(0));
+  const Matrix before = params;
+  Matrix grads(1, 6);
+  grads.FillGaussian(&rng, 100.0);
+  optim::LorentzRsgdUpdate(&params, grads, 0.1, /*grad_clip=*/1.0);
+  const double moved = lorentz::Distance(before.row(0), params.row(0));
+  EXPECT_LT(moved, 1.0);
+}
+
+TEST(RsgdTest, ConvergesToWeightedCentroidTask) {
+  // Minimize sum of squared Lorentz distances to fixed anchors: RSGD should
+  // reach a point with near-zero Riemannian gradient.
+  Rng rng(5);
+  Matrix anchors(5, 5);
+  for (size_t r = 0; r < 5; ++r) lorentz::RandomPoint(&rng, 0.4, anchors.row(r));
+  Matrix x(1, 5);
+  lorentz::RandomPoint(&rng, 0.4, x.row(0));
+  auto loss = [&]() {
+    double acc = 0.0;
+    for (size_t r = 0; r < 5; ++r) {
+      acc += lorentz::SqDistance(x.row(0), anchors.row(r));
+    }
+    return acc;
+  };
+  const double before = loss();
+  for (int step = 0; step < 200; ++step) {
+    Matrix g(1, 5);
+    for (size_t r = 0; r < 5; ++r) {
+      lorentz::SqDistanceGrad(x.row(0), anchors.row(r), 1.0, g.row(0), {});
+    }
+    optim::LorentzRsgdUpdate(&x, g, 0.02, 0.0);
+  }
+  EXPECT_LT(loss(), before);
+  // Gradient at the optimum is (numerically) small.
+  Matrix g(1, 5);
+  for (size_t r = 0; r < 5; ++r) {
+    lorentz::SqDistanceGrad(x.row(0), anchors.row(r), 1.0, g.row(0), {});
+  }
+  vec::Span grow = g.row(0);
+  lorentz::EuclideanToRiemannianGrad(x.row(0), grow);
+  EXPECT_LT(vec::Norm(grow), 0.05);
+}
+
+TEST(SgdTest, ProjectRowsToBallIsIdempotent) {
+  Rng rng(6);
+  Matrix p(4, 3);
+  p.FillGaussian(&rng, 5.0);
+  optim::ProjectRowsToBall(&p, 2.0);
+  const Matrix once = p;
+  optim::ProjectRowsToBall(&p, 2.0);
+  for (size_t r = 0; r < 4; ++r) {
+    EXPECT_LE(vec::Norm(p.row(r)), 2.0 + 1e-12);
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(p.at(r, c), once.at(r, c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace taxorec

@@ -1,0 +1,87 @@
+// Tests for descriptive statistics and the Wilcoxon signed-rank test.
+#include <gtest/gtest.h>
+
+#include "math/rng.h"
+#include "stats/descriptive.h"
+#include "stats/wilcoxon.h"
+
+namespace taxorec {
+namespace {
+
+TEST(DescriptiveTest, MeanStdMedian) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(stats::Mean(xs), 2.5);
+  EXPECT_NEAR(stats::StdDev(xs), 1.2909944487, 1e-9);
+  EXPECT_DOUBLE_EQ(stats::Median(xs), 2.5);
+  EXPECT_DOUBLE_EQ(stats::Median({5.0, 1.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(stats::Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stats::StdDev({1.0}), 0.0);
+}
+
+TEST(WilcoxonTest, IdenticalSamplesNotSignificant) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const auto r = stats::WilcoxonSignedRank(x, x);
+  EXPECT_EQ(r.n_nonzero, 0u);
+  EXPECT_DOUBLE_EQ(r.p_two_sided, 1.0);
+}
+
+TEST(WilcoxonTest, ClearImprovementIsSignificant) {
+  // x consistently above y by a varying amount over 50 pairs.
+  std::vector<double> x, y;
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const double base = rng.NextDouble();
+    y.push_back(base);
+    x.push_back(base + 0.1 + 0.05 * rng.NextDouble());
+  }
+  const auto r = stats::WilcoxonSignedRank(x, y);
+  EXPECT_LT(r.p_greater, 0.001);
+  EXPECT_LT(r.p_two_sided, 0.001);
+  EXPECT_GT(r.z, 3.0);
+  EXPECT_GT(r.w_plus, r.w_minus);
+}
+
+TEST(WilcoxonTest, NoiseIsNotSignificant) {
+  // Symmetric noise differences: expect a large p-value most of the time.
+  std::vector<double> x, y;
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    const double base = rng.NextDouble();
+    x.push_back(base + 0.01 * rng.NextGaussian());
+    y.push_back(base + 0.01 * rng.NextGaussian());
+  }
+  const auto r = stats::WilcoxonSignedRank(x, y);
+  EXPECT_GT(r.p_two_sided, 0.05);
+}
+
+TEST(WilcoxonTest, RankSumIdentity) {
+  // W+ + W- must equal n(n+1)/2 over nonzero differences.
+  std::vector<double> x = {1.0, 3.0, 2.0, 5.0, 4.0};
+  std::vector<double> y = {2.0, 1.0, 2.0, 1.0, 9.0};
+  const auto r = stats::WilcoxonSignedRank(x, y);
+  const double n = static_cast<double>(r.n_nonzero);
+  EXPECT_DOUBLE_EQ(r.w_plus + r.w_minus, n * (n + 1.0) / 2.0);
+}
+
+TEST(WilcoxonTest, TiesGetAverageRanks) {
+  // |diffs| = {1, 1}: both get rank 1.5.
+  const std::vector<double> x = {1.0, 0.0};
+  const std::vector<double> y = {0.0, 1.0};
+  const auto r = stats::WilcoxonSignedRank(x, y);
+  EXPECT_DOUBLE_EQ(r.w_plus, 1.5);
+  EXPECT_DOUBLE_EQ(r.w_minus, 1.5);
+}
+
+TEST(WilcoxonTest, DirectionalityOfOneSidedP) {
+  std::vector<double> lo(30), hi(30);
+  Rng rng(7);
+  for (int i = 0; i < 30; ++i) {
+    lo[i] = rng.NextDouble();
+    hi[i] = lo[i] + 0.2;
+  }
+  EXPECT_LT(stats::WilcoxonSignedRank(hi, lo).p_greater, 0.01);
+  EXPECT_GT(stats::WilcoxonSignedRank(lo, hi).p_greater, 0.99);
+}
+
+}  // namespace
+}  // namespace taxorec

@@ -1,0 +1,125 @@
+// Property sweeps over the synthetic generator's parameter space: every
+// configuration must produce a structurally valid dataset, and the knobs
+// must move the statistics in the documented direction.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "data/split.h"
+#include "data/stats.h"
+#include "data/synthetic.h"
+
+namespace taxorec {
+namespace {
+
+// (num_roots, branching, noise_tag_prob)
+using Params = std::tuple<int, int, double>;
+
+class GeneratorSweep : public ::testing::TestWithParam<Params> {};
+
+TEST_P(GeneratorSweep, ProducesValidSplittableDataset) {
+  const auto [roots, branching, noise] = GetParam();
+  SyntheticConfig cfg;
+  cfg.seed = 1000 + roots * 100 + branching * 10;
+  cfg.num_users = 60;
+  cfg.num_items = 120;
+  cfg.num_tags = 25;
+  cfg.num_roots = roots;
+  cfg.branching = branching;
+  cfg.noise_tag_prob = noise;
+  const Dataset data = GenerateSynthetic(cfg);
+  ASSERT_TRUE(data.Valid());
+
+  // The planted forest has exactly `roots` top-level tags.
+  int top = 0;
+  for (int32_t p : data.tag_parent) top += (p < 0) ? 1 : 0;
+  EXPECT_EQ(top, roots);
+
+  // The split must give every well-sampled user test items.
+  const DataSplit split = TemporalSplit(data);
+  size_t users_with_test = 0;
+  for (uint32_t u = 0; u < split.num_users; ++u) {
+    users_with_test += split.test_items[u].empty() ? 0 : 1;
+  }
+  EXPECT_GT(users_with_test, split.num_users * 9 / 10);
+
+  // Stats pipeline runs and is internally consistent.
+  const DatasetStats s = ComputeStats(data);
+  EXPECT_EQ(s.num_interactions, data.interactions.size());
+  EXPECT_GE(s.max_tag_depth, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GeneratorSweep,
+    ::testing::Values(Params{2, 2, 0.0}, Params{2, 4, 0.3}, Params{3, 3, 0.1},
+                      Params{5, 2, 0.5}, Params{4, 3, 0.0}));
+
+TEST(GeneratorKnobsTest, NoiseIncreasesTagEdges) {
+  SyntheticConfig low, high;
+  low.seed = high.seed = 7;
+  low.num_users = high.num_users = 80;
+  low.num_items = high.num_items = 150;
+  low.num_tags = high.num_tags = 30;
+  low.noise_tag_prob = 0.0;
+  high.noise_tag_prob = 0.9;
+  const Dataset a = GenerateSynthetic(low);
+  const Dataset b = GenerateSynthetic(high);
+  EXPECT_GT(b.item_tags.size(), a.item_tags.size());
+}
+
+TEST(GeneratorKnobsTest, AncestorProbControlsMultiLevelTagging) {
+  SyntheticConfig none, full;
+  none.seed = full.seed = 9;
+  none.num_users = full.num_users = 50;
+  none.num_items = full.num_items = 120;
+  none.num_tags = full.num_tags = 30;
+  none.ancestor_tag_prob = 0.0;
+  full.ancestor_tag_prob = 1.0;
+  // Noise tags are drawn without their ancestor chains; disable them so
+  // the full-chain property below is exact.
+  none.noise_tag_prob = 0.0;
+  full.noise_tag_prob = 0.0;
+  const Dataset a = GenerateSynthetic(none);
+  const Dataset b = GenerateSynthetic(full);
+  // With prob 0 every item carries exactly its primary tag (+ rare noise).
+  EXPECT_LT(a.item_tags.size(), b.item_tags.size());
+  // With prob 1 every ancestor is present: deepest tags imply full chains.
+  std::set<std::pair<uint32_t, uint32_t>> edges(b.item_tags.begin(),
+                                                b.item_tags.end());
+  for (const auto& [item, tag] : b.item_tags) {
+    for (int32_t p = b.tag_parent[tag]; p >= 0; p = b.tag_parent[p]) {
+      EXPECT_TRUE(edges.count({item, static_cast<uint32_t>(p)}))
+          << "item " << item << " missing ancestor " << p;
+    }
+  }
+}
+
+TEST(GeneratorKnobsTest, PopularityAlphaShapesGini) {
+  SyntheticConfig flat, steep;
+  flat.seed = steep.seed = 11;
+  flat.num_users = steep.num_users = 120;
+  flat.num_items = steep.num_items = 200;
+  flat.num_tags = steep.num_tags = 20;
+  flat.popularity_alpha = 0.05;
+  steep.popularity_alpha = 1.4;
+  const double g_flat = ComputeStats(GenerateSynthetic(flat)).item_popularity_gini;
+  const double g_steep =
+      ComputeStats(GenerateSynthetic(steep)).item_popularity_gini;
+  EXPECT_GT(g_steep, g_flat);
+}
+
+TEST(GeneratorKnobsTest, InteractionVolumeTracksMean) {
+  SyntheticConfig small, big;
+  small.seed = big.seed = 13;
+  small.num_users = big.num_users = 80;
+  small.num_items = big.num_items = 200;
+  small.num_tags = big.num_tags = 20;
+  small.mean_interactions_per_user = 8.0;
+  big.mean_interactions_per_user = 30.0;
+  EXPECT_LT(GenerateSynthetic(small).interactions.size(),
+            GenerateSynthetic(big).interactions.size());
+}
+
+}  // namespace
+}  // namespace taxorec

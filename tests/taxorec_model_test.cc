@@ -1,0 +1,226 @@
+// Unit tests for the TaxoRec core model: the personalized weight α_u
+// (Eq. 16), ablation variants, taxonomy access, user-tag distances, and the
+// Euclidean/hyperbolic mode switches.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/taxorec_model.h"
+#include "core/trainer.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+
+namespace taxorec {
+namespace {
+
+ModelConfig TinyConfig() {
+  ModelConfig cfg;
+  cfg.dim = 16;
+  cfg.tag_dim = 4;
+  cfg.epochs = 3;
+  cfg.batches_per_epoch = 4;
+  cfg.batch_size = 128;
+  cfg.gcn_layers = 2;
+  cfg.taxo_rebuild_every = 2;
+  return cfg;
+}
+
+DataSplit SmallSplit() {
+  SyntheticConfig cfg;
+  cfg.seed = 11;
+  cfg.num_users = 60;
+  cfg.num_items = 90;
+  cfg.num_tags = 15;
+  cfg.num_roots = 3;
+  return TemporalSplit(GenerateSynthetic(cfg));
+}
+
+// Hand-built split for exact α_u checks.
+DataSplit HandSplit() {
+  DataSplit split;
+  split.num_users = 2;
+  split.num_items = 3;
+  split.num_tags = 4;
+  // User 0 → items 0,1; user 1 → item 2.
+  split.train = CsrMatrix::FromPairs(2, 3, {{0, 0}, {0, 1}, {1, 2}});
+  // Item 0: tags {0,1}; item 1: tags {1,2}; item 2: tags {3}.
+  split.item_tags =
+      CsrMatrix::FromPairs(3, 4, {{0, 0}, {0, 1}, {1, 1}, {1, 2}, {2, 3}});
+  split.val_items.resize(2);
+  split.test_items.resize(2);
+  split.test_items[0] = {2};
+  split.test_items[1] = {0};
+  return split;
+}
+
+TEST(TaxoRecModelTest, AlphaMatchesEq16) {
+  const DataSplit split = HandSplit();
+  ModelConfig cfg = TinyConfig();
+  cfg.dim = 8;
+  cfg.tag_dim = 4;
+  cfg.epochs = 1;
+  cfg.batches_per_epoch = 1;
+  cfg.batch_size = 8;
+  cfg.alpha_scale = 1.0;  // raw Eq. 16 values, no channel rebalancing
+  TaxoRecOptions opts;
+  TaxoRecModel model(cfg, opts);
+  Rng rng(1);
+  model.Fit(split, &rng);
+  // User 0: items {0,1}; tag slots = 2 + 2 = 4; distinct tags = {0,1,2} → 3.
+  // α = 4 / (2 * 3) = 2/3.
+  EXPECT_NEAR(model.alpha(0), 2.0 / 3.0, 1e-12);
+  // User 1: 1 item with 1 tag → α = 1 / (1*1) = 1.
+  EXPECT_NEAR(model.alpha(1), 1.0, 1e-12);
+  // The rebalancing scale multiplies and saturates at 1.
+  ModelConfig cfg2 = cfg;
+  cfg2.alpha_scale = 1.2;
+  TaxoRecModel model2(cfg2, opts);
+  Rng rng2(1);
+  model2.Fit(split, &rng2);
+  EXPECT_NEAR(model2.alpha(0), 0.8, 1e-12);
+  EXPECT_NEAR(model2.alpha(1), 1.0, 1e-12);
+}
+
+TEST(TaxoRecModelTest, AlphaInUnitInterval) {
+  const DataSplit split = SmallSplit();
+  TaxoRecModel model(TinyConfig(), TaxoRecOptions{});
+  Rng rng(2);
+  model.Fit(split, &rng);
+  for (uint32_t u = 0; u < split.num_users; ++u) {
+    EXPECT_GE(model.alpha(u), 0.0);
+    EXPECT_LE(model.alpha(u), 1.0);
+  }
+}
+
+TEST(TaxoRecModelTest, TaxonomyAvailableAfterFit) {
+  const DataSplit split = SmallSplit();
+  TaxoRecModel model(TinyConfig(), TaxoRecOptions{});
+  EXPECT_EQ(model.taxonomy(), nullptr);
+  Rng rng(3);
+  model.Fit(split, &rng);
+  ASSERT_NE(model.taxonomy(), nullptr);
+  EXPECT_EQ(model.taxonomy()->node(0).member_tags.size(), split.num_tags);
+}
+
+TEST(TaxoRecModelTest, TagEmbeddingsStayInBall) {
+  const DataSplit split = SmallSplit();
+  TaxoRecModel model(TinyConfig(), TaxoRecOptions{});
+  Rng rng(4);
+  model.Fit(split, &rng);
+  const Matrix& tags = model.tag_embeddings();
+  for (size_t t = 0; t < tags.rows(); ++t) {
+    double sq = 0.0;
+    for (double v : tags.row(t)) sq += v * v;
+    EXPECT_LT(std::sqrt(sq), 1.0);
+  }
+}
+
+TEST(TaxoRecModelTest, UserTagDistancesFiniteAndSized) {
+  const DataSplit split = SmallSplit();
+  TaxoRecModel model(TinyConfig(), TaxoRecOptions{});
+  Rng rng(5);
+  model.Fit(split, &rng);
+  const auto dist = model.UserTagDistances(0);
+  ASSERT_EQ(dist.size(), split.num_tags);
+  for (double d : dist) {
+    EXPECT_TRUE(std::isfinite(d));
+    EXPECT_GE(d, 0.0);
+  }
+}
+
+TEST(TaxoRecModelTest, EuclideanModeTrains) {
+  const DataSplit split = SmallSplit();
+  TaxoRecOptions opts;
+  opts.hyperbolic = false;
+  opts.lambda = 0.0;
+  opts.display_name = "CML+Agg";
+  TaxoRecModel model(TinyConfig(), opts);
+  Rng rng(6);
+  model.Fit(split, &rng);
+  std::vector<double> scores(split.num_items);
+  model.ScoreItems(0, std::span<double>(scores));
+  for (double s : scores) EXPECT_TRUE(std::isfinite(s));
+  EXPECT_EQ(model.taxonomy(), nullptr);  // No taxonomy in Euclidean mode.
+}
+
+TEST(TaxoRecModelTest, NoGcnNoTagsModeTrains) {
+  const DataSplit split = SmallSplit();
+  TaxoRecOptions opts;
+  opts.use_tags = false;
+  opts.use_gcn = false;
+  TaxoRecModel model(TinyConfig(), opts);
+  Rng rng(7);
+  model.Fit(split, &rng);
+  std::vector<double> scores(split.num_items);
+  model.ScoreItems(1, std::span<double>(scores));
+  for (double s : scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(TrainerTest, AblationVariantsResolve) {
+  const ModelConfig cfg = TinyConfig();
+  // "Hyper+CML" resolves to the HyperML baseline, as in the paper's
+  // Table III rows; the others report their ablation name verbatim.
+  const std::vector<std::pair<std::string, std::string>> expected = {
+      {"CML", "CML"},
+      {"CML+Agg", "CML+Agg"},
+      {"Hyper+CML", "HyperML"},
+      {"Hyper+CML+Agg", "Hyper+CML+Agg"},
+      {"TaxoRec", "TaxoRec"}};
+  for (const auto& [variant, display] : expected) {
+    auto model = MakeAblationVariant(variant, cfg);
+    ASSERT_NE(model, nullptr) << variant;
+    EXPECT_EQ(model->name(), display);
+  }
+  EXPECT_EQ(MakeAblationVariant("bogus", cfg), nullptr);
+}
+
+TEST(TrainerTest, TrainAndEvaluateRuns) {
+  const DataSplit split = SmallSplit();
+  auto model = MakeAblationVariant("TaxoRec", TinyConfig());
+  Rng rng(8);
+  const EvalResult r = TrainAndEvaluate(model.get(), split, &rng);
+  EXPECT_GT(r.num_eval_users, 0u);
+  EXPECT_GE(r.recall[0], 0.0);
+}
+
+TEST(TaxoRecModelTest, FixedTaxonomyIsUsedVerbatim) {
+  // Supplying a pre-existing taxonomy (the paper's future-work extension)
+  // must skip automated construction and expose the given tree.
+  SyntheticConfig scfg;
+  scfg.seed = 11;
+  scfg.num_users = 60;
+  scfg.num_items = 90;
+  scfg.num_tags = 15;
+  scfg.num_roots = 3;
+  const Dataset data = GenerateSynthetic(scfg);
+  const DataSplit split = TemporalSplit(data);
+  const Taxonomy given = TaxonomyFromParents(data.tag_parent);
+  TaxoRecOptions opts;
+  opts.fixed_taxonomy = &given;
+  TaxoRecModel model(TinyConfig(), opts);
+  Rng rng(12);
+  model.Fit(split, &rng);
+  ASSERT_NE(model.taxonomy(), nullptr);
+  EXPECT_EQ(model.taxonomy()->num_nodes(), given.num_nodes());
+  std::vector<double> scores(split.num_items);
+  model.ScoreItems(0, std::span<double>(scores));
+  for (double s : scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(TaxoRecModelTest, LambdaZeroAndPositiveBothTrain) {
+  const DataSplit split = SmallSplit();
+  for (double lambda : {0.0, 0.5}) {
+    TaxoRecOptions opts;
+    opts.lambda = lambda;
+    TaxoRecModel model(TinyConfig(), opts);
+    Rng rng(9);
+    model.Fit(split, &rng);
+    std::vector<double> scores(split.num_items);
+    model.ScoreItems(0, std::span<double>(scores));
+    for (double s : scores) EXPECT_TRUE(std::isfinite(s)) << lambda;
+  }
+}
+
+}  // namespace
+}  // namespace taxorec

@@ -1,0 +1,273 @@
+// taxorec_cli — command-line interface to the library.
+//
+//   taxorec_cli generate --profile yelp --out data.tsv
+//   taxorec_cli generate --users 500 --items 800 --tags 60 --out data.tsv
+//   taxorec_cli stats --data data.tsv
+//   taxorec_cli train --data data.tsv --model TaxoRec --epochs 25 \
+//       --checkpoint model.ckpt
+//   taxorec_cli recommend --data data.tsv --checkpoint model.ckpt --user 7
+//   taxorec_cli taxonomy --data data.tsv --checkpoint model.ckpt \
+//       --dot taxo.dot --json taxo.json
+//
+// `train` works for every registered model; `recommend`/`taxonomy` restore
+// a TaxoRec checkpoint (checkpointing of baselines is not exposed here).
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <string>
+
+#include "common/checkpoint.h"
+#include "common/flags.h"
+#include "core/taxorec_model.h"
+#include "data/io.h"
+#include "data/profiles.h"
+#include "data/split.h"
+#include "data/stats.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "eval/recommend.h"
+#include "taxonomy/export.h"
+
+namespace taxorec::cli {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+StatusOr<Dataset> LoadData(const FlagSet& flags) {
+  const std::string path = flags.GetString("data");
+  if (path.empty()) {
+    return Status::InvalidArgument("--data is required");
+  }
+  return LoadDataset(path);
+}
+
+ModelConfig ConfigFromFlags(const FlagSet& flags) {
+  ModelConfig cfg;
+  cfg.dim = static_cast<size_t>(flags.GetInt("dim"));
+  cfg.tag_dim = static_cast<size_t>(flags.GetInt("tag-dim"));
+  cfg.epochs = static_cast<int>(flags.GetInt("epochs"));
+  cfg.lr = flags.GetDouble("lr");
+  cfg.margin = flags.GetDouble("margin");
+  cfg.gcn_layers = static_cast<int>(flags.GetInt("layers"));
+  cfg.reg_lambda = flags.GetDouble("lambda");
+  cfg.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  return cfg;
+}
+
+void DefineModelFlags(FlagSet* flags) {
+  flags->DefineString("data", "", "dataset TSV path");
+  flags->DefineInt("dim", 64, "total embedding dimension D");
+  flags->DefineInt("tag-dim", 12, "tag-channel dimension D_t");
+  flags->DefineInt("epochs", 25, "training epochs");
+  flags->DefineDouble("lr", 0.05, "learning rate");
+  flags->DefineDouble("margin", 2.0, "hinge margin m");
+  flags->DefineInt("layers", 3, "GCN layers L");
+  flags->DefineDouble("lambda", 0.1, "taxonomy regularization weight");
+  flags->DefineInt("seed", 13, "random seed");
+}
+
+int CmdGenerate(int argc, const char* const* argv) {
+  FlagSet flags;
+  flags.DefineString("profile", "", "named profile (ciao|amazon-cd|...)");
+  flags.DefineString("out", "data.tsv", "output TSV path");
+  flags.DefineInt("users", 500, "users (custom profile)");
+  flags.DefineInt("items", 800, "items (custom profile)");
+  flags.DefineInt("tags", 60, "tags (custom profile)");
+  flags.DefineInt("seed", 42, "generator seed");
+  if (Status s = flags.Parse(argc, argv, 2); !s.ok()) return Fail(s);
+
+  Dataset data;
+  if (!flags.GetString("profile").empty()) {
+    auto d = MakeProfileDataset(flags.GetString("profile"));
+    if (!d.ok()) return Fail(d.status());
+    data = std::move(*d);
+  } else {
+    SyntheticConfig cfg;
+    cfg.name = "custom";
+    cfg.num_users = static_cast<size_t>(flags.GetInt("users"));
+    cfg.num_items = static_cast<size_t>(flags.GetInt("items"));
+    cfg.num_tags = static_cast<size_t>(flags.GetInt("tags"));
+    cfg.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+    data = GenerateSynthetic(cfg);
+  }
+  if (Status s = SaveDataset(data, flags.GetString("out")); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("wrote %s: %zu users, %zu items, %zu interactions, %zu tags\n",
+              flags.GetString("out").c_str(), data.num_users, data.num_items,
+              data.interactions.size(), data.num_tags);
+  return 0;
+}
+
+int CmdStats(int argc, const char* const* argv) {
+  FlagSet flags;
+  flags.DefineString("data", "", "dataset TSV path");
+  if (Status s = flags.Parse(argc, argv, 2); !s.ok()) return Fail(s);
+  auto data = LoadData(flags);
+  if (!data.ok()) return Fail(data.status());
+  const DatasetStats s = ComputeStats(*data);
+  std::printf("dataset %s\n", data->name.c_str());
+  std::printf("  users %zu  items %zu  interactions %zu  density %.4f%%\n",
+              s.num_users, s.num_items, s.num_interactions,
+              100.0 * s.density);
+  std::printf("  interactions/user: mean %.1f median %.1f\n",
+              s.mean_interactions_per_user, s.median_interactions_per_user);
+  std::printf("  tags %zu  item-tag edges %zu  tags/item %.2f\n", s.num_tags,
+              s.num_item_tag_edges, s.mean_tags_per_item);
+  std::printf("  item popularity gini %.3f\n", s.item_popularity_gini);
+  if (!s.tags_per_depth.empty()) {
+    std::printf("  planted taxonomy depth %d, tags per depth:", s.max_tag_depth);
+    for (size_t n : s.tags_per_depth) std::printf(" %zu", n);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int CmdTrain(int argc, const char* const* argv) {
+  FlagSet flags;
+  DefineModelFlags(&flags);
+  flags.DefineString("model", "TaxoRec", "model name (see README)");
+  flags.DefineString("checkpoint", "", "write TaxoRec checkpoint here");
+  if (Status s = flags.Parse(argc, argv, 2); !s.ok()) return Fail(s);
+  auto data = LoadData(flags);
+  if (!data.ok()) return Fail(data.status());
+  const DataSplit split = TemporalSplit(*data);
+  const ModelConfig cfg = ConfigFromFlags(flags);
+
+  const std::string name = flags.GetString("model");
+  auto model = MakeModel(name, cfg);
+  if (model == nullptr) {
+    return Fail(Status::InvalidArgument("unknown model: " + name));
+  }
+  std::printf("training %s on %s ...\n", name.c_str(), data->name.c_str());
+  Rng rng(cfg.seed);
+  model->Fit(split, &rng);
+  const EvalResult r = EvaluateRanking(*model, split);
+  std::printf("test Recall@10 %.4f  Recall@20 %.4f  NDCG@10 %.4f  NDCG@20 "
+              "%.4f (%zu users)\n",
+              r.recall[0], r.recall[1], r.ndcg[0], r.ndcg[1],
+              r.num_eval_users);
+
+  const std::string ckpt_path = flags.GetString("checkpoint");
+  if (!ckpt_path.empty()) {
+    auto* taxo = dynamic_cast<TaxoRecModel*>(model.get());
+    if (taxo == nullptr) {
+      return Fail(Status::InvalidArgument(
+          "--checkpoint is only supported for --model TaxoRec"));
+    }
+    if (Status s = taxo->SaveCheckpoint().WriteFile(ckpt_path); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("checkpoint written to %s\n", ckpt_path.c_str());
+  }
+  return 0;
+}
+
+StatusOr<Dataset> RestoreTaxoRec(const FlagSet& flags, TaxoRecModel* model,
+                                 DataSplit* split) {
+  auto data = LoadData(flags);
+  if (!data.ok()) return data.status();
+  *split = TemporalSplit(*data);
+  auto ckpt = Checkpoint::ReadFile(flags.GetString("checkpoint"));
+  if (!ckpt.ok()) return ckpt.status();
+  TAXOREC_RETURN_NOT_OK(model->RestoreCheckpoint(*ckpt, *split));
+  return data;
+}
+
+int CmdRecommend(int argc, const char* const* argv) {
+  FlagSet flags;
+  DefineModelFlags(&flags);
+  flags.DefineString("checkpoint", "", "TaxoRec checkpoint path");
+  flags.DefineInt("user", 0, "user id");
+  flags.DefineInt("k", 10, "recommendations to print");
+  if (Status s = flags.Parse(argc, argv, 2); !s.ok()) return Fail(s);
+
+  TaxoRecModel model(ConfigFromFlags(flags), TaxoRecOptions{});
+  DataSplit split;
+  auto data = RestoreTaxoRec(flags, &model, &split);
+  if (!data.ok()) return Fail(data.status());
+
+  const uint32_t user = static_cast<uint32_t>(flags.GetInt("user"));
+  if (user >= split.num_users) {
+    return Fail(Status::InvalidArgument("user id out of range"));
+  }
+  const auto recs = RecommendTopK(
+      model, split, user, {.k = static_cast<size_t>(flags.GetInt("k"))});
+  std::printf("top-%zu for user %u (alpha=%.2f):\n", recs.size(), user,
+              model.alpha(user));
+  for (const auto& r : recs) {
+    std::printf("  item %-6u score %.4f  tags:", r.item, r.score);
+    for (uint32_t t : split.item_tags.RowCols(r.item)) {
+      std::printf(" <%s>", t < data->tag_names.size()
+                               ? data->tag_names[t].c_str()
+                               : "?");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int CmdTaxonomy(int argc, const char* const* argv) {
+  FlagSet flags;
+  DefineModelFlags(&flags);
+  flags.DefineString("checkpoint", "", "TaxoRec checkpoint path");
+  flags.DefineString("dot", "", "write Graphviz DOT here");
+  flags.DefineString("json", "", "write JSON here");
+  if (Status s = flags.Parse(argc, argv, 2); !s.ok()) return Fail(s);
+
+  TaxoRecModel model(ConfigFromFlags(flags), TaxoRecOptions{});
+  DataSplit split;
+  auto data = RestoreTaxoRec(flags, &model, &split);
+  if (!data.ok()) return Fail(data.status());
+
+  const Taxonomy* taxo = model.taxonomy();
+  if (taxo == nullptr) {
+    return Fail(Status::FailedPrecondition("model has no taxonomy"));
+  }
+  std::printf("%s", taxo->ToString(data->tag_names, 3).c_str());
+  auto write_file = [&](const std::string& path,
+                        const std::string& contents) -> Status {
+    if (path.empty()) return Status::OK();
+    std::ofstream out(path);
+    if (!out) return Status::IOError("cannot write " + path);
+    out << contents;
+    return Status::OK();
+  };
+  if (Status s = write_file(flags.GetString("dot"),
+                            TaxonomyToDot(*taxo, data->tag_names));
+      !s.ok()) {
+    return Fail(s);
+  }
+  if (Status s = write_file(flags.GetString("json"),
+                            TaxonomyToJson(*taxo, data->tag_names));
+      !s.ok()) {
+    return Fail(s);
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: taxorec_cli <generate|stats|train|recommend|taxonomy> "
+               "[flags]\n");
+  return 2;
+}
+
+int Main(int argc, const char* const* argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "generate") return CmdGenerate(argc, argv);
+  if (cmd == "stats") return CmdStats(argc, argv);
+  if (cmd == "train") return CmdTrain(argc, argv);
+  if (cmd == "recommend") return CmdRecommend(argc, argv);
+  if (cmd == "taxonomy") return CmdTaxonomy(argc, argv);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace taxorec::cli
+
+int main(int argc, char** argv) { return taxorec::cli::Main(argc, argv); }
