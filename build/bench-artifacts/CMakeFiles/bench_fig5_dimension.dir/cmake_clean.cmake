@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_dimension"
+  "../bench/bench_fig5_dimension.pdb"
+  "CMakeFiles/bench_fig5_dimension.dir/bench_fig5_dimension.cc.o"
+  "CMakeFiles/bench_fig5_dimension.dir/bench_fig5_dimension.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_dimension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_taxonomy"
+  "../bench/bench_fig6_taxonomy.pdb"
+  "CMakeFiles/bench_fig6_taxonomy.dir/bench_fig6_taxonomy.cc.o"
+  "CMakeFiles/bench_fig6_taxonomy.dir/bench_fig6_taxonomy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

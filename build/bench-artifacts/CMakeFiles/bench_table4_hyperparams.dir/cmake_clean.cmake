@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_hyperparams"
+  "../bench/bench_table4_hyperparams.pdb"
+  "CMakeFiles/bench_table4_hyperparams.dir/bench_table4_hyperparams.cc.o"
+  "CMakeFiles/bench_table4_hyperparams.dir/bench_table4_hyperparams.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_hyperparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_casestudy"
+  "../bench/bench_table5_casestudy.pdb"
+  "CMakeFiles/bench_table5_casestudy.dir/bench_table5_casestudy.cc.o"
+  "CMakeFiles/bench_table5_casestudy.dir/bench_table5_casestudy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperbolic_vs_euclidean.dir/hyperbolic_vs_euclidean.cpp.o"
+  "CMakeFiles/hyperbolic_vs_euclidean.dir/hyperbolic_vs_euclidean.cpp.o.d"
+  "hyperbolic_vs_euclidean"
+  "hyperbolic_vs_euclidean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperbolic_vs_euclidean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,76 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autodiff/tape.cc" "src/CMakeFiles/taxorec.dir/autodiff/tape.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/autodiff/tape.cc.o.d"
+  "/root/repo/src/baselines/agcn.cc" "src/CMakeFiles/taxorec.dir/baselines/agcn.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/baselines/agcn.cc.o.d"
+  "/root/repo/src/baselines/amf.cc" "src/CMakeFiles/taxorec.dir/baselines/amf.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/baselines/amf.cc.o.d"
+  "/root/repo/src/baselines/bprmf.cc" "src/CMakeFiles/taxorec.dir/baselines/bprmf.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/baselines/bprmf.cc.o.d"
+  "/root/repo/src/baselines/cml.cc" "src/CMakeFiles/taxorec.dir/baselines/cml.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/baselines/cml.cc.o.d"
+  "/root/repo/src/baselines/cmlf.cc" "src/CMakeFiles/taxorec.dir/baselines/cmlf.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/baselines/cmlf.cc.o.d"
+  "/root/repo/src/baselines/embedding_model.cc" "src/CMakeFiles/taxorec.dir/baselines/embedding_model.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/baselines/embedding_model.cc.o.d"
+  "/root/repo/src/baselines/hgcf.cc" "src/CMakeFiles/taxorec.dir/baselines/hgcf.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/baselines/hgcf.cc.o.d"
+  "/root/repo/src/baselines/hyperml.cc" "src/CMakeFiles/taxorec.dir/baselines/hyperml.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/baselines/hyperml.cc.o.d"
+  "/root/repo/src/baselines/lightgcn.cc" "src/CMakeFiles/taxorec.dir/baselines/lightgcn.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/baselines/lightgcn.cc.o.d"
+  "/root/repo/src/baselines/lrml.cc" "src/CMakeFiles/taxorec.dir/baselines/lrml.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/baselines/lrml.cc.o.d"
+  "/root/repo/src/baselines/neumf.cc" "src/CMakeFiles/taxorec.dir/baselines/neumf.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/baselines/neumf.cc.o.d"
+  "/root/repo/src/baselines/ngcf.cc" "src/CMakeFiles/taxorec.dir/baselines/ngcf.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/baselines/ngcf.cc.o.d"
+  "/root/repo/src/baselines/nmf.cc" "src/CMakeFiles/taxorec.dir/baselines/nmf.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/baselines/nmf.cc.o.d"
+  "/root/repo/src/baselines/recommender.cc" "src/CMakeFiles/taxorec.dir/baselines/recommender.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/baselines/recommender.cc.o.d"
+  "/root/repo/src/baselines/sml.cc" "src/CMakeFiles/taxorec.dir/baselines/sml.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/baselines/sml.cc.o.d"
+  "/root/repo/src/baselines/transcf.cc" "src/CMakeFiles/taxorec.dir/baselines/transcf.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/baselines/transcf.cc.o.d"
+  "/root/repo/src/common/checkpoint.cc" "src/CMakeFiles/taxorec.dir/common/checkpoint.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/common/checkpoint.cc.o.d"
+  "/root/repo/src/common/flags.cc" "src/CMakeFiles/taxorec.dir/common/flags.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/common/flags.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/taxorec.dir/common/status.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/common/status.cc.o.d"
+  "/root/repo/src/core/taxorec_model.cc" "src/CMakeFiles/taxorec.dir/core/taxorec_model.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/core/taxorec_model.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/CMakeFiles/taxorec.dir/core/trainer.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/core/trainer.cc.o.d"
+  "/root/repo/src/data/csv_loader.cc" "src/CMakeFiles/taxorec.dir/data/csv_loader.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/data/csv_loader.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/taxorec.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/CMakeFiles/taxorec.dir/data/io.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/data/io.cc.o.d"
+  "/root/repo/src/data/profiles.cc" "src/CMakeFiles/taxorec.dir/data/profiles.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/data/profiles.cc.o.d"
+  "/root/repo/src/data/sampler.cc" "src/CMakeFiles/taxorec.dir/data/sampler.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/data/sampler.cc.o.d"
+  "/root/repo/src/data/split.cc" "src/CMakeFiles/taxorec.dir/data/split.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/data/split.cc.o.d"
+  "/root/repo/src/data/stats.cc" "src/CMakeFiles/taxorec.dir/data/stats.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/data/stats.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/taxorec.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/eval/evaluator.cc" "src/CMakeFiles/taxorec.dir/eval/evaluator.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/eval/evaluator.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/taxorec.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/protocol.cc" "src/CMakeFiles/taxorec.dir/eval/protocol.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/eval/protocol.cc.o.d"
+  "/root/repo/src/eval/recommend.cc" "src/CMakeFiles/taxorec.dir/eval/recommend.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/eval/recommend.cc.o.d"
+  "/root/repo/src/hyperbolic/klein.cc" "src/CMakeFiles/taxorec.dir/hyperbolic/klein.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/hyperbolic/klein.cc.o.d"
+  "/root/repo/src/hyperbolic/lorentz.cc" "src/CMakeFiles/taxorec.dir/hyperbolic/lorentz.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/hyperbolic/lorentz.cc.o.d"
+  "/root/repo/src/hyperbolic/maps.cc" "src/CMakeFiles/taxorec.dir/hyperbolic/maps.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/hyperbolic/maps.cc.o.d"
+  "/root/repo/src/hyperbolic/poincare.cc" "src/CMakeFiles/taxorec.dir/hyperbolic/poincare.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/hyperbolic/poincare.cc.o.d"
+  "/root/repo/src/math/csr.cc" "src/CMakeFiles/taxorec.dir/math/csr.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/math/csr.cc.o.d"
+  "/root/repo/src/math/matrix.cc" "src/CMakeFiles/taxorec.dir/math/matrix.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/math/matrix.cc.o.d"
+  "/root/repo/src/math/rng.cc" "src/CMakeFiles/taxorec.dir/math/rng.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/math/rng.cc.o.d"
+  "/root/repo/src/math/vec_ops.cc" "src/CMakeFiles/taxorec.dir/math/vec_ops.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/math/vec_ops.cc.o.d"
+  "/root/repo/src/nn/gcn.cc" "src/CMakeFiles/taxorec.dir/nn/gcn.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/nn/gcn.cc.o.d"
+  "/root/repo/src/nn/lorentz_layers.cc" "src/CMakeFiles/taxorec.dir/nn/lorentz_layers.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/nn/lorentz_layers.cc.o.d"
+  "/root/repo/src/nn/losses.cc" "src/CMakeFiles/taxorec.dir/nn/losses.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/nn/losses.cc.o.d"
+  "/root/repo/src/nn/midpoint.cc" "src/CMakeFiles/taxorec.dir/nn/midpoint.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/nn/midpoint.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/CMakeFiles/taxorec.dir/nn/mlp.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/nn/mlp.cc.o.d"
+  "/root/repo/src/optim/rsgd.cc" "src/CMakeFiles/taxorec.dir/optim/rsgd.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/optim/rsgd.cc.o.d"
+  "/root/repo/src/optim/sgd.cc" "src/CMakeFiles/taxorec.dir/optim/sgd.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/optim/sgd.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/CMakeFiles/taxorec.dir/stats/descriptive.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/stats/descriptive.cc.o.d"
+  "/root/repo/src/stats/wilcoxon.cc" "src/CMakeFiles/taxorec.dir/stats/wilcoxon.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/stats/wilcoxon.cc.o.d"
+  "/root/repo/src/taxonomy/builder.cc" "src/CMakeFiles/taxorec.dir/taxonomy/builder.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/taxonomy/builder.cc.o.d"
+  "/root/repo/src/taxonomy/export.cc" "src/CMakeFiles/taxorec.dir/taxonomy/export.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/taxonomy/export.cc.o.d"
+  "/root/repo/src/taxonomy/metrics.cc" "src/CMakeFiles/taxorec.dir/taxonomy/metrics.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/taxonomy/metrics.cc.o.d"
+  "/root/repo/src/taxonomy/poincare_kmeans.cc" "src/CMakeFiles/taxorec.dir/taxonomy/poincare_kmeans.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/taxonomy/poincare_kmeans.cc.o.d"
+  "/root/repo/src/taxonomy/regularizer.cc" "src/CMakeFiles/taxorec.dir/taxonomy/regularizer.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/taxonomy/regularizer.cc.o.d"
+  "/root/repo/src/taxonomy/scoring.cc" "src/CMakeFiles/taxorec.dir/taxonomy/scoring.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/taxonomy/scoring.cc.o.d"
+  "/root/repo/src/taxonomy/tree.cc" "src/CMakeFiles/taxorec.dir/taxonomy/tree.cc.o" "gcc" "src/CMakeFiles/taxorec.dir/taxonomy/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperbolic_test.dir/hyperbolic_test.cc.o"
+  "CMakeFiles/hyperbolic_test.dir/hyperbolic_test.cc.o.d"
+  "hyperbolic_test"
+  "hyperbolic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperbolic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/library_features_test.dir/library_features_test.cc.o"
+  "CMakeFiles/library_features_test.dir/library_features_test.cc.o.d"
+  "library_features_test"
+  "library_features_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/library_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxorec_model_test.dir/taxorec_model_test.cc.o"
+  "CMakeFiles/taxorec_model_test.dir/taxorec_model_test.cc.o.d"
+  "taxorec_model_test"
+  "taxorec_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxorec_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

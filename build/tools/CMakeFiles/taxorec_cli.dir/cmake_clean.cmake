@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxorec_cli.dir/taxorec_cli.cc.o"
+  "CMakeFiles/taxorec_cli.dir/taxorec_cli.cc.o.d"
+  "taxorec_cli"
+  "taxorec_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxorec_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
