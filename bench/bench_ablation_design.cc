@@ -13,8 +13,9 @@
 #include "taxonomy/builder.h"
 #include "taxonomy/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace taxorec;
+  bench::BenchRun run("ablation_design", argc, argv);
   const auto pd = bench::LoadProfile("yelp");
   ModelConfig cfg = bench::ConfigFor("TaxoRec");
 

@@ -1,17 +1,21 @@
 // Shared helpers for the experiment harness binaries (one per paper
 // table/figure). Environment knobs:
-//   TAXOREC_FAST=1   — third of the epochs, single seed (smoke runs)
-//   TAXOREC_SEEDS=n  — number of training seeds per cell (default 2)
-//   TAXOREC_SCALE=f  — dataset profile scale factor (see data/profiles.h)
+//   TAXOREC_FAST=1    — third of the epochs, single seed (smoke runs)
+//   TAXOREC_SEEDS=n   — number of training seeds per cell (default 2)
+//   TAXOREC_SCALE=f   — dataset profile scale factor (see data/profiles.h)
+//   TAXOREC_THREADS=n — worker threads (also settable via --threads=n)
 #ifndef TAXOREC_BENCH_BENCH_COMMON_H_
 #define TAXOREC_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 #include "baselines/recommender.h"
 #include "common/check.h"
+#include "common/parallel.h"
 #include "data/profiles.h"
 #include "data/split.h"
 #include "eval/protocol.h"
@@ -144,6 +148,65 @@ inline void PrintRule(int width) {
   for (int i = 0; i < width; ++i) std::fputc('-', stdout);
   std::fputc('\n', stdout);
 }
+
+/// Resolves the worker-thread count for a bench binary: --threads=N /
+/// --threads N on the command line, else TAXOREC_THREADS, else hardware
+/// concurrency. Installs it via SetNumThreads and returns it.
+inline int InitThreads(int argc, const char* const* argv) {
+  int n = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      n = std::atoi(arg.c_str() + 10);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      n = std::atoi(argv[i + 1]);
+    }
+  }
+  if (n < 1) {
+    if (const char* env = std::getenv("TAXOREC_THREADS")) n = std::atoi(env);
+  }
+  if (n < 1) n = HardwareThreads();
+  SetNumThreads(n);
+  return n;
+}
+
+/// Times a bench binary and records {threads, wall_seconds} to
+/// BENCH_<name>.json on destruction. Declare one at the top of main():
+///   taxorec::bench::BenchRun run("table2_overall", argc, argv);
+class BenchRun {
+ public:
+  BenchRun(std::string name, int argc, const char* const* argv)
+      : name_(std::move(name)),
+        threads_(InitThreads(argc, argv)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  BenchRun(const BenchRun&) = delete;
+  BenchRun& operator=(const BenchRun&) = delete;
+
+  ~BenchRun() {
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    std::fprintf(f,
+                 "{\"bench\": \"%s\", \"threads\": %d, "
+                 "\"hardware_concurrency\": %d, \"wall_seconds\": %.3f}\n",
+                 name_.c_str(), threads_, HardwareThreads(), secs);
+    std::fclose(f);
+    std::printf("[bench] %s: threads=%d wall=%.2fs -> %s\n", name_.c_str(),
+                threads_, secs, path.c_str());
+  }
+
+  int threads() const { return threads_; }
+
+ private:
+  std::string name_;
+  int threads_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace taxorec::bench
 

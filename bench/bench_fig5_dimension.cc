@@ -8,8 +8,9 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace taxorec;
+  bench::BenchRun run("fig5_dimension", argc, argv);
   ProtocolOptions popts;
   popts.num_seeds = bench::NumSeeds();
   const std::vector<size_t> dims = {16, 32, 48, 64};

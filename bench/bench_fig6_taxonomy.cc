@@ -10,8 +10,9 @@
 #include "core/taxorec_model.h"
 #include "taxonomy/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace taxorec;
+  bench::BenchRun run("fig6_taxonomy", argc, argv);
   for (const std::string profile : {"amazon-book", "yelp"}) {
     const auto pd = bench::LoadProfile(profile);
     ModelConfig cfg = bench::ConfigFor("TaxoRec");

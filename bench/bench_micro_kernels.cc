@@ -1,9 +1,16 @@
 // Microbenchmarks of the substrate kernels (google-benchmark): hyperbolic
 // primitives, the manual layers, GCN propagation, K-means, taxonomy
 // construction, and evaluation. Not a paper table — used to track the cost
-// of the building blocks.
+// of the building blocks. After the google-benchmark suites, a thread-
+// scaling report times SpMM and full-ranking evaluation at 1 thread vs the
+// configured count (--threads / TAXOREC_THREADS) and writes both timings
+// to BENCH_micro.json.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench_common.h"
+#include "common/parallel.h"
 #include "data/sampler.h"
 #include "data/split.h"
 #include "data/synthetic.h"
@@ -182,7 +189,110 @@ void BM_TripletSampling(benchmark::State& state) {
 }
 BENCHMARK(BM_TripletSampling);
 
+/// Preference = <user embedding, item embedding>: cheap enough that the
+/// eval timing below is dominated by the ranking loop itself.
+class DotScorer : public Recommender {
+ public:
+  DotScorer(Matrix users, Matrix items)
+      : users_(std::move(users)), items_(std::move(items)) {}
+  std::string name() const override { return "DotScorer"; }
+  void Fit(const DataSplit&, Rng*) override {}
+  void ScoreItems(uint32_t user, std::span<double> out) const override {
+    const auto u = users_.row(user);
+    for (size_t v = 0; v < out.size(); ++v) {
+      out[v] = vec::Dot(u, items_.row(v));
+    }
+  }
+
+ private:
+  Matrix users_;
+  Matrix items_;
+};
+
+/// Best-of-`reps` wall time of fn().
+template <typename Fn>
+double TimeBestSeconds(int reps, Fn&& fn) {
+  fn();  // warm-up
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    if (secs < best) best = secs;
+  }
+  return best;
+}
+
+/// Times row-parallel SpMM and full-ranking evaluation single- vs
+/// multi-threaded and writes BENCH_micro.json.
+void RunThreadScalingReport(int threads, double wall_before) {
+  Rng rng(42);
+  SyntheticConfig cfg;
+  cfg.num_users = 1500;
+  cfg.num_items = 2500;
+  cfg.num_tags = 80;
+  cfg.seed = 7;
+  const Dataset data = GenerateSynthetic(cfg);
+  const DataSplit split = TemporalSplit(data);
+
+  Matrix dense(split.num_items, 64);
+  dense.FillGaussian(&rng, 0.1);
+  Matrix spmm_out;
+  auto spmm = [&] { split.train.Multiply(dense, &spmm_out); };
+
+  Matrix users(split.num_users, 32), items(split.num_items, 32);
+  users.FillGaussian(&rng, 0.1);
+  items.FillGaussian(&rng, 0.1);
+  const DotScorer scorer(std::move(users), std::move(items));
+  EvalResult eval_out;
+  auto eval = [&] { eval_out = EvaluateRanking(scorer, split); };
+
+  SetNumThreads(1);
+  const double spmm_t1 = TimeBestSeconds(5, spmm);
+  const double eval_t1 = TimeBestSeconds(3, eval);
+  SetNumThreads(threads);
+  const double spmm_tn = TimeBestSeconds(5, spmm);
+  const double eval_tn = TimeBestSeconds(3, eval);
+
+  std::printf("\nthread scaling (threads=%d, hardware_concurrency=%d)\n",
+              threads, HardwareThreads());
+  std::printf("  spmm %zux%zu*64:   t1 %.4fs  tN %.4fs  speedup %.2fx\n",
+              split.train.rows(), split.train.cols(), spmm_t1, spmm_tn,
+              spmm_t1 / spmm_tn);
+  std::printf("  eval %zu users:    t1 %.4fs  tN %.4fs  speedup %.2fx\n",
+              static_cast<size_t>(eval_out.num_eval_users), eval_t1, eval_tn,
+              eval_t1 / eval_tn);
+
+  std::FILE* f = std::fopen("BENCH_micro.json", "w");
+  if (f == nullptr) return;
+  std::fprintf(
+      f,
+      "{\"bench\": \"micro\", \"threads\": %d, \"hardware_concurrency\": %d,\n"
+      " \"spmm\": {\"t1_seconds\": %.6f, \"tN_seconds\": %.6f, "
+      "\"speedup\": %.3f},\n"
+      " \"eval\": {\"t1_seconds\": %.6f, \"tN_seconds\": %.6f, "
+      "\"speedup\": %.3f},\n"
+      " \"wall_seconds\": %.3f}\n",
+      threads, HardwareThreads(), spmm_t1, spmm_tn, spmm_t1 / spmm_tn,
+      eval_t1, eval_tn, eval_t1 / eval_tn, wall_before);
+  std::fclose(f);
+  std::printf("[bench] micro: threads=%d -> BENCH_micro.json\n", threads);
+}
+
 }  // namespace
 }  // namespace taxorec
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const auto start = std::chrono::steady_clock::now();
+  const int threads = taxorec::bench::InitThreads(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  taxorec::RunThreadScalingReport(threads, wall);
+  benchmark::Shutdown();
+  return 0;
+}

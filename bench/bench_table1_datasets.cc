@@ -7,8 +7,9 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace taxorec;
+  bench::BenchRun run("table1_datasets", argc, argv);
   std::printf("Table I: statistics of the datasets (synthetic profiles)\n");
   std::printf("%-12s %8s %8s %13s %11s %6s\n", "Dataset", "#User", "#Item",
               "#Interaction", "Density(%)", "#Tag");

@@ -13,8 +13,9 @@
 #include "bench_common.h"
 #include "stats/wilcoxon.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace taxorec;
+  bench::BenchRun run("table2_overall", argc, argv);
   ProtocolOptions popts;
   popts.num_seeds = bench::NumSeeds();
 

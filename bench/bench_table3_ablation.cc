@@ -9,8 +9,9 @@
 #include "bench_common.h"
 #include "core/trainer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace taxorec;
+  bench::BenchRun run("table3_ablation", argc, argv);
   ProtocolOptions popts;
   popts.num_seeds = bench::NumSeeds();
 

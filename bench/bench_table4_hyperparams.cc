@@ -9,8 +9,9 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace taxorec;
+  bench::BenchRun run("table4_hyperparams", argc, argv);
   const ModelConfig base = bench::ConfigFor("TaxoRec");
   ProtocolOptions popts;
   popts.num_seeds = bench::NumSeeds();

@@ -13,8 +13,9 @@
 #include "bench_common.h"
 #include "core/taxorec_model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace taxorec;
+  bench::BenchRun run("table5_casestudy", argc, argv);
   for (const std::string profile : {"amazon-book", "yelp"}) {
     const auto pd = bench::LoadProfile(profile);
     ModelConfig cfg = bench::ConfigFor("TaxoRec");

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace taxorec {
 namespace {
@@ -134,6 +135,21 @@ double FlagSet::GetDouble(const std::string& name) const {
 
 bool FlagSet::GetBool(const std::string& name) const {
   return GetString(name) == "true";
+}
+
+void DefineThreadsFlag(FlagSet* flags) {
+  flags->DefineInt("threads", HardwareThreads(),
+                   "worker threads for parallel kernels (1 = sequential)");
+}
+
+Status ApplyThreadsFlag(const FlagSet& flags) {
+  const int64_t threads = flags.GetInt("threads");
+  if (threads < 1) {
+    return Status::InvalidArgument("--threads must be >= 1, got " +
+                                   std::to_string(threads));
+  }
+  SetNumThreads(static_cast<int>(threads));
+  return Status::OK();
 }
 
 std::string FlagSet::Help() const {

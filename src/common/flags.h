@@ -54,6 +54,14 @@ class FlagSet {
   std::vector<std::string> positional_;
 };
 
+/// Declares the shared --threads flag (worker threads for the parallel
+/// kernels; default: hardware concurrency, 1 = legacy sequential path).
+void DefineThreadsFlag(FlagSet* flags);
+
+/// Validates the parsed --threads value (values < 1 are rejected with
+/// InvalidArgument) and installs it via SetNumThreads.
+Status ApplyThreadsFlag(const FlagSet& flags);
+
 }  // namespace taxorec
 
 #endif  // TAXOREC_COMMON_FLAGS_H_

@@ -1,0 +1,133 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.h"
+
+namespace taxorec {
+namespace {
+
+std::mutex g_config_mu;
+int g_num_threads = 0;  // 0 = unset → HardwareThreads()
+std::unique_ptr<ThreadPool> g_pool;
+
+// Set while a worker executes chunks; a ParallelFor issued from inside a
+// worker (e.g. a parallel kernel called from an already-parallel region)
+// runs inline instead of re-entering the pool.
+thread_local bool tl_in_worker = false;
+
+ThreadPool* AcquirePool(int num_threads) {
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  if (g_pool == nullptr || g_pool->num_threads() != num_threads) {
+    g_pool.reset();  // join the old workers before spawning new ones
+    g_pool = std::make_unique<ThreadPool>(num_threads);
+  }
+  return g_pool.get();
+}
+
+}  // namespace
+
+int HardwareThreads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+int GetNumThreads() {
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  return g_num_threads == 0 ? HardwareThreads() : g_num_threads;
+}
+
+void SetNumThreads(int n) {
+  TAXOREC_CHECK(n >= 1);
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  g_num_threads = n;
+}
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  TAXOREC_CHECK(num_threads >= 1);
+  threads_.reserve(static_cast<size_t>(num_threads - 1));
+  for (int w = 1; w < num_threads; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    if (worker < job_workers_) {
+      const std::function<void(int)>* job = job_;
+      lock.unlock();
+      (*job)(worker);
+      lock.lock();
+      if (--outstanding_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::Run(int num_workers, const std::function<void(int)>& fn) {
+  TAXOREC_CHECK(num_workers >= 1 && num_workers <= num_threads_);
+  if (num_workers == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_workers_ = num_workers;
+    outstanding_ = num_workers - 1;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  fn(0);  // the caller is worker 0
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+  job_ = nullptr;
+}
+
+void ParallelForWorker(size_t begin, size_t end, size_t grain,
+                       const std::function<void(size_t, size_t, int)>& fn) {
+  TAXOREC_CHECK(grain >= 1);
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  const size_t num_chunks = (n + grain - 1) / grain;
+  const int threads = GetNumThreads();
+  const int num_workers = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(threads), num_chunks));
+  if (num_workers <= 1 || tl_in_worker) {
+    fn(begin, end, 0);
+    return;
+  }
+  auto worker_fn = [&](int w) {
+    tl_in_worker = true;
+    for (size_t c = static_cast<size_t>(w); c < num_chunks;
+         c += static_cast<size_t>(num_workers)) {
+      const size_t chunk_begin = begin + c * grain;
+      const size_t chunk_end = std::min(end, chunk_begin + grain);
+      fn(chunk_begin, chunk_end, w);
+    }
+    tl_in_worker = false;
+  };
+  AcquirePool(threads)->Run(num_workers, worker_fn);
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  ParallelForWorker(begin, end, grain,
+                    [&fn](size_t b, size_t e, int) { fn(b, e); });
+}
+
+}  // namespace taxorec

@@ -6,6 +6,7 @@
 
 #include "baselines/embedding_model.h"
 #include "common/check.h"
+#include "common/parallel.h"
 #include "data/sampler.h"
 #include "hyperbolic/klein.h"
 #include "hyperbolic/lorentz.h"
@@ -206,10 +207,12 @@ double TaxoRecModel::Similarity(uint32_t user, uint32_t item) const {
   return g;
 }
 
-void TaxoRecModel::TrainStep(const std::vector<Triplet>& batch) {
+void TaxoRecModel::TrainStep(const TripletSampler& sampler, int epoch,
+                             size_t batch_index) {
   const bool hyp = options_.hyperbolic;
   // Summed (not averaged) batch gradients, matching per-triplet SGD scale.
   const double scale = 1.0;
+  const size_t batch = config_.batch_size;
 
   auto sq_dist_grad = [&](vec::ConstSpan x, vec::ConstSpan y, double s,
                           vec::Span gx, vec::Span gy) {
@@ -220,6 +223,71 @@ void TaxoRecModel::TrainStep(const std::vector<Triplet>& batch) {
     }
   };
 
+  // Phase 1 — per-sample fan-out. Each sample's triplet draw and hard
+  // negative mining consume a counter-based stream derived from
+  // (seed, epoch, sample_index), and its gradients land in sample-owned
+  // rows of a scratch buffer, so this phase reads the (frozen) propagated
+  // embeddings and writes disjoint memory: the batch is a pure function of
+  // the seed, not of the thread count.
+  struct SampleRec {
+    uint32_t user = 0, pos = 0, neg = 0;
+    double a = 0.0;
+    bool active = false;
+  };
+  std::vector<SampleRec> recs(batch);
+  Matrix gbuf_ir(batch * 3, di_cols_);  // rows 3j..3j+2: user/pos/neg grads
+  Matrix gbuf_tg;
+  if (options_.use_tags) gbuf_tg = Matrix(batch * 3, dt_cols_);
+
+  ParallelFor(0, batch, /*grain=*/32, [&](size_t j0, size_t j1) {
+    for (size_t j = j0; j < j1; ++j) {
+      const uint64_t sample_index = batch_index * batch + j;
+      Rng stream = Rng::Derive(config_.seed, static_cast<uint64_t>(epoch),
+                               sample_index);
+      Triplet t = sampler.Sample(&stream);
+      const double a = options_.use_tags ? alpha_[t.user] : 0.0;
+      const double g_pos = Similarity(t.user, t.pos);
+      double g_neg = Similarity(t.user, t.neg);
+      // Hard negative mining: of num_negatives uniform candidates, keep the
+      // most-violating (closest) one. Uniform negatives quickly stop being
+      // informative for margin losses.
+      for (int c = 1; c < config_.num_negatives; ++c) {
+        uint32_t cand = static_cast<uint32_t>(stream.Uniform(num_items_));
+        for (int tries = 0; tries < 16 && train_.Contains(t.user, cand);
+             ++tries) {
+          cand = static_cast<uint32_t>(stream.Uniform(num_items_));
+        }
+        const double g_cand = Similarity(t.user, cand);
+        if (g_cand < g_neg) {
+          g_neg = g_cand;
+          t.neg = cand;
+        }
+      }
+      double dpos, dneg;
+      if (nn::HingeTriplet(config_.margin, g_pos, g_neg, &dpos, &dneg) <=
+          0.0) {
+        continue;
+      }
+      recs[j] = {t.user, t.pos, t.neg, a, /*active=*/true};
+      sq_dist_grad(out_u_ir_.row(t.user), out_v_ir_.row(t.pos), dpos * scale,
+                   gbuf_ir.row(3 * j), gbuf_ir.row(3 * j + 1));
+      sq_dist_grad(out_u_ir_.row(t.user), out_v_ir_.row(t.neg), dneg * scale,
+                   gbuf_ir.row(3 * j), gbuf_ir.row(3 * j + 2));
+      if (options_.use_tags && a > 0.0) {
+        sq_dist_grad(out_u_tg_.row(t.user), out_v_tg_.row(t.pos),
+                     a * dpos * scale, gbuf_tg.row(3 * j),
+                     gbuf_tg.row(3 * j + 1));
+        sq_dist_grad(out_u_tg_.row(t.user), out_v_tg_.row(t.neg),
+                     a * dneg * scale, gbuf_tg.row(3 * j),
+                     gbuf_tg.row(3 * j + 2));
+      }
+    }
+  });
+
+  // Phase 2 — ordered reduction. Per-sample gradients are folded into the
+  // dense update matrices in ascending sample order on this thread, so the
+  // summation order (and every optimizer step below) is independent of the
+  // thread count.
   Matrix up_u_ir(num_users_, di_cols_);
   Matrix up_v_ir(num_items_, di_cols_);
   Matrix up_u_tg, up_v_tg;
@@ -227,43 +295,16 @@ void TaxoRecModel::TrainStep(const std::vector<Triplet>& batch) {
     up_u_tg = Matrix(num_users_, dt_cols_);
     up_v_tg = Matrix(num_items_, dt_cols_);
   }
-
-  for (const Triplet& batch_t : batch) {
-    Triplet t = batch_t;
-    const double a = options_.use_tags ? alpha_[t.user] : 0.0;
-    const double g_pos = Similarity(t.user, t.pos);
-    double g_neg = Similarity(t.user, t.neg);
-    // Hard negative mining: of num_negatives uniform candidates, keep the
-    // most-violating (closest) one. Uniform negatives quickly stop being
-    // informative for margin losses.
-    for (int c = 1; c < config_.num_negatives; ++c) {
-      uint32_t cand = static_cast<uint32_t>(train_rng_.Uniform(num_items_));
-      for (int tries = 0; tries < 16 && train_.Contains(t.user, cand);
-           ++tries) {
-        cand = static_cast<uint32_t>(train_rng_.Uniform(num_items_));
-      }
-      const double g_cand = Similarity(t.user, cand);
-      if (g_cand < g_neg) {
-        g_neg = g_cand;
-        t.neg = cand;
-      }
-    }
-    const auto u_ir = out_u_ir_.row(t.user);
-    const auto vp_ir = out_v_ir_.row(t.pos);
-    const auto vq_ir = out_v_ir_.row(t.neg);
-    double dpos, dneg;
-    if (nn::HingeTriplet(config_.margin, g_pos, g_neg, &dpos, &dneg) <= 0.0) {
-      continue;
-    }
-    sq_dist_grad(u_ir, vp_ir, dpos * scale, up_u_ir.row(t.user),
-                 up_v_ir.row(t.pos));
-    sq_dist_grad(u_ir, vq_ir, dneg * scale, up_u_ir.row(t.user),
-                 up_v_ir.row(t.neg));
-    if (options_.use_tags && a > 0.0) {
-      sq_dist_grad(out_u_tg_.row(t.user), out_v_tg_.row(t.pos),
-                   a * dpos * scale, up_u_tg.row(t.user), up_v_tg.row(t.pos));
-      sq_dist_grad(out_u_tg_.row(t.user), out_v_tg_.row(t.neg),
-                   a * dneg * scale, up_u_tg.row(t.user), up_v_tg.row(t.neg));
+  for (size_t j = 0; j < batch; ++j) {
+    const SampleRec& rec = recs[j];
+    if (!rec.active) continue;
+    vec::Axpy(1.0, gbuf_ir.row(3 * j), up_u_ir.row(rec.user));
+    vec::Axpy(1.0, gbuf_ir.row(3 * j + 1), up_v_ir.row(rec.pos));
+    vec::Axpy(1.0, gbuf_ir.row(3 * j + 2), up_v_ir.row(rec.neg));
+    if (options_.use_tags && rec.a > 0.0) {
+      vec::Axpy(1.0, gbuf_tg.row(3 * j), up_u_tg.row(rec.user));
+      vec::Axpy(1.0, gbuf_tg.row(3 * j + 1), up_v_tg.row(rec.pos));
+      vec::Axpy(1.0, gbuf_tg.row(3 * j + 2), up_v_tg.row(rec.neg));
     }
   }
 
@@ -406,7 +447,6 @@ void TaxoRecModel::InitFromSplit(const DataSplit& split, Rng* rng,
 
 void TaxoRecModel::Fit(const DataSplit& split, Rng* rng) {
   InitFromSplit(split, rng, /*init_params=*/true);
-  train_rng_ = Rng(config_.seed + 0x5EED);  // hard-negative candidate stream
   const bool hyp = options_.hyperbolic;
   if (options_.use_tags && hyp) {
     WarmUpTags(rng);
@@ -414,8 +454,11 @@ void TaxoRecModel::Fit(const DataSplit& split, Rng* rng) {
     RebuildTaxonomy();
   }
 
+  // The minibatch loop draws every triplet from a counter-based stream
+  // (Rng::Derive(seed, epoch, sample_index) inside TrainStep), not from
+  // `rng`, so the sampled triples — and the trained model — are identical
+  // at any --threads value.
   TripletSampler sampler(&split.train, config_.neg_sampling);
-  std::vector<Triplet> batch;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     if (options_.use_tags && hyp && epoch > 0 &&
         epoch % std::max(1, config_.taxo_rebuild_every) == 0) {
@@ -423,8 +466,7 @@ void TaxoRecModel::Fit(const DataSplit& split, Rng* rng) {
     }
     for (size_t b = 0; b < config_.batches_per_epoch; ++b) {
       Propagate();
-      sampler.SampleBatch(rng, config_.batch_size, &batch);
-      TrainStep(batch);
+      TrainStep(sampler, epoch, b);
     }
   }
   if (options_.use_tags && hyp) RebuildTaxonomy();

@@ -105,7 +105,13 @@ class TaxoRecModel : public Recommender {
   void WarmUpTags(Rng* rng);
   /// Runs the full forward pass from the current leaves.
   void Propagate();
-  void TrainStep(const std::vector<Triplet>& batch);
+  /// One minibatch step. Sampling, hard-negative mining and per-sample
+  /// gradient evaluation fan out over the batch with counter-based RNG
+  /// streams (Rng::Derive(seed, epoch, sample_index)); gradients are then
+  /// accumulated in sample order and the optimizers stepped — so the update
+  /// is bit-identical at any thread count.
+  void TrainStep(const TripletSampler& sampler, int epoch,
+                 size_t batch_index);
 
   ModelConfig config_;
   TaxoRecOptions options_;
@@ -138,8 +144,6 @@ class TaxoRecModel : public Recommender {
   nn::GcnContext ir_ctx_, tg_ctx_gcn_;
   Matrix sum_u_ir_, sum_v_ir_, sum_u_tg_, sum_v_tg_;  // GCN outputs
   Matrix out_u_ir_, out_v_ir_, out_u_tg_, out_v_tg_;  // final embeddings
-
-  Rng train_rng_{13};
 };
 
 }  // namespace taxorec

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <tuple>
 
+#include "common/parallel.h"
 #include "math/vec_ops.h"
 
 namespace taxorec {
@@ -84,14 +85,19 @@ void CsrMatrix::MultiplyAccum(const Matrix& dense, double alpha,
                               Matrix* out) const {
   TAXOREC_CHECK(dense.rows() == cols_);
   TAXOREC_CHECK(out->rows() == rows_ && out->cols() == dense.cols());
-  for (size_t r = 0; r < rows_; ++r) {
-    const auto cols = RowCols(r);
-    const auto w = RowWeights(r);
-    auto out_row = out->row(r);
-    for (size_t k = 0; k < cols.size(); ++k) {
-      vec::Axpy(alpha * w[k], dense.row(cols[k]), out_row);
+  // Row-parallel SpMM: every output row is owned by exactly one worker, so
+  // the result is bit-identical at any thread count. Small grain + static
+  // round-robin chunks balance the power-law row lengths.
+  ParallelFor(0, rows_, /*grain=*/32, [&](size_t r0, size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      const auto cols = RowCols(r);
+      const auto w = RowWeights(r);
+      auto out_row = out->row(r);
+      for (size_t k = 0; k < cols.size(); ++k) {
+        vec::Axpy(alpha * w[k], dense.row(cols[k]), out_row);
+      }
     }
-  }
+  });
 }
 
 CsrMatrix CsrMatrix::RowNormalized() const {

@@ -85,4 +85,14 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
 
 Rng Rng::Fork() { return Rng(Next()); }
 
+Rng Rng::Derive(uint64_t seed, uint64_t stream, uint64_t counter) {
+  uint64_t s = seed;
+  uint64_t h = SplitMix64(&s);
+  s = h ^ stream;
+  h = SplitMix64(&s);
+  s = h ^ counter;
+  h = SplitMix64(&s);
+  return Rng(h);
+}
+
 }  // namespace taxorec

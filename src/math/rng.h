@@ -54,6 +54,14 @@ class Rng {
   /// Derives an independent child generator (for per-worker streams).
   Rng Fork();
 
+  /// Counter-based stream derivation: a child generator whose state is a
+  /// pure function of (seed, stream, counter), independent of any draw
+  /// history. Used for per-sample RNG streams in parallel training loops —
+  /// e.g. Derive(seed, epoch, sample_index) yields the same triple at any
+  /// thread count. Nearby counters are decorrelated by chained splitmix64
+  /// finalizers.
+  static Rng Derive(uint64_t seed, uint64_t stream, uint64_t counter);
+
  private:
   uint64_t s_[4];
   bool has_spare_gaussian_ = false;

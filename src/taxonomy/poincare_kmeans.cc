@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "hyperbolic/klein.h"
 #include "hyperbolic/maps.h"
 #include "hyperbolic/poincare.h"
@@ -90,12 +91,15 @@ KMeansResult PoincareKMeans(const Matrix& points,
     vec::Copy(points.row(subset[first]), result.centroids.row(0));
     for (int k = 1; k < K; ++k) {
       std::vector<double> weights(n);
-      for (size_t i = 0; i < n; ++i) {
-        const double dd = poincare::Distance(points.row(subset[i]),
-                                             result.centroids.row(k - 1));
-        if (dd < min_dist[i]) min_dist[i] = dd;
-        weights[i] = min_dist[i] * min_dist[i] + 1e-12;
-      }
+      // Per-point distance updates are independent (one writer per index).
+      ParallelFor(0, n, /*grain=*/128, [&](size_t i0, size_t i1) {
+        for (size_t i = i0; i < i1; ++i) {
+          const double dd = poincare::Distance(points.row(subset[i]),
+                                               result.centroids.row(k - 1));
+          if (dd < min_dist[i]) min_dist[i] = dd;
+          weights[i] = min_dist[i] * min_dist[i] + 1e-12;
+        }
+      });
       const size_t pick = rng->Categorical(weights);
       vec::Copy(points.row(subset[pick]), result.centroids.row(k));
     }
@@ -104,33 +108,43 @@ KMeansResult PoincareKMeans(const Matrix& points,
   std::vector<int> prev(n, -1);
   for (int iter = 0; iter < opts.max_iters; ++iter) {
     result.iterations = iter + 1;
-    // Assignment step.
-    for (size_t i = 0; i < n; ++i) {
-      double best = std::numeric_limits<double>::infinity();
-      int best_k = 0;
-      for (int k = 0; k < K; ++k) {
-        const double dd =
-            poincare::Distance(points.row(subset[i]), result.centroids.row(k));
-        if (dd < best) {
-          best = dd;
-          best_k = k;
+    // Assignment step: each point's nearest centroid is independent, so the
+    // parallel result is bit-identical to the sequential scan.
+    ParallelFor(0, n, /*grain=*/64, [&](size_t i0, size_t i1) {
+      for (size_t i = i0; i < i1; ++i) {
+        double best = std::numeric_limits<double>::infinity();
+        int best_k = 0;
+        for (int k = 0; k < K; ++k) {
+          const double dd = poincare::Distance(points.row(subset[i]),
+                                               result.centroids.row(k));
+          if (dd < best) {
+            best = dd;
+            best_k = k;
+          }
         }
+        result.assignment[i] = best_k;
       }
-      result.assignment[i] = best_k;
-    }
+    });
     if (result.assignment == prev) break;
     prev = result.assignment;
 
-    // Update step.
-    for (int k = 0; k < K; ++k) {
-      if (opts.centroid == CentroidMethod::kKleinMidpoint) {
-        KleinCentroid(points, subset, result.assignment, k,
-                      result.centroids.row(k));
-      } else {
-        TangentCentroid(points, subset, result.assignment, k,
-                        result.centroids.row(k));
-      }
-    }
+    // Update step: re-centering fans out over clusters; each cluster's
+    // Klein-midpoint (or tangent-mean) scan is sequential in member order,
+    // so the centroids match the sequential update bit for bit.
+    ParallelFor(0, static_cast<size_t>(K), /*grain=*/1,
+                [&](size_t k0, size_t k1) {
+                  for (size_t k = k0; k < k1; ++k) {
+                    if (opts.centroid == CentroidMethod::kKleinMidpoint) {
+                      KleinCentroid(points, subset, result.assignment,
+                                    static_cast<int>(k),
+                                    result.centroids.row(k));
+                    } else {
+                      TangentCentroid(points, subset, result.assignment,
+                                      static_cast<int>(k),
+                                      result.centroids.row(k));
+                    }
+                  }
+                });
 
     // Reseed empty clusters with the globally farthest point.
     std::vector<size_t> counts(K, 0);

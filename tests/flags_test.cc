@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "common/flags.h"
+#include "common/parallel.h"
 
 namespace taxorec {
 namespace {
@@ -100,6 +101,47 @@ TEST(FlagsTest, StartOffsetSkipsSubcommand) {
   ASSERT_TRUE(flags.Parse(3, argv, 2).ok());
   EXPECT_EQ(flags.GetInt("count"), 3);
   EXPECT_TRUE(flags.positional().empty());
+}
+
+class ThreadsFlagTest : public ::testing::Test {
+ protected:
+  ThreadsFlagTest() : saved_(GetNumThreads()) {}
+  ~ThreadsFlagTest() override { SetNumThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+TEST_F(ThreadsFlagTest, DefaultsToHardwareConcurrency) {
+  FlagSet flags;
+  DefineThreadsFlag(&flags);
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.Parse(1, argv).ok());
+  EXPECT_EQ(flags.GetInt("threads"), HardwareThreads());
+  ASSERT_TRUE(ApplyThreadsFlag(flags).ok());
+  EXPECT_EQ(GetNumThreads(), HardwareThreads());
+}
+
+TEST_F(ThreadsFlagTest, ExplicitValueInstalled) {
+  FlagSet flags;
+  DefineThreadsFlag(&flags);
+  const char* argv[] = {"prog", "--threads=3"};
+  ASSERT_TRUE(flags.Parse(2, argv).ok());
+  ASSERT_TRUE(ApplyThreadsFlag(flags).ok());
+  EXPECT_EQ(GetNumThreads(), 3);
+}
+
+TEST_F(ThreadsFlagTest, RejectsNonPositiveValues) {
+  for (const char* bad : {"--threads=0", "--threads=-2"}) {
+    FlagSet flags;
+    DefineThreadsFlag(&flags);
+    const char* argv[] = {"prog", bad};
+    ASSERT_TRUE(flags.Parse(2, argv).ok()) << bad;
+    const Status s = ApplyThreadsFlag(flags);
+    ASSERT_FALSE(s.ok()) << bad;
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(s.ToString().find("--threads"), std::string::npos);
+  }
 }
 
 }  // namespace

@@ -67,6 +67,7 @@ void DefineModelFlags(FlagSet* flags) {
   flags->DefineInt("layers", 3, "GCN layers L");
   flags->DefineDouble("lambda", 0.1, "taxonomy regularization weight");
   flags->DefineInt("seed", 13, "random seed");
+  DefineThreadsFlag(flags);
 }
 
 int CmdGenerate(int argc, const char* const* argv) {
@@ -132,6 +133,7 @@ int CmdTrain(int argc, const char* const* argv) {
   flags.DefineString("model", "TaxoRec", "model name (see README)");
   flags.DefineString("checkpoint", "", "write TaxoRec checkpoint here");
   if (Status s = flags.Parse(argc, argv, 2); !s.ok()) return Fail(s);
+  if (Status s = ApplyThreadsFlag(flags); !s.ok()) return Fail(s);
   auto data = LoadData(flags);
   if (!data.ok()) return Fail(data.status());
   const DataSplit split = TemporalSplit(*data);
@@ -184,6 +186,7 @@ int CmdRecommend(int argc, const char* const* argv) {
   flags.DefineInt("user", 0, "user id");
   flags.DefineInt("k", 10, "recommendations to print");
   if (Status s = flags.Parse(argc, argv, 2); !s.ok()) return Fail(s);
+  if (Status s = ApplyThreadsFlag(flags); !s.ok()) return Fail(s);
 
   TaxoRecModel model(ConfigFromFlags(flags), TaxoRecOptions{});
   DataSplit split;
@@ -217,6 +220,7 @@ int CmdTaxonomy(int argc, const char* const* argv) {
   flags.DefineString("dot", "", "write Graphviz DOT here");
   flags.DefineString("json", "", "write JSON here");
   if (Status s = flags.Parse(argc, argv, 2); !s.ok()) return Fail(s);
+  if (Status s = ApplyThreadsFlag(flags); !s.ok()) return Fail(s);
 
   TaxoRecModel model(ConfigFromFlags(flags), TaxoRecOptions{});
   DataSplit split;
