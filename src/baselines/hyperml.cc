@@ -1,5 +1,10 @@
 #include "baselines/hyperml.h"
 
+#include <limits>
+
+#include "common/check.h"
+#include "common/fault_injection.h"
+#include "common/health.h"
 #include "data/sampler.h"
 #include "hyperbolic/lorentz.h"
 #include "math/vec_ops.h"
@@ -7,7 +12,7 @@
 
 namespace taxorec {
 
-void HyperMl::Fit(const DataSplit& split, Rng* rng) {
+void HyperMl::BeginFit(const DataSplit& split, Rng* rng) {
   const size_t d1 = config_.dim + 1;
   users_ = Matrix(split.num_users, d1);
   items_ = Matrix(split.num_items, d1);
@@ -17,36 +22,54 @@ void HyperMl::Fit(const DataSplit& split, Rng* rng) {
   for (size_t v = 0; v < items_.rows(); ++v) {
     lorentz::RandomPoint(rng, 0.1, items_.row(v));
   }
+  train_ = split.train;
+  sampler_ = std::make_unique<TripletSampler>(&train_, config_.neg_sampling);
+}
 
-  TripletSampler sampler(&split.train, config_.neg_sampling);
+double HyperMl::FitEpoch(const DataSplit& split, int epoch, Rng* rng) {
+  const size_t d1 = config_.dim + 1;
   std::vector<double> gu(d1), gp(d1), gq(d1);
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    const size_t steps = config_.batches_per_epoch * config_.batch_size;
-    for (size_t s = 0; s < steps; ++s) {
-      const Triplet t = sampler.Sample(rng);
-      auto u = users_.row(t.user);
-      auto vp = items_.row(t.pos);
-      auto vq = items_.row(t.neg);
-      const double dp = lorentz::SqDistance(u, vp);
-      const double dq = lorentz::SqDistance(u, vq);
-      double dpos, dneg;
-      if (nn::HingeTriplet(config_.margin, dp, dq, &dpos, &dneg) <= 0.0) {
-        continue;
-      }
-      vec::Zero(vec::Span(gu));
-      vec::Zero(vec::Span(gp));
-      vec::Zero(vec::Span(gq));
-      lorentz::SqDistanceGrad(u, vp, dpos, vec::Span(gu), vec::Span(gp));
-      lorentz::SqDistanceGrad(u, vq, dneg, vec::Span(gu), vec::Span(gq));
-      if (config_.grad_clip > 0.0) {
-        vec::ClipNorm(vec::Span(gu), config_.grad_clip);
-        vec::ClipNorm(vec::Span(gp), config_.grad_clip);
-        vec::ClipNorm(vec::Span(gq), config_.grad_clip);
-      }
-      lorentz::RsgdStep(u, vec::ConstSpan(gu), config_.lr);
-      lorentz::RsgdStep(vp, vec::ConstSpan(gp), config_.lr);
-      lorentz::RsgdStep(vq, vec::ConstSpan(gq), config_.lr);
+  double epoch_loss = 0.0;
+  // Deterministic fault site (see common/fault_injection.h): poisons the
+  // first update of the epoch when armed.
+  bool inject = TAXOREC_FAULT(faults::kGradNan, epoch);
+  const size_t steps = config_.batches_per_epoch * config_.batch_size;
+  for (size_t s = 0; s < steps; ++s) {
+    const Triplet t = sampler_->Sample(rng);
+    auto u = users_.row(t.user);
+    auto vp = items_.row(t.pos);
+    auto vq = items_.row(t.neg);
+    const double dp = lorentz::SqDistance(u, vp);
+    const double dq = lorentz::SqDistance(u, vq);
+    double dpos, dneg;
+    const double hinge = nn::HingeTriplet(config_.margin, dp, dq, &dpos, &dneg);
+    if (hinge <= 0.0) continue;
+    epoch_loss += hinge;
+    vec::Zero(vec::Span(gu));
+    vec::Zero(vec::Span(gp));
+    vec::Zero(vec::Span(gq));
+    lorentz::SqDistanceGrad(u, vp, dpos, vec::Span(gu), vec::Span(gp));
+    lorentz::SqDistanceGrad(u, vq, dneg, vec::Span(gu), vec::Span(gq));
+    if (inject) {
+      gu[0] = std::numeric_limits<double>::quiet_NaN();
+      inject = false;
     }
+    if (config_.grad_clip > 0.0) {
+      vec::ClipNorm(vec::Span(gu), config_.grad_clip);
+      vec::ClipNorm(vec::Span(gp), config_.grad_clip);
+      vec::ClipNorm(vec::Span(gq), config_.grad_clip);
+    }
+    lorentz::RsgdStep(u, vec::ConstSpan(gu), config_.lr);
+    lorentz::RsgdStep(vp, vec::ConstSpan(gp), config_.lr);
+    lorentz::RsgdStep(vq, vec::ConstSpan(gq), config_.lr);
+  }
+  return epoch_loss;
+}
+
+void HyperMl::Fit(const DataSplit& split, Rng* rng) {
+  BeginFit(split, rng);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    FitEpoch(split, epoch, rng);
   }
 }
 
@@ -55,6 +78,41 @@ void HyperMl::ScoreItems(uint32_t user, std::span<double> out) const {
   for (size_t v = 0; v < items_.rows(); ++v) {
     out[v] = -lorentz::SqDistance(u, items_.row(v));
   }
+}
+
+void HyperMl::ScaleLearningRate(double factor) {
+  TAXOREC_CHECK(factor > 0.0);
+  config_.lr *= factor;
+}
+
+void HyperMl::CheckHealth(HealthMonitor* monitor) const {
+  monitor->CheckLorentzRows("users", users_);
+  monitor->CheckLorentzRows("items", items_);
+}
+
+Checkpoint HyperMl::SaveState() const {
+  Checkpoint ckpt;
+  ckpt.Put("users", users_);
+  ckpt.Put("items", items_);
+  return ckpt;
+}
+
+Status HyperMl::RestoreState(const Checkpoint& ckpt, const DataSplit& split) {
+  const Matrix* users = ckpt.Get("users");
+  const Matrix* items = ckpt.Get("items");
+  if (users == nullptr || items == nullptr) {
+    return Status::NotFound("HyperML checkpoint missing users/items");
+  }
+  const size_t d1 = config_.dim + 1;
+  if (users->rows() != split.num_users || users->cols() != d1 ||
+      items->rows() != split.num_items || items->cols() != d1) {
+    return Status::InvalidArgument("HyperML checkpoint shape mismatch");
+  }
+  users_ = *users;
+  items_ = *items;
+  train_ = split.train;
+  sampler_ = std::make_unique<TripletSampler>(&train_, config_.neg_sampling);
+  return Status::OK();
 }
 
 }  // namespace taxorec

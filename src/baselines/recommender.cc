@@ -18,6 +18,30 @@
 
 namespace taxorec {
 
+void Recommender::BeginFit(const DataSplit& split, Rng* rng) {}
+
+double Recommender::FitEpoch(const DataSplit& split, int epoch, Rng* rng) {
+  // Legacy models train monolithically: the whole Fit runs as "epoch 0"
+  // and later epochs are no-ops, so the epoch-granular driver still
+  // produces a fully trained model.
+  if (epoch == 0) Fit(split, rng);
+  return 0.0;
+}
+
+void Recommender::EndFit(const DataSplit& split) {}
+
+void Recommender::ScaleLearningRate(double factor) {}
+
+void Recommender::CheckHealth(HealthMonitor* monitor) const {}
+
+Checkpoint Recommender::SaveState() const { return Checkpoint(); }
+
+Status Recommender::RestoreState(const Checkpoint& ckpt,
+                                 const DataSplit& split) {
+  return Status::FailedPrecondition(name() +
+                                    " does not support state restore");
+}
+
 std::vector<std::string> RegisteredModelNames() {
   // Table II row order: general, metric learning, graph based, tag based,
   // then TaxoRec.

@@ -10,11 +10,15 @@
 #include <string>
 #include <vector>
 
+#include "common/checkpoint.h"
+#include "common/status.h"
 #include "data/dataset.h"
 #include "data/sampler.h"
 #include "math/rng.h"
 
 namespace taxorec {
+
+class HealthMonitor;
 
 /// Knobs shared by all models; each model reads what applies to it.
 struct ModelConfig {
@@ -68,6 +72,48 @@ class Recommender {
   /// Writes a preference score for every item (higher = better) for `user`.
   /// `out` has split.num_items entries.
   virtual void ScoreItems(uint32_t user, std::span<double> out) const = 0;
+
+  // --- Epoch-granular training protocol (optional) -----------------------
+  //
+  // The fault-tolerant training loop (core/trainer.h) drives models one
+  // epoch at a time so it can health-check, checkpoint and roll back
+  // between epochs. Models that implement it natively (TaxoRecModel,
+  // HyperMl) override SupportsEpochFit() to return true and guarantee that
+  //   BeginFit(); for (e) FitEpoch(e); EndFit();
+  // is bit-identical to Fit(). The defaults route everything through
+  // Fit() so the remaining baselines keep working unchanged (the loop
+  // simply loses epoch granularity for them).
+
+  /// True when BeginFit/FitEpoch/EndFit are implemented natively.
+  virtual bool SupportsEpochFit() const { return false; }
+
+  /// Configured epoch count (0 when the model is not epoch-granular).
+  virtual int num_epochs() const { return 0; }
+
+  /// Prepares training state (parameter init, warm-up, samplers).
+  virtual void BeginFit(const DataSplit& split, Rng* rng);
+
+  /// Runs one training epoch; returns the summed epoch loss (0 when the
+  /// model does not track one). The default implementation runs the whole
+  /// legacy Fit() on epoch 0 and is a no-op afterwards.
+  virtual double FitEpoch(const DataSplit& split, int epoch, Rng* rng);
+
+  /// Finalizes training (last taxonomy rebuild, forward caches).
+  virtual void EndFit(const DataSplit& split);
+
+  /// Multiplies the learning rate by `factor` (divergence backoff).
+  virtual void ScaleLearningRate(double factor);
+
+  /// Reports parameter health (NaN/Inf, off-manifold drift) into `monitor`.
+  /// Default: no checks (trivially healthy).
+  virtual void CheckHealth(HealthMonitor* monitor) const;
+
+  /// Snapshot of the trainable state for rollback/resume. Default: empty.
+  virtual Checkpoint SaveState() const;
+
+  /// Restores a SaveState snapshot; the model must be ready to continue
+  /// FitEpoch afterwards. Default: FailedPrecondition.
+  virtual Status RestoreState(const Checkpoint& ckpt, const DataSplit& split);
 };
 
 using RecommenderFactory =

@@ -1,9 +1,15 @@
 #include "common/checkpoint.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <vector>
+
+#include "common/fault_injection.h"
 
 namespace taxorec {
 namespace {
@@ -56,16 +62,49 @@ Status Checkpoint::WriteFile(const std::string& path) const {
     payload.append(reinterpret_cast<const char*>(flat.data()),
                    flat.size() * sizeof(double));
   }
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open for write: " + path);
-  out.write(kMagic, sizeof(kMagic));
-  const uint32_t version = kVersion;
-  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
-  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-  const uint64_t checksum = Fnv1a(payload);
-  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
-  out.flush();
-  if (!out) return Status::IOError("write failed: " + path);
+  if (TAXOREC_FAULT(faults::kCheckpointWrite, -1)) {
+    return Status::IOError("injected fault '" +
+                           std::string(faults::kCheckpointWrite) +
+                           "': " + path);
+  }
+
+  // Crash-safe write: stream everything into `path + ".tmp"`, fsync, then
+  // rename() over the target. An interrupted save leaves at worst a stale
+  // .tmp next to the previous good checkpoint; it can never tear the file
+  // readers open.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open for write: " + tmp);
+    out.write(kMagic, sizeof(kMagic));
+    const uint32_t version = kVersion;
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    const uint64_t checksum = Fnv1a(payload);
+    out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::IOError("short write: " + tmp);
+    }
+  }
+  // Flush file contents to stable storage before publishing via rename, so
+  // a crash after the rename cannot surface a hole-filled file.
+  const int fd = ::open(tmp.c_str(), O_RDONLY);
+  if (fd < 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot reopen for fsync: " + tmp);
+  }
+  const bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced) {
+    std::remove(tmp.c_str());
+    return Status::IOError("fsync failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("rename failed: " + tmp + " -> " + path);
+  }
   return Status::OK();
 }
 

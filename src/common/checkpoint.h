@@ -32,7 +32,10 @@ class Checkpoint {
   size_t size() const { return entries_.size(); }
   const std::map<std::string, Matrix>& entries() const { return entries_; }
 
-  /// Writes all entries to `path` (overwrites).
+  /// Atomically replaces `path` with all entries: the bytes are written to
+  /// `path + ".tmp"`, fsync'd, and rename()d over the target, so a crash
+  /// mid-save never destroys the previous good checkpoint. Short writes
+  /// are detected via the stream state and returned as IOError.
   Status WriteFile(const std::string& path) const;
 
   /// Reads a checkpoint written by WriteFile; validates magic, version and

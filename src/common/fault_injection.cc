@@ -1,0 +1,71 @@
+#include "common/fault_injection.h"
+
+#include <cstdlib>
+
+namespace taxorec {
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(const std::string& site, int64_t epoch, int count) {
+  if (count <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  specs_[site].push_back(Spec{epoch, count});
+  armed_shots_.fetch_add(count, std::memory_order_relaxed);
+}
+
+Status FaultInjector::ArmFromSpec(const std::string& spec) {
+  if (spec.empty()) {
+    return Status::InvalidArgument("empty fault spec");
+  }
+  const size_t at = spec.find('@');
+  const std::string site = spec.substr(0, at);
+  if (site.empty()) {
+    return Status::InvalidArgument("fault spec has no site: '" + spec + "'");
+  }
+  int64_t epoch = -1;
+  if (at != std::string::npos) {
+    const std::string epoch_str = spec.substr(at + 1);
+    char* end = nullptr;
+    epoch = std::strtoll(epoch_str.c_str(), &end, 10);
+    if (end == epoch_str.c_str() || *end != '\0' || epoch < 0) {
+      return Status::InvalidArgument("bad fault epoch in '" + spec + "'");
+    }
+  }
+  Arm(site, epoch, /*count=*/1);
+  return Status::OK();
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  specs_.clear();
+  fired_.clear();
+  armed_shots_.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::Trip(std::string_view site, int64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = specs_.find(site);
+  if (it == specs_.end()) return false;
+  for (Spec& spec : it->second) {
+    if (spec.remaining <= 0) continue;
+    // Epoch-agnostic specs match everywhere; pinned specs require an exact
+    // epoch (call sites without an epoch pass -1 and match agnostic only).
+    if (spec.epoch >= 0 && spec.epoch != epoch) continue;
+    --spec.remaining;
+    armed_shots_.fetch_sub(1, std::memory_order_relaxed);
+    ++fired_[std::string(site)];
+    return true;
+  }
+  return false;
+}
+
+int FaultInjector::fired(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = fired_.find(site);
+  return it == fired_.end() ? 0 : it->second;
+}
+
+}  // namespace taxorec

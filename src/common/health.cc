@@ -1,0 +1,108 @@
+#include "common/health.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "hyperbolic/lorentz.h"
+#include "math/vec_ops.h"
+
+namespace taxorec {
+namespace {
+
+bool AllFinite(std::span<const double> row) {
+  for (double v : row) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string HealthReport::ToString() const {
+  if (healthy()) return "healthy";
+  std::ostringstream out;
+  out << "unhealthy: " << nonfinite_values << " non-finite value(s), "
+      << off_manifold_rows << " off-manifold row(s), " << bad_losses
+      << " bad loss(es)";
+  for (const std::string& issue : issues) out << "; " << issue;
+  return out.str();
+}
+
+HealthMonitor::HealthMonitor(HealthOptions options)
+    : options_(options) {}
+
+void HealthMonitor::AddIssue(std::string message) {
+  if (report_.issues.size() < options_.max_issues) {
+    report_.issues.push_back(std::move(message));
+  }
+}
+
+void HealthMonitor::CheckFinite(std::string_view name, const Matrix& m) {
+  report_.values_scanned += m.rows() * m.cols();
+  for (size_t r = 0; r < m.rows(); ++r) {
+    size_t bad = 0;
+    for (double v : m.row(r)) {
+      if (!std::isfinite(v)) ++bad;
+    }
+    if (bad > 0) {
+      report_.nonfinite_values += bad;
+      AddIssue(std::string(name) + " row " + std::to_string(r) +
+               ": non-finite");
+    }
+  }
+}
+
+void HealthMonitor::CheckBallRows(std::string_view name, const Matrix& m) {
+  report_.values_scanned += m.rows() * m.cols();
+  const double max_norm = 1.0 - options_.ball_eps + options_.ball_slack;
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const auto row = m.row(r);
+    if (!AllFinite(row)) {
+      ++report_.nonfinite_values;
+      AddIssue(std::string(name) + " row " + std::to_string(r) +
+               ": non-finite");
+      continue;
+    }
+    const double n = vec::Norm(row);
+    if (n > max_norm) {
+      ++report_.off_manifold_rows;
+      AddIssue(std::string(name) + " row " + std::to_string(r) +
+               ": escaped ball (norm " + std::to_string(n) + ")");
+    }
+  }
+}
+
+void HealthMonitor::CheckLorentzRows(std::string_view name, const Matrix& m) {
+  report_.values_scanned += m.rows() * m.cols();
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const auto row = m.row(r);
+    if (!AllFinite(row)) {
+      ++report_.nonfinite_values;
+      AddIssue(std::string(name) + " row " + std::to_string(r) +
+               ": non-finite");
+      continue;
+    }
+    const double residual = lorentz::ConstraintResidual(row);
+    if (std::abs(residual) > options_.lorentz_tol) {
+      ++report_.off_manifold_rows;
+      AddIssue(std::string(name) + " row " + std::to_string(r) +
+               ": off hyperboloid (residual " + std::to_string(residual) +
+               ")");
+    }
+  }
+}
+
+void HealthMonitor::CheckLoss(int epoch, double loss) {
+  const bool finite = std::isfinite(loss);
+  const bool exploded =
+      options_.max_abs_loss > 0.0 && finite &&
+      std::abs(loss) > options_.max_abs_loss;
+  if (!finite || exploded) {
+    ++report_.bad_losses;
+    AddIssue("epoch " + std::to_string(epoch) + ": " +
+             (finite ? "exploding" : "non-finite") + " loss " +
+             std::to_string(loss));
+  }
+}
+
+}  // namespace taxorec

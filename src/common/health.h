@@ -1,0 +1,88 @@
+// Numerical-health monitoring for hyperbolic training runs.
+//
+// Hyperbolic optimization is numerically fragile: Poincaré points drift
+// toward the ball boundary and Lorentz inner products leave the acosh
+// domain, so a single overflowing step can silently poison an entire run.
+// A HealthMonitor scans parameter matrices and per-epoch losses for
+// NaN/Inf and off-manifold drift (ball norm >= 1 - eps; hyperboloid
+// constraint residual |<x,x>_L + 1| > tol) and produces a structured
+// HealthReport that the training loop uses to trigger checkpoint rollback
+// (see core/trainer.h).
+#ifndef TAXOREC_COMMON_HEALTH_H_
+#define TAXOREC_COMMON_HEALTH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "math/matrix.h"
+
+namespace taxorec {
+
+struct HealthOptions {
+  /// Poincaré rows are flagged when ||x|| > 1 - ball_eps + ball_slack.
+  /// Defaults match poincare::kBallEps, with slack for the rounding of
+  /// ProjectToBall's rescale (a freshly projected row sits exactly at the
+  /// 1 - eps radius and must not be flagged).
+  double ball_eps = 1e-5;
+  double ball_slack = 1e-9;
+  /// Lorentz rows are flagged when |<x,x>_L + 1| > lorentz_tol.
+  double lorentz_tol = 1e-6;
+  /// When > 0, losses with |loss| above this are flagged (non-finite
+  /// losses are always flagged).
+  double max_abs_loss = 0.0;
+  /// Cap on recorded human-readable issue strings.
+  size_t max_issues = 8;
+};
+
+/// Aggregated findings of one monitoring pass.
+struct HealthReport {
+  size_t values_scanned = 0;
+  size_t nonfinite_values = 0;
+  size_t off_manifold_rows = 0;
+  size_t bad_losses = 0;
+  /// First few issues, human-readable ("users_ir row 17: non-finite").
+  std::vector<std::string> issues;
+
+  bool healthy() const {
+    return nonfinite_values == 0 && off_manifold_rows == 0 && bad_losses == 0;
+  }
+  /// "healthy" or a compact summary of the counters plus the first issues.
+  std::string ToString() const;
+};
+
+/// Accumulates checks into a HealthReport. Not thread-safe; create one per
+/// scan (they are cheap).
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthOptions options = {});
+
+  /// Flags NaN/Inf entries anywhere in `m`.
+  void CheckFinite(std::string_view name, const Matrix& m);
+
+  /// Flags non-finite rows and rows escaping the Poincaré ball
+  /// (||row|| > 1 - ball_eps + ball_slack).
+  void CheckBallRows(std::string_view name, const Matrix& m);
+
+  /// Flags non-finite rows and rows off the hyperboloid
+  /// (|<row,row>_L + 1| > lorentz_tol). Rows are d+1 Lorentz points.
+  void CheckLorentzRows(std::string_view name, const Matrix& m);
+
+  /// Flags non-finite (and, if configured, exploding) epoch losses.
+  void CheckLoss(int epoch, double loss);
+
+  bool healthy() const { return report_.healthy(); }
+  const HealthReport& report() const { return report_; }
+  const HealthOptions& options() const { return options_; }
+  void Reset() { report_ = HealthReport(); }
+
+ private:
+  void AddIssue(std::string message);
+
+  HealthOptions options_;
+  HealthReport report_;
+};
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_COMMON_HEALTH_H_

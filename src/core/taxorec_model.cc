@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <unordered_set>
 
 #include "baselines/embedding_model.h"
 #include "common/check.h"
+#include "common/fault_injection.h"
+#include "common/health.h"
 #include "common/parallel.h"
 #include "data/sampler.h"
 #include "hyperbolic/klein.h"
@@ -207,8 +210,8 @@ double TaxoRecModel::Similarity(uint32_t user, uint32_t item) const {
   return g;
 }
 
-void TaxoRecModel::TrainStep(const TripletSampler& sampler, int epoch,
-                             size_t batch_index) {
+double TaxoRecModel::TrainStep(const TripletSampler& sampler, int epoch,
+                               size_t batch_index) {
   const bool hyp = options_.hyperbolic;
   // Summed (not averaged) batch gradients, matching per-triplet SGD scale.
   const double scale = 1.0;
@@ -232,6 +235,7 @@ void TaxoRecModel::TrainStep(const TripletSampler& sampler, int epoch,
   struct SampleRec {
     uint32_t user = 0, pos = 0, neg = 0;
     double a = 0.0;
+    double loss = 0.0;
     bool active = false;
   };
   std::vector<SampleRec> recs(batch);
@@ -264,11 +268,10 @@ void TaxoRecModel::TrainStep(const TripletSampler& sampler, int epoch,
         }
       }
       double dpos, dneg;
-      if (nn::HingeTriplet(config_.margin, g_pos, g_neg, &dpos, &dneg) <=
-          0.0) {
-        continue;
-      }
-      recs[j] = {t.user, t.pos, t.neg, a, /*active=*/true};
+      const double hinge =
+          nn::HingeTriplet(config_.margin, g_pos, g_neg, &dpos, &dneg);
+      if (hinge <= 0.0) continue;
+      recs[j] = {t.user, t.pos, t.neg, a, hinge, /*active=*/true};
       sq_dist_grad(out_u_ir_.row(t.user), out_v_ir_.row(t.pos), dpos * scale,
                    gbuf_ir.row(3 * j), gbuf_ir.row(3 * j + 1));
       sq_dist_grad(out_u_ir_.row(t.user), out_v_ir_.row(t.neg), dneg * scale,
@@ -295,9 +298,11 @@ void TaxoRecModel::TrainStep(const TripletSampler& sampler, int epoch,
     up_u_tg = Matrix(num_users_, dt_cols_);
     up_v_tg = Matrix(num_items_, dt_cols_);
   }
+  double batch_loss = 0.0;
   for (size_t j = 0; j < batch; ++j) {
     const SampleRec& rec = recs[j];
     if (!rec.active) continue;
+    batch_loss += rec.loss;
     vec::Axpy(1.0, gbuf_ir.row(3 * j), up_u_ir.row(rec.user));
     vec::Axpy(1.0, gbuf_ir.row(3 * j + 1), up_v_ir.row(rec.pos));
     vec::Axpy(1.0, gbuf_ir.row(3 * j + 2), up_v_ir.row(rec.neg));
@@ -306,6 +311,13 @@ void TaxoRecModel::TrainStep(const TripletSampler& sampler, int epoch,
       vec::Axpy(1.0, gbuf_tg.row(3 * j + 1), up_v_tg.row(rec.pos));
       vec::Axpy(1.0, gbuf_tg.row(3 * j + 2), up_v_tg.row(rec.neg));
     }
+  }
+
+  // Deterministic fault site: poisons one accumulated gradient value so the
+  // rollback/retry machinery of the training loop can be exercised by real
+  // tests. A single relaxed atomic load when disarmed.
+  if (TAXOREC_FAULT(faults::kGradNan, epoch)) {
+    up_u_ir.at(0, 0) = std::numeric_limits<double>::quiet_NaN();
   }
 
   // Backward through the global aggregation of one channel; produces leaf
@@ -393,6 +405,7 @@ void TaxoRecModel::TrainStep(const TripletSampler& sampler, int epoch,
       optim::ProjectRowsToBall(&tags_, kEuclidMaxNorm);
     }
   }
+  return batch_loss;
 }
 
 void TaxoRecModel::InitFromSplit(const DataSplit& split, Rng* rng,
@@ -404,6 +417,9 @@ void TaxoRecModel::InitFromSplit(const DataSplit& split, Rng* rng,
   item_tags_ = split.item_tags;
   tag_items_ = item_tags_.Transposed();
   ComputeAlpha(split);
+  // Over the owned copy (identical content to split.train) so the model
+  // can keep training after a checkpoint restore.
+  sampler_ = std::make_unique<TripletSampler>(&train_, config_.neg_sampling);
 
   const bool hyp = options_.hyperbolic;
   users_ir_ = Matrix(num_users_, di_cols_);
@@ -445,32 +461,67 @@ void TaxoRecModel::InitFromSplit(const DataSplit& split, Rng* rng,
   }
 }
 
-void TaxoRecModel::Fit(const DataSplit& split, Rng* rng) {
+void TaxoRecModel::BeginFit(const DataSplit& split, Rng* rng) {
   InitFromSplit(split, rng, /*init_params=*/true);
-  const bool hyp = options_.hyperbolic;
-  if (options_.use_tags && hyp) {
+  if (options_.use_tags && options_.hyperbolic) {
     WarmUpTags(rng);
     InitUserTagEmbeddings();
     RebuildTaxonomy();
   }
+}
 
+double TaxoRecModel::FitEpoch(const DataSplit& split, int epoch, Rng* rng) {
   // The minibatch loop draws every triplet from a counter-based stream
   // (Rng::Derive(seed, epoch, sample_index) inside TrainStep), not from
   // `rng`, so the sampled triples — and the trained model — are identical
-  // at any --threads value.
-  TripletSampler sampler(&split.train, config_.neg_sampling);
+  // at any --threads value, and a run resumed at epoch k replays exactly
+  // the updates of the uninterrupted run.
+  if (options_.use_tags && options_.hyperbolic && epoch > 0 &&
+      epoch % std::max(1, config_.taxo_rebuild_every) == 0) {
+    RebuildTaxonomy();
+  }
+  double epoch_loss = 0.0;
+  for (size_t b = 0; b < config_.batches_per_epoch; ++b) {
+    Propagate();
+    epoch_loss += TrainStep(*sampler_, epoch, b);
+  }
+  return epoch_loss;
+}
+
+void TaxoRecModel::EndFit(const DataSplit& split) {
+  if (options_.use_tags && options_.hyperbolic) RebuildTaxonomy();
+  Propagate();
+}
+
+void TaxoRecModel::Fit(const DataSplit& split, Rng* rng) {
+  BeginFit(split, rng);
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    if (options_.use_tags && hyp && epoch > 0 &&
-        epoch % std::max(1, config_.taxo_rebuild_every) == 0) {
-      RebuildTaxonomy();
+    FitEpoch(split, epoch, rng);
+  }
+  EndFit(split);
+}
+
+void TaxoRecModel::ScaleLearningRate(double factor) {
+  TAXOREC_CHECK(factor > 0.0);
+  config_.lr *= factor;  // The tag channel derives its rate from lr.
+}
+
+void TaxoRecModel::CheckHealth(HealthMonitor* monitor) const {
+  if (options_.hyperbolic) {
+    monitor->CheckLorentzRows("users_ir", users_ir_);
+    monitor->CheckLorentzRows("items_ir", items_ir_);
+    if (options_.use_tags) {
+      monitor->CheckLorentzRows("users_tg", users_tg_);
+      monitor->CheckBallRows("tags", tags_);
     }
-    for (size_t b = 0; b < config_.batches_per_epoch; ++b) {
-      Propagate();
-      TrainStep(sampler, epoch, b);
+  } else {
+    monitor->CheckFinite("users_ir", users_ir_);
+    monitor->CheckFinite("items_ir", items_ir_);
+    if (options_.use_tags) {
+      monitor->CheckFinite("users_tg", users_tg_);
+      monitor->CheckFinite("tags", tags_);
     }
   }
-  if (options_.use_tags && hyp) RebuildTaxonomy();
-  Propagate();
 }
 
 void TaxoRecModel::ScoreItems(uint32_t user, std::span<double> out) const {

@@ -63,6 +63,24 @@ class TaxoRecModel : public Recommender {
   void Fit(const DataSplit& split, Rng* rng) override;
   void ScoreItems(uint32_t user, std::span<double> out) const override;
 
+  // Native epoch-granular protocol (see recommender.h): Fit() is exactly
+  // BeginFit + FitEpoch(0..epochs) + EndFit, and every minibatch draws
+  // from counter-based streams keyed on (seed, epoch, sample), so an
+  // epoch-at-a-time drive — and a resume from a restored checkpoint — is
+  // bit-identical to the monolithic run.
+  bool SupportsEpochFit() const override { return true; }
+  int num_epochs() const override { return config_.epochs; }
+  void BeginFit(const DataSplit& split, Rng* rng) override;
+  double FitEpoch(const DataSplit& split, int epoch, Rng* rng) override;
+  void EndFit(const DataSplit& split) override;
+  void ScaleLearningRate(double factor) override;
+  void CheckHealth(HealthMonitor* monitor) const override;
+  Checkpoint SaveState() const override { return SaveCheckpoint(); }
+  Status RestoreState(const Checkpoint& ckpt,
+                      const DataSplit& split) override {
+    return RestoreCheckpoint(ckpt, split);
+  }
+
   /// Latest constructed taxonomy (null before Fit or when use_tags=false
   /// or in Euclidean mode).
   const Taxonomy* taxonomy() const { return taxonomy_.get(); }
@@ -105,13 +123,14 @@ class TaxoRecModel : public Recommender {
   void WarmUpTags(Rng* rng);
   /// Runs the full forward pass from the current leaves.
   void Propagate();
-  /// One minibatch step. Sampling, hard-negative mining and per-sample
-  /// gradient evaluation fan out over the batch with counter-based RNG
-  /// streams (Rng::Derive(seed, epoch, sample_index)); gradients are then
+  /// One minibatch step; returns the summed hinge loss of the batch.
+  /// Sampling, hard-negative mining and per-sample gradient evaluation fan
+  /// out over the batch with counter-based RNG streams
+  /// (Rng::Derive(seed, epoch, sample_index)); gradients are then
   /// accumulated in sample order and the optimizers stepped — so the update
   /// is bit-identical at any thread count.
-  void TrainStep(const TripletSampler& sampler, int epoch,
-                 size_t batch_index);
+  double TrainStep(const TripletSampler& sampler, int epoch,
+                   size_t batch_index);
 
   ModelConfig config_;
   TaxoRecOptions options_;
@@ -137,6 +156,10 @@ class TaxoRecModel : public Recommender {
   std::unique_ptr<nn::BipartiteGcn> gcn_;
   std::unique_ptr<nn::TagAggregation> tag_agg_;
   std::unique_ptr<Taxonomy> taxonomy_;
+
+  // Triplet source over the owned training matrix; created by InitFromSplit
+  // so FitEpoch works both after BeginFit and after RestoreCheckpoint.
+  std::unique_ptr<TripletSampler> sampler_;
 
   // Forward caches.
   nn::TagAggContext tag_ctx_;

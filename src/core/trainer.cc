@@ -1,10 +1,37 @@
 #include "core/trainer.h"
 
+#include <fstream>
+#include <utility>
+
 #include "baselines/cml.h"
 #include "baselines/hyperml.h"
 #include "core/taxorec_model.h"
 
 namespace taxorec {
+namespace {
+
+bool FileExists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+void Emit(const TrainLoopOptions& opts, TrainLoopEvent event) {
+  if (opts.callback) opts.callback(event);
+}
+
+/// Writes `state` + the trainer bookkeeping entry to opts.checkpoint_path.
+Status WriteTrainerCheckpoint(const Checkpoint& state, int next_epoch,
+                              double lr_scale, int rollbacks,
+                              const std::string& path) {
+  Checkpoint with_meta = state;  // map copy; matrices are value types
+  Matrix meta(1, 3);
+  meta.at(0, 0) = static_cast<double>(next_epoch);
+  meta.at(0, 1) = lr_scale;
+  meta.at(0, 2) = static_cast<double>(rollbacks);
+  with_meta.Put(kTrainerStateEntry, std::move(meta));
+  return with_meta.WriteFile(path);
+}
+
+}  // namespace
 
 EvalResult TrainAndEvaluate(Recommender* model, const DataSplit& split,
                             Rng* rng, const EvalOptions& eval_opts) {
@@ -35,6 +62,137 @@ std::unique_ptr<Recommender> MakeAblationVariant(const std::string& variant,
     return std::make_unique<TaxoRecModel>(config, opts);
   }
   return nullptr;
+}
+
+StatusOr<TrainLoopResult> RunTrainLoop(Recommender* model,
+                                       const DataSplit& split, Rng* rng,
+                                       const TrainLoopOptions& opts) {
+  TrainLoopResult result;
+
+  if (!model->SupportsEpochFit()) {
+    if (opts.resume) {
+      return Status::InvalidArgument(
+          model->name() + " has no epoch-granular training; cannot resume");
+    }
+    if (opts.save_every > 0) {
+      return Status::InvalidArgument(
+          model->name() +
+          " has no epoch-granular training; --save-every is unsupported");
+    }
+    model->Fit(split, rng);
+    result.epoch_granular = false;
+    HealthMonitor monitor(opts.health);
+    model->CheckHealth(&monitor);
+    if (!monitor.healthy()) {
+      return Status::Internal(model->name() + " training diverged: " +
+                              monitor.report().ToString());
+    }
+    return result;
+  }
+
+  const int total_epochs = model->num_epochs();
+  int start_epoch = 0;
+  double lr_scale = 1.0;
+  int rollbacks = 0;
+
+  if (opts.resume && !opts.checkpoint_path.empty() &&
+      FileExists(opts.checkpoint_path)) {
+    auto ckpt = Checkpoint::ReadFile(opts.checkpoint_path);
+    if (!ckpt.ok()) return ckpt.status();
+    const Matrix* meta = ckpt->Get(kTrainerStateEntry);
+    if (meta == nullptr || meta->rows() != 1 || meta->cols() < 3) {
+      return Status::InvalidArgument(
+          "checkpoint has no trainer state (written without RunTrainLoop?): " +
+          opts.checkpoint_path);
+    }
+    start_epoch = static_cast<int>(meta->at(0, 0));
+    lr_scale = meta->at(0, 1);
+    rollbacks = static_cast<int>(meta->at(0, 2));
+    if (start_epoch < 0 || lr_scale <= 0.0) {
+      return Status::InvalidArgument("corrupt trainer state in " +
+                                     opts.checkpoint_path);
+    }
+    if (start_epoch > total_epochs) {
+      return Status::InvalidArgument(
+          opts.checkpoint_path + " was saved at epoch " +
+          std::to_string(start_epoch) + ", past this run's " +
+          std::to_string(total_epochs) + " epochs; raise --epochs");
+    }
+    TAXOREC_RETURN_NOT_OK(model->RestoreState(*ckpt, split));
+    if (lr_scale != 1.0) model->ScaleLearningRate(lr_scale);
+    Emit(opts, {TrainLoopEvent::Kind::kResume, start_epoch, 0.0, lr_scale,
+                opts.checkpoint_path});
+  } else {
+    model->BeginFit(split, rng);
+  }
+  result.start_epoch = start_epoch;
+
+  // In-memory snapshot of the last healthy state; rollback target.
+  Checkpoint snapshot = model->SaveState();
+  int snapshot_epoch = start_epoch;
+
+  int epoch = start_epoch;
+  while (epoch < total_epochs) {
+    const double loss = model->FitEpoch(split, epoch, rng);
+
+    HealthMonitor monitor(opts.health);
+    monitor.CheckLoss(epoch, loss);
+    model->CheckHealth(&monitor);
+    if (!monitor.healthy()) {
+      if (rollbacks >= opts.max_divergence_retries) {
+        return Status::Internal(
+            model->name() + " diverged at epoch " + std::to_string(epoch) +
+            " after " + std::to_string(rollbacks) +
+            " rollback(s): " + monitor.report().ToString());
+      }
+      TAXOREC_RETURN_NOT_OK(model->RestoreState(snapshot, split));
+      model->ScaleLearningRate(opts.lr_backoff);
+      lr_scale *= opts.lr_backoff;
+      ++rollbacks;
+      Emit(opts, {TrainLoopEvent::Kind::kRollback, epoch, loss, lr_scale,
+                  monitor.report().ToString()});
+      epoch = snapshot_epoch;
+      continue;
+    }
+
+    result.final_loss = loss;
+    ++result.epochs_run;
+    Emit(opts, {TrainLoopEvent::Kind::kEpoch, epoch, loss, lr_scale, ""});
+    ++epoch;
+    snapshot = model->SaveState();
+    snapshot_epoch = epoch;
+
+    if (opts.save_every > 0 && !opts.checkpoint_path.empty() &&
+        epoch % opts.save_every == 0 && epoch < total_epochs) {
+      TAXOREC_RETURN_NOT_OK(WriteTrainerCheckpoint(
+          snapshot, epoch, lr_scale, rollbacks, opts.checkpoint_path));
+      ++result.checkpoints_written;
+      Emit(opts, {TrainLoopEvent::Kind::kCheckpoint, epoch, 0.0, lr_scale,
+                  opts.checkpoint_path});
+    }
+  }
+
+  model->EndFit(split);
+
+  HealthMonitor final_monitor(opts.health);
+  model->CheckHealth(&final_monitor);
+  if (!final_monitor.healthy()) {
+    return Status::Internal(model->name() + " finished unhealthy: " +
+                            final_monitor.report().ToString());
+  }
+
+  if (!opts.checkpoint_path.empty()) {
+    TAXOREC_RETURN_NOT_OK(WriteTrainerCheckpoint(
+        model->SaveState(), total_epochs, lr_scale, rollbacks,
+        opts.checkpoint_path));
+    ++result.checkpoints_written;
+    Emit(opts, {TrainLoopEvent::Kind::kCheckpoint, total_epochs, 0.0,
+                lr_scale, opts.checkpoint_path});
+  }
+
+  result.rollbacks = rollbacks;
+  result.lr_scale = lr_scale;
+  return result;
 }
 
 }  // namespace taxorec

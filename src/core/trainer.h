@@ -1,12 +1,16 @@
-// Convenience training/evaluation entry points used by examples, tests and
-// the benchmark harness.
+// Training/evaluation entry points: the one-shot TrainAndEvaluate helper,
+// the ablation factory, and the fault-tolerant epoch-granular training
+// loop (health monitoring, periodic checkpoints, divergence rollback).
 #ifndef TAXOREC_CORE_TRAINER_H_
 #define TAXOREC_CORE_TRAINER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 
 #include "baselines/recommender.h"
+#include "common/health.h"
+#include "common/status.h"
 #include "eval/evaluator.h"
 
 namespace taxorec {
@@ -21,6 +25,78 @@ EvalResult TrainAndEvaluate(Recommender* model, const DataSplit& split,
 /// exactly as in the paper's ablation rows.)
 std::unique_ptr<Recommender> MakeAblationVariant(const std::string& variant,
                                                  const ModelConfig& config);
+
+/// Checkpoint entry holding the loop's own state (next epoch, cumulative
+/// learning-rate scale, rollback count) next to the model matrices.
+inline constexpr char kTrainerStateEntry[] = "__trainer_state";
+
+/// Progress events emitted by RunTrainLoop via TrainLoopOptions::callback.
+struct TrainLoopEvent {
+  enum class Kind {
+    kEpoch,       // epoch finished healthy
+    kCheckpoint,  // checkpoint written to disk
+    kRollback,    // divergence detected; state restored, lr scaled down
+    kResume,      // run resumed from an on-disk checkpoint
+  };
+  Kind kind;
+  int epoch = 0;        // epoch the event refers to
+  double loss = 0.0;    // epoch loss (kEpoch) or 0
+  double lr_scale = 1;  // cumulative learning-rate scale after the event
+  std::string detail;   // human-readable context (health report, path)
+};
+
+struct TrainLoopOptions {
+  /// Checkpoint file ("" disables persistence; rollback then uses only the
+  /// in-memory snapshot).
+  std::string checkpoint_path;
+  /// Write `checkpoint_path` every K healthy epochs (0 = final write only).
+  int save_every = 0;
+  /// Continue from `checkpoint_path` if it exists (requires the trainer
+  /// state entry written by a previous RunTrainLoop).
+  bool resume = false;
+  /// Divergence budget: after this many rollbacks the loop returns an
+  /// error Status instead of retrying (never aborts the process).
+  int max_divergence_retries = 3;
+  /// Learning-rate multiplier applied on every rollback.
+  double lr_backoff = 0.5;
+  HealthOptions health;
+  std::function<void(const TrainLoopEvent&)> callback;
+};
+
+struct TrainLoopResult {
+  /// False when the model has no native epoch protocol and the loop fell
+  /// back to a monolithic Fit (no checkpoints, no rollback).
+  bool epoch_granular = true;
+  /// First epoch executed by this invocation (> 0 after a resume).
+  int start_epoch = 0;
+  int epochs_run = 0;
+  int rollbacks = 0;
+  int checkpoints_written = 0;
+  double final_loss = 0.0;
+  /// Cumulative learning-rate scale (lr_backoff ^ rollbacks, carried
+  /// across resumes).
+  double lr_scale = 1.0;
+};
+
+/// Resumable, self-healing training driver.
+///
+/// For epoch-granular models the loop: (1) runs one epoch at a time,
+/// (2) scans parameters and the epoch loss with a HealthMonitor after each
+/// epoch, (3) snapshots the trainable state after every healthy epoch (in
+/// memory; to `checkpoint_path` every `save_every` epochs), and (4) on
+/// divergence rolls back to the last healthy snapshot, multiplies the
+/// learning rate by `lr_backoff`, and retries — up to
+/// `max_divergence_retries` times, after which it returns an error Status.
+///
+/// Determinism contract: a run that never trips the monitor performs
+/// exactly the model's Fit() operations (snapshots are const scans), so it
+/// is bit-identical to Fit() at any --threads value.
+///
+/// Models without native epoch support fall back to Fit() followed by a
+/// final health scan; `resume`/`save_every` are rejected for them.
+StatusOr<TrainLoopResult> RunTrainLoop(Recommender* model,
+                                       const DataSplit& split, Rng* rng,
+                                       const TrainLoopOptions& opts = {});
 
 }  // namespace taxorec
 

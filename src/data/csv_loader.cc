@@ -1,6 +1,7 @@
 #include "data/csv_loader.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -36,8 +37,53 @@ class IdMap {
   std::unordered_map<std::string, uint32_t> map_;
 };
 
-Status BadLine(const std::string& path, size_t line_no, const char* what) {
-  return Status::IOError(path + ":" + std::to_string(line_no) + ": " + what);
+Status BadLine(const std::string& path, size_t line_no,
+               const std::string& what) {
+  return Status::InvalidArgument(path + ":" + std::to_string(line_no) + ": " +
+                                 what);
+}
+
+/// Strict double parse: the whole field must be consumed and the value
+/// finite ("5.0x", "nan", "inf", "" all fail).
+bool ParseFiniteDouble(const std::string& field, double* out) {
+  if (field.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(field.c_str(), &end);
+  if (end != field.c_str() + field.size()) return false;
+  if (!std::isfinite(v)) return false;
+  *out = v;
+  return true;
+}
+
+/// Strict integer parse with full consumption.
+bool ParseInt64(const std::string& field, int64_t* out) {
+  if (field.empty()) return false;
+  char* end = nullptr;
+  const long long v = std::strtoll(field.c_str(), &end, 10);
+  if (end != field.c_str() + field.size()) return false;
+  *out = v;
+  return true;
+}
+
+/// Validates an id field under CsvLoadOptions::numeric_ids; `what` names
+/// the column ("user id" / "item id") for the error message.
+Status CheckId(const std::string& field, bool numeric_ids,
+               const std::string& path, size_t line_no, const char* what) {
+  if (field.empty()) {
+    return BadLine(path, line_no, std::string("empty ") + what);
+  }
+  if (numeric_ids) {
+    int64_t id = 0;
+    if (!ParseInt64(field, &id)) {
+      return BadLine(path, line_no,
+                     std::string("non-numeric ") + what + ": '" + field + "'");
+    }
+    if (id < 0) {
+      return BadLine(path, line_no,
+                     std::string("negative ") + what + ": '" + field + "'");
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -61,6 +107,7 @@ StatusOr<Dataset> LoadDelimited(const std::string& interactions_path,
   int64_t order = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF input
     if (skip > 0) {
       --skip;
       continue;
@@ -70,12 +117,16 @@ StatusOr<Dataset> LoadDelimited(const std::string& interactions_path,
     if (static_cast<int>(fields.size()) <= max_col) {
       return BadLine(interactions_path, line_no, "too few columns");
     }
+    TAXOREC_RETURN_NOT_OK(CheckId(fields[opts.user_column], opts.numeric_ids,
+                                  interactions_path, line_no, "user id"));
+    TAXOREC_RETURN_NOT_OK(CheckId(fields[opts.item_column], opts.numeric_ids,
+                                  interactions_path, line_no, "item id"));
     if (opts.rating_column >= 0) {
-      char* end = nullptr;
-      const double rating =
-          std::strtod(fields[opts.rating_column].c_str(), &end);
-      if (end == fields[opts.rating_column].c_str()) {
-        return BadLine(interactions_path, line_no, "unparsable rating");
+      double rating = 0.0;
+      if (!ParseFiniteDouble(fields[opts.rating_column], &rating)) {
+        return BadLine(interactions_path, line_no,
+                       "unparsable rating: '" + fields[opts.rating_column] +
+                           "'");
       }
       if (rating < opts.rating_threshold) continue;
     }
@@ -83,11 +134,10 @@ StatusOr<Dataset> LoadDelimited(const std::string& interactions_path,
     x.user = users.GetOrAdd(fields[opts.user_column]);
     x.item = items.GetOrAdd(fields[opts.item_column]);
     if (opts.timestamp_column >= 0) {
-      char* end = nullptr;
-      x.timestamp = std::strtoll(fields[opts.timestamp_column].c_str(), &end,
-                                 10);
-      if (end == fields[opts.timestamp_column].c_str()) {
-        return BadLine(interactions_path, line_no, "unparsable timestamp");
+      if (!ParseInt64(fields[opts.timestamp_column], &x.timestamp)) {
+        return BadLine(interactions_path, line_no,
+                       "unparsable timestamp: '" +
+                           fields[opts.timestamp_column] + "'");
       }
     } else {
       x.timestamp = order++;
@@ -108,10 +158,17 @@ StatusOr<Dataset> LoadDelimited(const std::string& interactions_path,
     const int tag_max_col = std::max(opts.tag_item_column, opts.tag_column);
     while (std::getline(tin, line)) {
       ++line_no;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
       const auto fields = SplitLine(line, opts.delimiter);
       if (static_cast<int>(fields.size()) <= tag_max_col) {
         return BadLine(tags_path, line_no, "too few columns");
+      }
+      TAXOREC_RETURN_NOT_OK(CheckId(fields[opts.tag_item_column],
+                                    opts.numeric_ids, tags_path, line_no,
+                                    "item id"));
+      if (fields[opts.tag_column].empty()) {
+        return BadLine(tags_path, line_no, "empty tag");
       }
       // Items never interacted with are dropped (no dense id).
       const uint32_t* item = items.Find(fields[opts.tag_item_column]);

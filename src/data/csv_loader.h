@@ -29,11 +29,22 @@ struct CsvLoadOptions {
   /// and define the tag vocabulary in first-seen order).
   int tag_item_column = 0;
   int tag_column = 1;
+  /// When true, user and item ids must parse fully as non-negative
+  /// integers; non-numeric or negative ids are rejected with the offending
+  /// line number. Off by default because ids are free text (hashes,
+  /// usernames) in many dumps.
+  bool numeric_ids = false;
 };
 
 /// Loads interactions (and optionally a tag file; pass "" to skip) into a
 /// Dataset with densely remapped ids. Items that appear only in the tag
 /// file are dropped; users/items keep first-seen order.
+///
+/// Malformed input — too few columns, empty id/tag fields, ratings or
+/// timestamps that do not parse in full or are non-finite, and (with
+/// `numeric_ids`) non-numeric or negative ids — yields
+/// Status::InvalidArgument carrying "path:line:" context. Windows line
+/// endings are accepted (a trailing '\r' is stripped).
 StatusOr<Dataset> LoadDelimited(const std::string& interactions_path,
                                 const std::string& tags_path,
                                 const CsvLoadOptions& opts = {});

@@ -39,6 +39,10 @@ void ProjectToHyperboloid(Span x) {
   x[0] = std::sqrt(1.0 + sq);
 }
 
+double ConstraintResidual(ConstSpan x) {
+  return Inner(x, x) + 1.0;
+}
+
 void LiftFromSpatial(ConstSpan z, Span out) {
   TAXOREC_DCHECK(out.size() == z.size() + 1);
   for (size_t i = 0; i < z.size(); ++i) out[i + 1] = z[i];

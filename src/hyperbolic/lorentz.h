@@ -30,8 +30,16 @@ double Inner(ConstSpan x, ConstSpan y);
 void Origin(Span o);
 
 /// Recomputes x0 = sqrt(1 + ||x_spatial||^2) so x lies exactly on the
-/// hyperboloid (called after every RSGD step).
+/// hyperboloid. This is the guard entry point for the Lorentz model: every
+/// RSGD update (lorentz::RsgdStep and optim::LorentzRsgdUpdate) must end
+/// with it so one drifting step cannot leave acosh's domain for the rest
+/// of the run.
 void ProjectToHyperboloid(Span x);
+
+/// Hyperboloid constraint residual <x,x>_L + 1 (zero on-manifold). Used by
+/// the HealthMonitor to detect off-manifold drift: |residual| beyond a
+/// tolerance means x escaped the guard projections.
+double ConstraintResidual(ConstSpan x);
 
 /// Lifts spatial coordinates z in R^d onto the hyperboloid point
 /// (sqrt(1+||z||^2), z). out has size d+1.

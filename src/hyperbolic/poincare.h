@@ -20,7 +20,12 @@ using ConstSpan = std::span<const double>;
 /// Points are kept at Euclidean norm <= 1 - kBallEps for stability.
 inline constexpr double kBallEps = 1e-5;
 
-/// Rescales x into the ball of radius 1 - kBallEps if it escaped.
+/// Rescales x into the ball of radius 1 - kBallEps if it escaped. This is
+/// the guard entry point for the Poincaré model: every RSGD update
+/// (poincare::RsgdStep via ExpMap, and optim::PoincareRsgdUpdate) must end
+/// with it so one drifting step cannot push a point to the boundary where
+/// distances and gradients blow up. The HealthMonitor flags rows whose
+/// norm exceeds 1 - kBallEps (plus rounding slack) as off-manifold drift.
 void ProjectToBall(Span x);
 
 /// Poincaré distance d_P(x, y) = acosh(1 + 2||x-y||^2 / ((1-||x||^2)(1-||y||^2))).

@@ -1,0 +1,160 @@
+// Crash-safety and corruption-rejection tests for Checkpoint file I/O:
+// atomic tmp+rename replacement, injected write failures, and recovery
+// behaviour on truncated/bit-flipped/mislabeled files.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/checkpoint.h"
+#include "common/fault_injection.h"
+#include "math/matrix.h"
+
+namespace taxorec {
+namespace {
+
+class CheckpointRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Instance().Reset(); }
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+
+  std::string Path(const std::string& name) const {
+    return ::testing::TempDir() + "/" + name;
+  }
+};
+
+Checkpoint MakeCheckpoint(double seed) {
+  Matrix a(2, 3);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) {
+      a.at(r, c) = seed + 10.0 * r + c;
+    }
+  }
+  Matrix b(1, 4);
+  for (size_t c = 0; c < b.cols(); ++c) b.at(0, c) = -seed * (c + 1);
+  Checkpoint ckpt;
+  ckpt.Put("alpha", std::move(a));
+  ckpt.Put("beta", std::move(b));
+  return ckpt;
+}
+
+std::string ReadAllBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void WriteAllBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+bool FileExists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+TEST_F(CheckpointRecoveryTest, RoundTripLeavesNoTmpResidue) {
+  const std::string path = Path("roundtrip.ckpt");
+  ASSERT_TRUE(MakeCheckpoint(1.0).WriteFile(path).ok());
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  auto back = Checkpoint::ReadFile(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  const Matrix* a = back->Get("alpha");
+  ASSERT_NE(a, nullptr);
+  EXPECT_DOUBLE_EQ(a->at(1, 2), 1.0 + 10.0 + 2.0);
+  const Matrix* b = back->Get("beta");
+  ASSERT_NE(b, nullptr);
+  EXPECT_DOUBLE_EQ(b->at(0, 3), -4.0);
+}
+
+TEST_F(CheckpointRecoveryTest, StaleTmpFromCrashedSaveIsReplaced) {
+  const std::string path = Path("staletmp.ckpt");
+  // A previous save died mid-write and left a torn .tmp behind.
+  WriteAllBytes(path + ".tmp", "garbage from a crashed writer");
+  ASSERT_TRUE(MakeCheckpoint(2.0).WriteFile(path).ok());
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  auto back = Checkpoint::ReadFile(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->size(), 2u);
+}
+
+TEST_F(CheckpointRecoveryTest, InjectedWriteFaultPreservesPreviousFile) {
+  const std::string path = Path("faulted.ckpt");
+  ASSERT_TRUE(MakeCheckpoint(3.0).WriteFile(path).ok());
+  const std::string before = ReadAllBytes(path);
+
+  FaultInjector::Instance().Arm(faults::kCheckpointWrite);
+  const Status s = MakeCheckpoint(99.0).WriteFile(path);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("injected"), std::string::npos) << s.ToString();
+  EXPECT_EQ(FaultInjector::Instance().fired(faults::kCheckpointWrite), 1);
+  EXPECT_FALSE(FaultInjector::Instance().armed());  // single shot consumed
+
+  // The old checkpoint is untouched, byte for byte.
+  EXPECT_EQ(ReadAllBytes(path), before);
+  auto back = Checkpoint::ReadFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_DOUBLE_EQ(back->Get("alpha")->at(0, 0), 3.0);
+
+  // With the shot consumed, the next save goes through.
+  ASSERT_TRUE(MakeCheckpoint(4.0).WriteFile(path).ok());
+}
+
+TEST_F(CheckpointRecoveryTest, TruncatedFileRejected) {
+  const std::string path = Path("trunc.ckpt");
+  ASSERT_TRUE(MakeCheckpoint(5.0).WriteFile(path).ok());
+  const std::string bytes = ReadAllBytes(path);
+  WriteAllBytes(path, bytes.substr(0, bytes.size() / 2));
+  EXPECT_FALSE(Checkpoint::ReadFile(path).ok());
+}
+
+TEST_F(CheckpointRecoveryTest, FlippedPayloadByteRejected) {
+  const std::string path = Path("flip.ckpt");
+  ASSERT_TRUE(MakeCheckpoint(6.0).WriteFile(path).ok());
+  std::string bytes = ReadAllBytes(path);
+  bytes[bytes.size() / 2] ^= 0x01;  // inside an entry's double payload
+  WriteAllBytes(path, bytes);
+  const auto back = Checkpoint::ReadFile(path);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.status().message().find("checksum"), std::string::npos)
+      << back.status().ToString();
+}
+
+TEST_F(CheckpointRecoveryTest, WrongMagicRejected) {
+  const std::string path = Path("magic.ckpt");
+  ASSERT_TRUE(MakeCheckpoint(7.0).WriteFile(path).ok());
+  std::string bytes = ReadAllBytes(path);
+  bytes[0] = 'X';
+  WriteAllBytes(path, bytes);
+  const auto back = Checkpoint::ReadFile(path);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.status().message().find("magic"), std::string::npos);
+}
+
+TEST_F(CheckpointRecoveryTest, WrongVersionRejected) {
+  const std::string path = Path("version.ckpt");
+  ASSERT_TRUE(MakeCheckpoint(8.0).WriteFile(path).ok());
+  std::string bytes = ReadAllBytes(path);
+  bytes[4] = static_cast<char>(0x7F);  // version u32 follows the magic
+  WriteAllBytes(path, bytes);
+  const auto back = Checkpoint::ReadFile(path);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.status().message().find("version"), std::string::npos);
+}
+
+TEST_F(CheckpointRecoveryTest, UnwritableDirectoryRejected) {
+  const Status s =
+      MakeCheckpoint(9.0).WriteFile("/nonexistent-dir-xyz/model.ckpt");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError) << s.ToString();
+}
+
+TEST_F(CheckpointRecoveryTest, MissingFileRejected) {
+  EXPECT_FALSE(Checkpoint::ReadFile(Path("never-written.ckpt")).ok());
+}
+
+}  // namespace
+}  // namespace taxorec

@@ -82,6 +82,80 @@ TEST(CsvLoaderTest, UnparsableRatingRejected) {
   EXPECT_FALSE(LoadDelimited(path, "", {}).ok());
 }
 
+TEST(CsvLoaderTest, RatingWithTrailingGarbageRejected) {
+  // strtod would silently stop at the 'x'; the loader must reject fields
+  // that do not parse in full.
+  const std::string path = WriteTemp("bad3.csv", "u1,m1,5.0x,1\n");
+  const auto data = LoadDelimited(path, "", {});
+  ASSERT_FALSE(data.ok());
+  EXPECT_EQ(data.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(data.status().message().find(":1:"), std::string::npos);
+}
+
+TEST(CsvLoaderTest, NonFiniteRatingRejected) {
+  for (const char* rating : {"nan", "inf", "-inf"}) {
+    const std::string path =
+        WriteTemp("bad4.csv", std::string("u1,m1,") + rating + ",1\n");
+    EXPECT_FALSE(LoadDelimited(path, "", {}).ok()) << rating;
+  }
+}
+
+TEST(CsvLoaderTest, TimestampWithTrailingGarbageRejected) {
+  const std::string path = WriteTemp("bad5.csv", "u1,m1,5,12abc\n");
+  EXPECT_FALSE(LoadDelimited(path, "", {}).ok());
+}
+
+TEST(CsvLoaderTest, EmptyIdFieldsRejected) {
+  const std::string no_user = WriteTemp("bad6.csv", ",m1,5,1\n");
+  const std::string no_item = WriteTemp("bad7.csv", "u1,,5,1\n");
+  for (const auto& path : {no_user, no_item}) {
+    const auto data = LoadDelimited(path, "", {});
+    ASSERT_FALSE(data.ok());
+    EXPECT_EQ(data.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(data.status().message().find("empty"), std::string::npos);
+  }
+}
+
+TEST(CsvLoaderTest, NumericIdsOptionRejectsBadIds) {
+  CsvLoadOptions opts;
+  opts.numeric_ids = true;
+  // Free-text and negative ids fail under numeric_ids...
+  const std::string text_id = WriteTemp("bad8.csv", "alice,7,5,1\n");
+  const auto d1 = LoadDelimited(text_id, "", opts);
+  ASSERT_FALSE(d1.ok());
+  EXPECT_NE(d1.status().message().find("non-numeric user id"),
+            std::string::npos);
+  const std::string neg_id = WriteTemp("bad9.csv", "3,-7,5,1\n");
+  const auto d2 = LoadDelimited(neg_id, "", opts);
+  ASSERT_FALSE(d2.ok());
+  EXPECT_NE(d2.status().message().find("negative item id"),
+            std::string::npos);
+  // ...while plain integer ids load fine.
+  const std::string good = WriteTemp("good1.csv", "3,7,5,1\n0,7,5,2\n");
+  EXPECT_TRUE(LoadDelimited(good, "", opts).ok());
+  // Without the option, the same free-text file is accepted.
+  EXPECT_TRUE(LoadDelimited(text_id, "", {}).ok());
+}
+
+TEST(CsvLoaderTest, WindowsLineEndingsAccepted) {
+  const std::string ratings =
+      WriteTemp("crlf.csv", "u1,m1,5,1\r\nu2,m2,4,2\r\n");
+  const std::string tags = WriteTemp("crlf_tags.csv", "m1,comedy\r\n");
+  const auto data = LoadDelimited(ratings, tags, {});
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data->interactions.size(), 2u);
+  ASSERT_EQ(data->tag_names.size(), 1u);
+  EXPECT_EQ(data->tag_names[0], "comedy");  // no trailing '\r'
+}
+
+TEST(CsvLoaderTest, EmptyTagRejected) {
+  const std::string ratings = WriteTemp("r4.csv", "u1,m1,5,1\n");
+  const std::string tags = WriteTemp("t4.csv", "m1,\n");
+  const auto data = LoadDelimited(ratings, tags, {});
+  ASSERT_FALSE(data.ok());
+  EXPECT_NE(data.status().message().find(":1:"), std::string::npos);
+}
+
 TEST(CsvLoaderTest, MissingFileRejected) {
   EXPECT_FALSE(LoadDelimited("/nonexistent.csv", "", {}).ok());
 }

@@ -4,7 +4,8 @@
 //   taxorec_cli generate --users 500 --items 800 --tags 60 --out data.tsv
 //   taxorec_cli stats --data data.tsv
 //   taxorec_cli train --data data.tsv --model TaxoRec --epochs 25 \
-//       --checkpoint model.ckpt
+//       --checkpoint model.ckpt --save-every 5
+//   taxorec_cli train --data data.tsv --checkpoint model.ckpt --resume
 //   taxorec_cli recommend --data data.tsv --checkpoint model.ckpt --user 7
 //   taxorec_cli taxonomy --data data.tsv --checkpoint model.ckpt \
 //       --dot taxo.dot --json taxo.json
@@ -17,8 +18,10 @@
 #include <string>
 
 #include "common/checkpoint.h"
+#include "common/fault_injection.h"
 #include "common/flags.h"
 #include "core/taxorec_model.h"
+#include "core/trainer.h"
 #include "data/io.h"
 #include "data/profiles.h"
 #include "data/split.h"
@@ -131,9 +134,28 @@ int CmdTrain(int argc, const char* const* argv) {
   FlagSet flags;
   DefineModelFlags(&flags);
   flags.DefineString("model", "TaxoRec", "model name (see README)");
-  flags.DefineString("checkpoint", "", "write TaxoRec checkpoint here");
+  flags.DefineString("checkpoint", "",
+                     "checkpoint path (epoch-granular models only)");
+  flags.DefineInt("save-every", 0,
+                  "write --checkpoint every K healthy epochs (0 = final "
+                  "write only)");
+  flags.DefineBool("resume", false,
+                   "continue from --checkpoint if it exists");
+  flags.DefineInt("max-divergence-retries", 3,
+                  "rollbacks before training gives up with an error");
+  flags.DefineString("inject-fault", "",
+                     "arm a fault site: 'grad-nan[@epoch]' or 'ckpt-write' "
+                     "(recovery drills)");
   if (Status s = flags.Parse(argc, argv, 2); !s.ok()) return Fail(s);
   if (Status s = ApplyThreadsFlag(flags); !s.ok()) return Fail(s);
+  const std::string fault_spec = flags.GetString("inject-fault");
+  if (!fault_spec.empty()) {
+    if (Status s = FaultInjector::Instance().ArmFromSpec(fault_spec);
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("fault armed: %s\n", fault_spec.c_str());
+  }
   auto data = LoadData(flags);
   if (!data.ok()) return Fail(data.status());
   const DataSplit split = TemporalSplit(*data);
@@ -144,27 +166,54 @@ int CmdTrain(int argc, const char* const* argv) {
   if (model == nullptr) {
     return Fail(Status::InvalidArgument("unknown model: " + name));
   }
+  const std::string ckpt_path = flags.GetString("checkpoint");
+  if (!ckpt_path.empty() && !model->SupportsEpochFit()) {
+    return Fail(Status::InvalidArgument(
+        "--checkpoint requires an epoch-granular model (TaxoRec, HyperML)"));
+  }
+  TrainLoopOptions loop;
+  loop.checkpoint_path = ckpt_path;
+  loop.save_every = static_cast<int>(flags.GetInt("save-every"));
+  loop.resume = flags.GetBool("resume");
+  loop.max_divergence_retries =
+      static_cast<int>(flags.GetInt("max-divergence-retries"));
+  if (loop.resume && ckpt_path.empty()) {
+    return Fail(Status::InvalidArgument("--resume requires --checkpoint"));
+  }
+  loop.callback = [](const TrainLoopEvent& e) {
+    switch (e.kind) {
+      case TrainLoopEvent::Kind::kResume:
+        std::printf("resumed from %s at epoch %d (lr scale %.4g)\n",
+                    e.detail.c_str(), e.epoch, e.lr_scale);
+        break;
+      case TrainLoopEvent::Kind::kRollback:
+        std::printf(
+            "epoch %d diverged; rolled back to last healthy state, lr scale "
+            "now %.4g [%s]\n",
+            e.epoch, e.lr_scale, e.detail.c_str());
+        break;
+      case TrainLoopEvent::Kind::kCheckpoint:
+        std::printf("checkpoint written to %s (next epoch %d)\n",
+                    e.detail.c_str(), e.epoch);
+        break;
+      case TrainLoopEvent::Kind::kEpoch:
+        break;  // keep per-epoch output quiet, as before
+    }
+  };
+
   std::printf("training %s on %s ...\n", name.c_str(), data->name.c_str());
   Rng rng(cfg.seed);
-  model->Fit(split, &rng);
+  auto result = RunTrainLoop(model.get(), split, &rng, loop);
+  if (!result.ok()) return Fail(result.status());
+  if (result->rollbacks > 0) {
+    std::printf("recovered from %d divergence(s); final lr scale %.4g\n",
+                result->rollbacks, result->lr_scale);
+  }
   const EvalResult r = EvaluateRanking(*model, split);
   std::printf("test Recall@10 %.4f  Recall@20 %.4f  NDCG@10 %.4f  NDCG@20 "
               "%.4f (%zu users)\n",
               r.recall[0], r.recall[1], r.ndcg[0], r.ndcg[1],
               r.num_eval_users);
-
-  const std::string ckpt_path = flags.GetString("checkpoint");
-  if (!ckpt_path.empty()) {
-    auto* taxo = dynamic_cast<TaxoRecModel*>(model.get());
-    if (taxo == nullptr) {
-      return Fail(Status::InvalidArgument(
-          "--checkpoint is only supported for --model TaxoRec"));
-    }
-    if (Status s = taxo->SaveCheckpoint().WriteFile(ckpt_path); !s.ok()) {
-      return Fail(s);
-    }
-    std::printf("checkpoint written to %s\n", ckpt_path.c_str());
-  }
   return 0;
 }
 
