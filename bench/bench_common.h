@@ -15,7 +15,10 @@
 
 #include "baselines/recommender.h"
 #include "common/check.h"
+#include "common/log.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 #include "data/profiles.h"
 #include "data/split.h"
 #include "eval/protocol.h"
@@ -170,14 +173,47 @@ inline int InitThreads(int argc, const char* const* argv) {
   return n;
 }
 
-/// Times a bench binary and records {threads, wall_seconds} to
-/// BENCH_<name>.json on destruction. Declare one at the top of main():
+/// Scans raw argv for `--name=value` / `--name value` (shared by the bench
+/// binaries, which do not use FlagSet).
+inline std::string ArgValue(int argc, const char* const* argv,
+                            const std::string& name) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+    if (arg == "--" + name && i + 1 < argc) return argv[i + 1];
+  }
+  return "";
+}
+
+/// Applies the shared observability flags: --log-level (threshold),
+/// --trace-out (arms span collection; the trace is written by ~BenchRun),
+/// --metrics-out (metrics snapshot path; written by ~BenchRun). Returns the
+/// trace path ("" = tracing stays off).
+inline std::string InitObservability(int argc, const char* const* argv) {
+  const std::string level = ArgValue(argc, argv, "log-level");
+  if (!level.empty()) {
+    auto parsed = ParseLogLevel(level);
+    TAXOREC_CHECK_MSG(parsed.ok(), parsed.status().ToString().c_str());
+    SetLogLevel(*parsed);
+  }
+  const std::string trace_out = ArgValue(argc, argv, "trace-out");
+  if (!trace_out.empty()) StartTracing();
+  return trace_out;
+}
+
+/// Times a bench binary and records {threads, wall_seconds, peak RSS, the
+/// metrics-registry snapshot} to BENCH_<name>.json on destruction; also
+/// honors --trace-out/--metrics-out/--log-level. Declare one at the top of
+/// main():
 ///   taxorec::bench::BenchRun run("table2_overall", argc, argv);
 class BenchRun {
  public:
   BenchRun(std::string name, int argc, const char* const* argv)
       : name_(std::move(name)),
         threads_(InitThreads(argc, argv)),
+        trace_out_(InitObservability(argc, argv)),
+        metrics_out_(ArgValue(argc, argv, "metrics-out")),
         start_(std::chrono::steady_clock::now()) {}
 
   BenchRun(const BenchRun&) = delete;
@@ -188,13 +224,30 @@ class BenchRun {
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start_)
             .count();
+    if (!trace_out_.empty()) {
+      StopTracing();
+      if (Status s = WriteChromeTrace(trace_out_); !s.ok()) {
+        std::fprintf(stderr, "[bench] %s\n", s.ToString().c_str());
+      }
+    }
+    const std::string metrics_json =
+        MetricsRegistry::Instance().SnapshotJson();
+    if (!metrics_out_.empty()) {
+      if (std::FILE* mf = std::fopen(metrics_out_.c_str(), "w")) {
+        std::fprintf(mf, "%s\n", metrics_json.c_str());
+        std::fclose(mf);
+      }
+    }
     const std::string path = "BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return;
     std::fprintf(f,
                  "{\"bench\": \"%s\", \"threads\": %d, "
-                 "\"hardware_concurrency\": %d, \"wall_seconds\": %.3f}\n",
-                 name_.c_str(), threads_, HardwareThreads(), secs);
+                 "\"hardware_concurrency\": %d, \"wall_seconds\": %.3f, "
+                 "\"peak_rss_bytes\": %llu, \"metrics\": %s}\n",
+                 name_.c_str(), threads_, HardwareThreads(), secs,
+                 static_cast<unsigned long long>(PeakRssBytes()),
+                 metrics_json.c_str());
     std::fclose(f);
     std::printf("[bench] %s: threads=%d wall=%.2fs -> %s\n", name_.c_str(),
                 threads_, secs, path.c_str());
@@ -205,6 +258,8 @@ class BenchRun {
  private:
   std::string name_;
   int threads_;
+  std::string trace_out_;
+  std::string metrics_out_;
   std::chrono::steady_clock::time_point start_;
 };
 

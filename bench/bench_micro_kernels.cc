@@ -11,6 +11,7 @@
 
 #include "bench_common.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 #include "data/sampler.h"
 #include "data/split.h"
 #include "data/synthetic.h"
@@ -274,11 +275,51 @@ void RunThreadScalingReport(int threads, double wall_before) {
       "\"speedup\": %.3f},\n"
       " \"eval\": {\"t1_seconds\": %.6f, \"tN_seconds\": %.6f, "
       "\"speedup\": %.3f},\n"
-      " \"wall_seconds\": %.3f}\n",
+      " \"wall_seconds\": %.3f, \"peak_rss_bytes\": %llu,\n"
+      " \"metrics\": %s}\n",
       threads, HardwareThreads(), spmm_t1, spmm_tn, spmm_t1 / spmm_tn,
-      eval_t1, eval_tn, eval_t1 / eval_tn, wall_before);
+      eval_t1, eval_tn, eval_t1 / eval_tn, wall_before,
+      static_cast<unsigned long long>(PeakRssBytes()),
+      MetricsRegistry::Instance().SnapshotJson().c_str());
   std::fclose(f);
   std::printf("[bench] micro: threads=%d -> BENCH_micro.json\n", threads);
+}
+
+/// Asserts the observability budget from common/trace.h: armed tracing may
+/// slow the SpMM hot path by at most 3% (plus a small absolute slack for
+/// timer noise on sub-millisecond kernels). Best-of-N timings with retries
+/// keep scheduler hiccups from failing the check spuriously.
+void RunTraceOverheadCheck() {
+  Rng rng(11);
+  SyntheticConfig cfg;
+  cfg.num_users = 1500;
+  cfg.num_items = 2500;
+  cfg.num_tags = 80;
+  cfg.seed = 7;
+  const Dataset data = GenerateSynthetic(cfg);
+  const DataSplit split = TemporalSplit(data);
+  Matrix dense(split.num_items, 64);
+  dense.FillGaussian(&rng, 0.1);
+  Matrix out;
+  auto spmm = [&] { split.train.Multiply(dense, &out); };
+
+  constexpr double kRelBudget = 0.03;
+  constexpr double kAbsSlackSeconds = 500e-6;
+  double plain = 0.0, traced = 0.0;
+  bool within_budget = false;
+  for (int attempt = 0; attempt < 5 && !within_budget; ++attempt) {
+    StopTracing();
+    plain = TimeBestSeconds(10, spmm);
+    StartTracing();
+    traced = TimeBestSeconds(10, spmm);
+    StopTracing();
+    ClearTraceBuffers();
+    within_budget = traced <= plain * (1.0 + kRelBudget) + kAbsSlackSeconds;
+  }
+  std::printf("  spmm trace overhead: plain %.6fs traced %.6fs (%+.2f%%)\n",
+              plain, traced, 100.0 * (traced / plain - 1.0));
+  TAXOREC_CHECK_MSG(within_budget,
+                    "armed tracing exceeds the 3% SpMM overhead budget");
 }
 
 }  // namespace
@@ -287,12 +328,31 @@ void RunThreadScalingReport(int threads, double wall_before) {
 int main(int argc, char** argv) {
   const auto start = std::chrono::steady_clock::now();
   const int threads = taxorec::bench::InitThreads(argc, argv);
+  const std::string trace_out = taxorec::bench::InitObservability(argc, argv);
+  const std::string metrics_out =
+      taxorec::bench::ArgValue(argc, argv, "metrics-out");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   const double wall = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - start)
                           .count();
   taxorec::RunThreadScalingReport(threads, wall);
+  // Drain any armed trace before the overhead check, which toggles and
+  // clears the trace machinery itself.
+  if (!trace_out.empty()) {
+    taxorec::StopTracing();
+    if (taxorec::Status s = taxorec::WriteChromeTrace(trace_out); !s.ok()) {
+      std::fprintf(stderr, "[bench] %s\n", s.ToString().c_str());
+    }
+  }
+  if (!metrics_out.empty()) {
+    if (std::FILE* mf = std::fopen(metrics_out.c_str(), "w")) {
+      std::fprintf(mf, "%s\n",
+                   taxorec::MetricsRegistry::Instance().SnapshotJson().c_str());
+      std::fclose(mf);
+    }
+  }
+  taxorec::RunTraceOverheadCheck();
   benchmark::Shutdown();
   return 0;
 }

@@ -19,6 +19,7 @@
 namespace taxorec {
 
 class HealthMonitor;
+class RunTelemetry;  // core/telemetry.h; baselines never depend on core
 
 /// Knobs shared by all models; each model reads what applies to it.
 struct ModelConfig {
@@ -114,6 +115,16 @@ class Recommender {
   /// Restores a SaveState snapshot; the model must be ready to continue
   /// FitEpoch afterwards. Default: FailedPrecondition.
   virtual Status RestoreState(const Checkpoint& ckpt, const DataSplit& split);
+
+  /// Attaches (nullptr detaches) a telemetry sink for model-internal events
+  /// (e.g. TaxoRecModel's taxonomy rebuilds). Not owned; the caller —
+  /// normally RunTrainLoop — must detach before the sink dies. Telemetry
+  /// never changes model numerics.
+  void SetTelemetry(RunTelemetry* telemetry) { telemetry_ = telemetry; }
+  RunTelemetry* telemetry() const { return telemetry_; }
+
+ private:
+  RunTelemetry* telemetry_ = nullptr;
 };
 
 using RecommenderFactory =

@@ -10,6 +10,9 @@
 #include <vector>
 
 #include "common/fault_injection.h"
+#include "common/log.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace taxorec {
 namespace {
@@ -50,7 +53,22 @@ const Matrix* Checkpoint::Get(const std::string& name) const {
   return it == entries_.end() ? nullptr : &it->second;
 }
 
+namespace {
+
+/// One place for the failure bookkeeping every WriteFile error path shares.
+Status WriteFailed(const std::string& path, Status status) {
+  static Counter* failures = MetricsRegistry::Instance().GetCounter(
+      "taxorec.checkpoint.write_failures");
+  failures->Increment();
+  TAXOREC_LOG(WARN) << "checkpoint write failed" << Kv("path", path)
+                    << Kv("error", status.message());
+  return status;
+}
+
+}  // namespace
+
 Status Checkpoint::WriteFile(const std::string& path) const {
+  TraceSpan span("checkpoint_write");
   std::string payload;
   Append(&payload, static_cast<uint32_t>(entries_.size()));
   for (const auto& [name, m] : entries_) {
@@ -63,9 +81,10 @@ Status Checkpoint::WriteFile(const std::string& path) const {
                    flat.size() * sizeof(double));
   }
   if (TAXOREC_FAULT(faults::kCheckpointWrite, -1)) {
-    return Status::IOError("injected fault '" +
-                           std::string(faults::kCheckpointWrite) +
-                           "': " + path);
+    return WriteFailed(path,
+                       Status::IOError("injected fault '" +
+                                       std::string(faults::kCheckpointWrite) +
+                                       "': " + path));
   }
 
   // Crash-safe write: stream everything into `path + ".tmp"`, fsync, then
@@ -75,7 +94,9 @@ Status Checkpoint::WriteFile(const std::string& path) const {
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IOError("cannot open for write: " + tmp);
+    if (!out) {
+      return WriteFailed(path, Status::IOError("cannot open for write: " + tmp));
+    }
     out.write(kMagic, sizeof(kMagic));
     const uint32_t version = kVersion;
     out.write(reinterpret_cast<const char*>(&version), sizeof(version));
@@ -85,7 +106,7 @@ Status Checkpoint::WriteFile(const std::string& path) const {
     out.flush();
     if (!out) {
       std::remove(tmp.c_str());
-      return Status::IOError("short write: " + tmp);
+      return WriteFailed(path, Status::IOError("short write: " + tmp));
     }
   }
   // Flush file contents to stable storage before publishing via rename, so
@@ -93,19 +114,42 @@ Status Checkpoint::WriteFile(const std::string& path) const {
   const int fd = ::open(tmp.c_str(), O_RDONLY);
   if (fd < 0) {
     std::remove(tmp.c_str());
-    return Status::IOError("cannot reopen for fsync: " + tmp);
+    return WriteFailed(path,
+                       Status::IOError("cannot reopen for fsync: " + tmp));
   }
   const bool synced = ::fsync(fd) == 0;
   ::close(fd);
   if (!synced) {
     std::remove(tmp.c_str());
-    return Status::IOError("fsync failed: " + tmp);
+    return WriteFailed(path, Status::IOError("fsync failed: " + tmp));
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
-    return Status::IOError("rename failed: " + tmp + " -> " + path);
+    return WriteFailed(
+        path, Status::IOError("rename failed: " + tmp + " -> " + path));
   }
+  static Counter* writes =
+      MetricsRegistry::Instance().GetCounter("taxorec.checkpoint.writes");
+  static Counter* bytes_written = MetricsRegistry::Instance().GetCounter(
+      "taxorec.checkpoint.bytes_written");
+  const uint64_t bytes = sizeof(kMagic) + sizeof(uint32_t) + payload.size() +
+                         sizeof(uint64_t);
+  writes->Increment();
+  bytes_written->Increment(bytes);
+  TAXOREC_LOG(INFO) << "checkpoint written" << Kv("path", path)
+                    << Kv("bytes", bytes)
+                    << Kv("entries", entries_.size());
   return Status::OK();
+}
+
+uint64_t Checkpoint::SerializedBytes() const {
+  uint64_t bytes = sizeof(kMagic) + sizeof(uint32_t) + sizeof(uint32_t) +
+                   sizeof(uint64_t);  // magic + version + count + checksum
+  for (const auto& [name, m] : entries_) {
+    bytes += sizeof(uint32_t) + name.size() + 2 * sizeof(uint64_t) +
+             m.rows() * m.cols() * sizeof(double);
+  }
+  return bytes;
 }
 
 StatusOr<Checkpoint> Checkpoint::ReadFile(const std::string& path) {

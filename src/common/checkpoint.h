@@ -42,6 +42,10 @@ class Checkpoint {
   /// checksum.
   static StatusOr<Checkpoint> ReadFile(const std::string& path);
 
+  /// Size in bytes of the file WriteFile would produce (header + entries +
+  /// checksum). Used for checkpoint telemetry without stat()ing the file.
+  uint64_t SerializedBytes() const;
+
  private:
   std::map<std::string, Matrix> entries_;
 };

@@ -2,6 +2,9 @@
 
 #include <cstdlib>
 
+#include "common/log.h"
+#include "common/metrics.h"
+
 namespace taxorec {
 
 FaultInjector& FaultInjector::Instance() {
@@ -57,6 +60,11 @@ bool FaultInjector::Trip(std::string_view site, int64_t epoch) {
     --spec.remaining;
     armed_shots_.fetch_sub(1, std::memory_order_relaxed);
     ++fired_[std::string(site)];
+    static Counter* injected =
+        MetricsRegistry::Instance().GetCounter("taxorec.faults.injected");
+    injected->Increment();
+    TAXOREC_LOG(WARN) << "fault injected" << Kv("site", site)
+                      << Kv("epoch", epoch);
     return true;
   }
   return false;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/log.h"
 #include "common/parallel.h"
 
 namespace taxorec {
@@ -149,6 +150,21 @@ Status ApplyThreadsFlag(const FlagSet& flags) {
                                    std::to_string(threads));
   }
   SetNumThreads(static_cast<int>(threads));
+  return Status::OK();
+}
+
+void DefineLogLevelFlag(FlagSet* flags) {
+  flags->DefineString("log-level", "",
+                      "log threshold: debug|info|warn|error|off (empty = "
+                      "TAXOREC_LOG_LEVEL or info)");
+}
+
+Status ApplyLogLevelFlag(const FlagSet& flags) {
+  const std::string value = flags.GetString("log-level");
+  if (value.empty()) return Status::OK();
+  StatusOr<LogLevel> level = ParseLogLevel(value);
+  if (!level.ok()) return level.status();
+  SetLogLevel(*level);
   return Status::OK();
 }
 

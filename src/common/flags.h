@@ -62,6 +62,15 @@ void DefineThreadsFlag(FlagSet* flags);
 /// InvalidArgument) and installs it via SetNumThreads.
 Status ApplyThreadsFlag(const FlagSet& flags);
 
+/// Declares the shared --log-level flag (debug|info|warn|error|off; empty =
+/// keep the TAXOREC_LOG_LEVEL / default threshold).
+void DefineLogLevelFlag(FlagSet* flags);
+
+/// Installs the parsed --log-level value via SetLogLevel. An empty value
+/// leaves the current threshold untouched; unknown names are rejected with
+/// InvalidArgument.
+Status ApplyLogLevelFlag(const FlagSet& flags);
+
 }  // namespace taxorec
 
 #endif  // TAXOREC_COMMON_FLAGS_H_

@@ -1,6 +1,7 @@
 #include "common/health.h"
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "hyperbolic/lorentz.h"
@@ -16,7 +17,24 @@ bool AllFinite(std::span<const double> row) {
   return true;
 }
 
+/// First non-finite entry of `row` ("nan" beats "inf" only by position).
+double FirstNonFinite(std::span<const double> row) {
+  for (double v : row) {
+    if (!std::isfinite(v)) return v;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+std::string NonFiniteKind(double v) { return std::isnan(v) ? "nan" : "inf"; }
+
 }  // namespace
+
+std::string HealthIssue::ToString() const {
+  std::ostringstream out;
+  out << matrix << " row " << row << ": " << kind << " (value " << value
+      << ")";
+  return out.str();
+}
 
 std::string HealthReport::ToString() const {
   if (healthy()) return "healthy";
@@ -31,9 +49,10 @@ std::string HealthReport::ToString() const {
 HealthMonitor::HealthMonitor(HealthOptions options)
     : options_(options) {}
 
-void HealthMonitor::AddIssue(std::string message) {
+void HealthMonitor::AddIssue(std::string message, HealthIssue issue) {
   if (report_.issues.size() < options_.max_issues) {
     report_.issues.push_back(std::move(message));
+    report_.structured_issues.push_back(std::move(issue));
   }
 }
 
@@ -46,8 +65,10 @@ void HealthMonitor::CheckFinite(std::string_view name, const Matrix& m) {
     }
     if (bad > 0) {
       report_.nonfinite_values += bad;
+      const double v = FirstNonFinite(m.row(r));
       AddIssue(std::string(name) + " row " + std::to_string(r) +
-               ": non-finite");
+                   ": non-finite",
+               {std::string(name), r, NonFiniteKind(v), v});
     }
   }
 }
@@ -59,15 +80,18 @@ void HealthMonitor::CheckBallRows(std::string_view name, const Matrix& m) {
     const auto row = m.row(r);
     if (!AllFinite(row)) {
       ++report_.nonfinite_values;
+      const double v = FirstNonFinite(row);
       AddIssue(std::string(name) + " row " + std::to_string(r) +
-               ": non-finite");
+                   ": non-finite",
+               {std::string(name), r, NonFiniteKind(v), v});
       continue;
     }
     const double n = vec::Norm(row);
     if (n > max_norm) {
       ++report_.off_manifold_rows;
       AddIssue(std::string(name) + " row " + std::to_string(r) +
-               ": escaped ball (norm " + std::to_string(n) + ")");
+                   ": escaped ball (norm " + std::to_string(n) + ")",
+               {std::string(name), r, "ball-escape", n});
     }
   }
 }
@@ -78,16 +102,19 @@ void HealthMonitor::CheckLorentzRows(std::string_view name, const Matrix& m) {
     const auto row = m.row(r);
     if (!AllFinite(row)) {
       ++report_.nonfinite_values;
+      const double v = FirstNonFinite(row);
       AddIssue(std::string(name) + " row " + std::to_string(r) +
-               ": non-finite");
+                   ": non-finite",
+               {std::string(name), r, NonFiniteKind(v), v});
       continue;
     }
     const double residual = lorentz::ConstraintResidual(row);
     if (std::abs(residual) > options_.lorentz_tol) {
       ++report_.off_manifold_rows;
       AddIssue(std::string(name) + " row " + std::to_string(r) +
-               ": off hyperboloid (residual " + std::to_string(residual) +
-               ")");
+                   ": off hyperboloid (residual " + std::to_string(residual) +
+                   ")",
+               {std::string(name), r, "lorentz-residual", residual});
     }
   }
 }
@@ -99,9 +126,12 @@ void HealthMonitor::CheckLoss(int epoch, double loss) {
       std::abs(loss) > options_.max_abs_loss;
   if (!finite || exploded) {
     ++report_.bad_losses;
+    const std::string kind =
+        exploded ? "loss-explosion" : "loss-" + NonFiniteKind(loss);
     AddIssue("epoch " + std::to_string(epoch) + ": " +
-             (finite ? "exploding" : "non-finite") + " loss " +
-             std::to_string(loss));
+                 (finite ? "exploding" : "non-finite") + " loss " +
+                 std::to_string(loss),
+             {"loss", static_cast<size_t>(epoch), kind, loss});
   }
 }
 

@@ -35,6 +35,23 @@ struct HealthOptions {
   size_t max_issues = 8;
 };
 
+/// One structured finding: which matrix (or "loss"), which row (epoch for
+/// losses), how the value is bad, and the offending value (norm, residual,
+/// or loss; NaN for non-finite findings). Feeds divergence Status messages
+/// and telemetry events, where the free-text `issues` strings are too
+/// lossy to act on.
+struct HealthIssue {
+  std::string matrix;  // parameter matrix name, or "loss"
+  size_t row = 0;      // row index (epoch number for loss issues)
+  /// Value class: "nan", "inf", "ball-escape", "lorentz-residual",
+  /// "loss-nan", "loss-inf", or "loss-explosion".
+  std::string kind;
+  double value = 0.0;
+
+  /// "users_ir row 17: nan (value nan)" one-liner.
+  std::string ToString() const;
+};
+
 /// Aggregated findings of one monitoring pass.
 struct HealthReport {
   size_t values_scanned = 0;
@@ -43,9 +60,22 @@ struct HealthReport {
   size_t bad_losses = 0;
   /// First few issues, human-readable ("users_ir row 17: non-finite").
   std::vector<std::string> issues;
+  /// Structured counterparts of `issues` (same cap, same order; the first
+  /// entry is the first defect the scan encountered).
+  std::vector<HealthIssue> structured_issues;
 
   bool healthy() const {
     return nonfinite_values == 0 && off_manifold_rows == 0 && bad_losses == 0;
+  }
+  /// The most actionable defect: the first one found in a parameter
+  /// matrix when any exists (matrix defects localize the blow-up; a bad
+  /// loss is usually a downstream symptom), else the first recorded
+  /// issue. nullptr when healthy.
+  const HealthIssue* first_issue() const {
+    for (const HealthIssue& issue : structured_issues) {
+      if (issue.matrix != "loss") return &issue;
+    }
+    return structured_issues.empty() ? nullptr : &structured_issues.front();
   }
   /// "healthy" or a compact summary of the counters plus the first issues.
   std::string ToString() const;
@@ -77,7 +107,7 @@ class HealthMonitor {
   void Reset() { report_ = HealthReport(); }
 
  private:
-  void AddIssue(std::string message);
+  void AddIssue(std::string message, HealthIssue issue);
 
   HealthOptions options_;
   HealthReport report_;

@@ -1,0 +1,133 @@
+// Leveled structured logging for the library and its binaries.
+//
+// Call sites use the TAXOREC_LOG macro with a severity token and attach
+// key=value fields with Kv():
+//
+//   TAXOREC_LOG(WARN) << "checkpoint write failed"
+//                     << Kv("path", path) << Kv("bytes", payload.size());
+//
+// emits one line to stderr (and the optional file sink):
+//
+//   W 00123.456 checkpoint.cc:87] checkpoint write failed
+//       path=model.ckpt bytes=52488  (single line in practice)
+//
+// Severity below the global threshold short-circuits before any formatting
+// (one relaxed atomic load), so disabled logging is free on hot paths. The
+// threshold comes from, in priority order: SetLogLevel / --log-level
+// (flags.h helper), the TAXOREC_LOG_LEVEL environment variable, and the
+// default of "info". Sinks are mutex-protected; a line is emitted
+// atomically with respect to other threads.
+#ifndef TAXOREC_COMMON_LOG_H_
+#define TAXOREC_COMMON_LOG_H_
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace taxorec {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,  // threshold only; not a message severity
+};
+
+/// "debug"/"info"/"warn"/"error"/"off" -> level; InvalidArgument otherwise.
+StatusOr<LogLevel> ParseLogLevel(std::string_view name);
+
+/// Lower-case name of `level` ("debug", ..., "off").
+const char* LogLevelName(LogLevel level);
+
+/// Current threshold (initialized from TAXOREC_LOG_LEVEL on first use).
+LogLevel GetLogLevel();
+
+/// Installs a new threshold (kOff silences everything).
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+/// The threshold as a relaxed atomic for the macro's fast path. Accessed
+/// through EnsureLogLevelInitialized the first time.
+std::atomic<int>& LogThreshold();
+void EnsureLogLevelInitialized();
+}  // namespace internal
+
+/// True when a message of `level` would be emitted.
+inline bool LogEnabled(LogLevel level) {
+  internal::EnsureLogLevelInitialized();
+  return static_cast<int>(level) >=
+         internal::LogThreshold().load(std::memory_order_relaxed);
+}
+
+/// Adds a file sink next to stderr (append mode); "" removes it. Returns
+/// IOError when the file cannot be opened.
+Status SetLogFile(const std::string& path);
+
+/// A key=value field attached to a log line; create with Kv().
+template <typename T>
+struct LogField {
+  std::string_view key;
+  const T& value;
+};
+
+template <typename T>
+LogField<T> Kv(std::string_view key, const T& value) {
+  return LogField<T>{key, value};
+}
+
+/// One log line under construction; emits on destruction. Use via
+/// TAXOREC_LOG, not directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    message_ << value;
+    return *this;
+  }
+
+  template <typename T>
+  LogMessage& operator<<(const LogField<T>& field) {
+    std::ostringstream v;
+    v << field.value;
+    AppendField(field.key, v.str());
+    return *this;
+  }
+
+ private:
+  void AppendField(std::string_view key, const std::string& value);
+
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream message_;
+  std::string fields_;
+};
+
+// Severity aliases for the macro's token pasting (k##INFO -> kINFO). The
+// paste happens before macro expansion, so call sites are immune to DEBUG/
+// ERROR being defined as preprocessor macros elsewhere.
+inline constexpr LogLevel kDEBUG = LogLevel::kDebug;
+inline constexpr LogLevel kINFO = LogLevel::kInfo;
+inline constexpr LogLevel kWARN = LogLevel::kWarn;
+inline constexpr LogLevel kERROR = LogLevel::kError;
+
+// `if/else` so the statement swallows a trailing `<<` chain only when the
+// level is enabled; message construction is never reached otherwise.
+#define TAXOREC_LOG(severity)                               \
+  if (!::taxorec::LogEnabled(::taxorec::k##severity))       \
+    ;                                                       \
+  else                                                      \
+    ::taxorec::LogMessage(::taxorec::k##severity, __FILE__, __LINE__)
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_COMMON_LOG_H_

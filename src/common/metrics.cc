@@ -1,0 +1,157 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/json.h"
+
+namespace taxorec {
+namespace {
+
+/// fetch_add for atomic<double> via CAS (portable pre-C++20-library RMW).
+void AtomicAdd(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  TAXOREC_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bound");
+  TAXOREC_CHECK_MSG(
+      std::is_sorted(bounds_.begin(), bounds_.end()) &&
+          std::adjacent_find(bounds_.begin(), bounds_.end()) == bounds_.end(),
+      "histogram bounds must be strictly increasing");
+}
+
+void Histogram::Observe(double v) {
+  // First bucket whose upper bound admits v; everything past the last bound
+  // lands in the overflow slot.
+  const size_t i = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, v);
+}
+
+void Histogram::Reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  // Leaked so worker threads may keep updating instruments during static
+  // destruction at process exit.
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TAXOREC_CHECK_MSG(
+      gauges_.count(name) == 0 && histograms_.count(name) == 0,
+      ("metric name registered with a different kind: " + name).c_str());
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TAXOREC_CHECK_MSG(
+      counters_.count(name) == 0 && histograms_.count(name) == 0,
+      ("metric name registered with a different kind: " + name).c_str());
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TAXOREC_CHECK_MSG(
+      counters_.count(name) == 0 && gauges_.count(name) == 0,
+      ("metric name registered with a different kind: " + name).c_str());
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  } else {
+    TAXOREC_CHECK_MSG(slot->bounds() == bounds,
+                      ("histogram re-registered with different bounds: " +
+                       name)
+                          .c_str());
+  }
+  return slot.get();
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, c] : counters_) {
+    w.Key(name).Uint(c->value());
+  }
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, g] : gauges_) {
+    w.Key(name).Double(g->value());
+  }
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, h] : histograms_) {
+    w.Key(name).BeginObject();
+    w.Key("count").Uint(h->count());
+    w.Key("sum").Double(h->sum());
+    w.Key("buckets").BeginArray();
+    const auto& bounds = h->bounds();
+    for (size_t i = 0; i <= bounds.size(); ++i) {
+      w.BeginObject();
+      if (i < bounds.size()) {
+        w.Key("le").Double(bounds[i]);
+      } else {
+        w.Key("le").String("Inf");
+      }
+      w.Key("count").Uint(h->bucket_count(i));
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+uint64_t PeakRssBytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  unsigned long long kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      std::sscanf(line + 6, "%llu", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace taxorec

@@ -1,0 +1,116 @@
+// Process-global metrics: named counters, gauges, and fixed-bucket
+// histograms with lock-free updates on the hot path.
+//
+// Naming convention: `taxorec.<subsystem>.<name>` (e.g.
+// "taxorec.spmm.rows", "taxorec.trainer.rollbacks"). Registration takes a
+// mutex; call sites cache the returned pointer in a function-local static
+// so steady-state updates are a single relaxed atomic RMW:
+//
+//   static Counter* rows =
+//       MetricsRegistry::Instance().GetCounter("taxorec.spmm.rows");
+//   rows->Increment(n);
+//
+// Instruments never touch model numerics, so instrumented runs stay
+// bit-identical to uninstrumented ones at any thread count. SnapshotJson
+// serializes every registered instrument (sorted by name — deterministic)
+// for `--metrics-out` and the bench JSON `metrics` section.
+#ifndef TAXOREC_COMMON_METRICS_H_
+#define TAXOREC_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace taxorec {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations v <= bounds[i]
+/// (bounds strictly increasing); one extra overflow bucket counts
+/// v > bounds.back(). Observe is one binary search plus relaxed atomics.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Observations in bucket i (i == bounds().size() is the overflow bucket).
+  uint64_t bucket_count(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  const std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> counts_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Process-wide instrument registry (leaky singleton — safe to update from
+/// any thread for the whole process lifetime). Instrument pointers remain
+/// valid forever; ResetAll zeroes values but never invalidates pointers.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  /// Returns the instrument registered under `name`, creating it on first
+  /// use. Requesting an existing name with a different instrument kind
+  /// (or different histogram bounds) is a programming error (checked).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with keys
+  /// sorted by instrument name.
+  std::string SnapshotJson() const;
+
+  /// Zeroes every registered instrument (test isolation / per-run scoping).
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Peak resident set size of this process in bytes (VmHWM from
+/// /proc/self/status on Linux; 0 where unavailable).
+uint64_t PeakRssBytes();
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_COMMON_METRICS_H_

@@ -1,0 +1,162 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "common/json.h"
+
+namespace taxorec {
+namespace internal {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  uint64_t start_us;
+  uint64_t dur_us;
+};
+
+// Per-thread ring: bounded memory regardless of run length. 16Ki events
+// (~384 KiB) keeps hours of coarse spans; dropped_ counts overwrites.
+constexpr size_t kRingCapacity = 1 << 14;
+
+struct TraceBuffer {
+  explicit TraceBuffer(int tid) : tid(tid) { events.reserve(1024); }
+
+  // Guards events against a concurrent drain; uncontended on the hot path
+  // (each buffer has exactly one writer thread).
+  std::mutex mu;
+  const int tid;
+  std::vector<TraceEvent> events;  // ring once kRingCapacity is reached
+  size_t next = 0;                 // overwrite cursor after wrap
+  uint64_t dropped = 0;
+
+  void Record(const TraceEvent& e) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (events.size() < kRingCapacity) {
+      events.push_back(e);
+    } else {
+      events[next] = e;
+      next = (next + 1) % kRingCapacity;
+      ++dropped;
+    }
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu);
+    events.clear();
+    next = 0;
+    dropped = 0;
+  }
+};
+
+struct BufferRegistry {
+  std::mutex mu;
+  std::vector<TraceBuffer*> buffers;  // leaked; threads may outlive drains
+  int next_tid = 0;
+};
+
+BufferRegistry& Registry() {
+  static BufferRegistry* registry = new BufferRegistry();
+  return *registry;
+}
+
+TraceBuffer* ThreadBuffer() {
+  thread_local TraceBuffer* buffer = [] {
+    BufferRegistry& reg = Registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    auto* b = new TraceBuffer(reg.next_tid++);
+    reg.buffers.push_back(b);
+    return b;
+  }();
+  return buffer;
+}
+
+}  // namespace
+
+uint64_t TraceNowMicros() {
+  static const auto start = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+void RecordSpan(const char* name, uint64_t start_us, uint64_t dur_us) {
+  ThreadBuffer()->Record({name, start_us, dur_us});
+}
+
+}  // namespace internal
+
+void StartTracing() {
+  internal::TraceNowMicros();  // pin the epoch before the first span
+  internal::g_tracing_enabled.store(true, std::memory_order_relaxed);
+}
+
+void StopTracing() {
+  internal::g_tracing_enabled.store(false, std::memory_order_relaxed);
+}
+
+void ClearTraceBuffers() {
+  auto& reg = internal::Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto* b : reg.buffers) b->Clear();
+}
+
+size_t TraceEventCount() {
+  auto& reg = internal::Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  size_t n = 0;
+  for (auto* b : reg.buffers) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    n += b->events.size();
+  }
+  return n;
+}
+
+std::string ChromeTraceJson() {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").String("ms");
+  uint64_t dropped = 0;
+  w.Key("traceEvents").BeginArray();
+  {
+    auto& reg = internal::Registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (auto* b : reg.buffers) {
+      std::lock_guard<std::mutex> bl(b->mu);
+      dropped += b->dropped;
+      for (const auto& e : b->events) {
+        w.BeginObject();
+        w.Key("name").String(e.name);
+        w.Key("cat").String("taxorec");
+        w.Key("ph").String("X");
+        w.Key("pid").Int(1);
+        w.Key("tid").Int(b->tid);
+        w.Key("ts").Uint(e.start_us);
+        w.Key("dur").Uint(e.dur_us);
+        w.EndObject();
+      }
+    }
+  }
+  w.EndArray();
+  w.Key("droppedEvents").Uint(dropped);
+  w.EndObject();
+  return w.TakeString();
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  const std::string json = ChromeTraceJson();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot write trace file: " + path);
+  out << json << "\n";
+  out.flush();
+  if (!out) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+}  // namespace taxorec

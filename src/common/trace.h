@@ -1,0 +1,91 @@
+// Scoped trace spans with Chrome trace_event export.
+//
+// Production code brackets interesting regions with an RAII TraceSpan:
+//
+//   void CsrMatrix::MultiplyAccum(...) {
+//     TraceSpan span("spmm");
+//     ...
+//   }
+//
+// Tracing is disarmed by default: the constructor is a single relaxed
+// atomic load and the destructor a null check, so disarmed spans cost a
+// predictable branch and never touch shared state — `--threads`
+// bit-identity and hot-path timings are unaffected (the <3% armed-SpMM
+// budget is asserted by bench_micro_kernels). When armed (StartTracing /
+// `--trace-out`), each completed span records {name, thread, start,
+// duration} into a per-thread ring buffer (fixed capacity; oldest events
+// are overwritten and counted as dropped). WriteChromeTrace drains every
+// buffer into a JSON file loadable by chrome://tracing / Perfetto.
+//
+// Span names must be string literals (or otherwise outlive the drain).
+#ifndef TAXOREC_COMMON_TRACE_H_
+#define TAXOREC_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace taxorec {
+
+namespace internal {
+extern std::atomic<bool> g_tracing_enabled;
+/// Appends one completed span to the calling thread's ring buffer.
+void RecordSpan(const char* name, uint64_t start_us, uint64_t dur_us);
+/// Microseconds since process start (steady clock).
+uint64_t TraceNowMicros();
+}  // namespace internal
+
+/// True while spans are being collected.
+inline bool TracingEnabled() {
+  return internal::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+/// Arms span collection. Buffers keep accumulating across Start/Stop
+/// cycles until ClearTraceBuffers.
+void StartTracing();
+
+/// Disarms span collection (in-flight spans on other threads may still
+/// record once). Call before WriteChromeTrace.
+void StopTracing();
+
+/// Drops every buffered event and dropped-event counter (test isolation).
+void ClearTraceBuffers();
+
+/// Buffered events across all threads (drain size for tests).
+size_t TraceEventCount();
+
+/// Writes all buffered spans as a Chrome trace_event JSON object
+/// ({"traceEvents": [...]}) to `path`.
+Status WriteChromeTrace(const std::string& path);
+
+/// Serializes the buffered spans to the Chrome trace JSON string.
+std::string ChromeTraceJson();
+
+/// RAII span: records the enclosing scope when tracing is armed at
+/// construction time, and compiles down to a pointer check when not.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name)
+      : name_(TracingEnabled() ? name : nullptr),
+        start_us_(name_ != nullptr ? internal::TraceNowMicros() : 0) {}
+
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      internal::RecordSpan(name_, start_us_,
+                           internal::TraceNowMicros() - start_us_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  uint64_t start_us_;
+};
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_COMMON_TRACE_H_

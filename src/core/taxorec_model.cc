@@ -5,11 +5,16 @@
 #include <limits>
 #include <unordered_set>
 
+#include <chrono>
+
 #include "baselines/embedding_model.h"
 #include "common/check.h"
 #include "common/fault_injection.h"
 #include "common/health.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/trace.h"
+#include "core/telemetry.h"
 #include "data/sampler.h"
 #include "hyperbolic/klein.h"
 #include "hyperbolic/lorentz.h"
@@ -67,6 +72,7 @@ void TaxoRecModel::WarmUpTags(Rng* rng) {
       static_cast<size_t>(std::max(0, config_.tag_warmup_per_tag)) *
       num_tags_;
   if (steps == 0) return;
+  TraceSpan span("tag_warmup");
   const double kWarmupMargin = 0.5;
   const size_t dt = tags_.cols();
   std::vector<double> g1(dt), g2(dt), g3(dt);
@@ -142,17 +148,31 @@ void TaxoRecModel::InitUserTagEmbeddings() {
   }
 }
 
-void TaxoRecModel::RebuildTaxonomy() {
+void TaxoRecModel::RebuildTaxonomy(int epoch) {
+  TraceSpan span("taxonomy_rebuild");
+  const auto start = std::chrono::steady_clock::now();
   if (options_.fixed_taxonomy != nullptr) {
     taxonomy_ = std::make_unique<Taxonomy>(*options_.fixed_taxonomy);
-    return;
+  } else {
+    TaxonomyBuildConfig cfg;
+    cfg.K = config_.taxo_k;
+    cfg.delta = config_.taxo_delta;
+    cfg.seed = config_.seed + 1;
+    taxonomy_ = std::make_unique<Taxonomy>(
+        BuildTaxonomy(tags_, item_tags_, tag_items_, cfg));
   }
-  TaxonomyBuildConfig cfg;
-  cfg.K = config_.taxo_k;
-  cfg.delta = config_.taxo_delta;
-  cfg.seed = config_.seed + 1;
-  taxonomy_ = std::make_unique<Taxonomy>(
-      BuildTaxonomy(tags_, item_tags_, tag_items_, cfg));
+  static Counter* rebuilds = MetricsRegistry::Instance().GetCounter(
+      "taxorec.model.taxonomy_rebuilds");
+  rebuilds->Increment();
+  if (telemetry() != nullptr) {
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    telemetry()->EmitTaxonomyRebuild(epoch, taxonomy_->num_nodes(),
+                                     static_cast<size_t>(
+                                         taxonomy_->MaxDepth()),
+                                     num_tags_, wall);
+  }
 }
 
 void TaxoRecModel::Propagate() {
@@ -466,7 +486,7 @@ void TaxoRecModel::BeginFit(const DataSplit& split, Rng* rng) {
   if (options_.use_tags && options_.hyperbolic) {
     WarmUpTags(rng);
     InitUserTagEmbeddings();
-    RebuildTaxonomy();
+    RebuildTaxonomy(/*epoch=*/0);
   }
 }
 
@@ -476,20 +496,26 @@ double TaxoRecModel::FitEpoch(const DataSplit& split, int epoch, Rng* rng) {
   // `rng`, so the sampled triples — and the trained model — are identical
   // at any --threads value, and a run resumed at epoch k replays exactly
   // the updates of the uninterrupted run.
+  TraceSpan span("fit_epoch");
   if (options_.use_tags && options_.hyperbolic && epoch > 0 &&
       epoch % std::max(1, config_.taxo_rebuild_every) == 0) {
-    RebuildTaxonomy();
+    RebuildTaxonomy(epoch);
   }
   double epoch_loss = 0.0;
   for (size_t b = 0; b < config_.batches_per_epoch; ++b) {
     Propagate();
     epoch_loss += TrainStep(*sampler_, epoch, b);
   }
+  static Counter* samples =
+      MetricsRegistry::Instance().GetCounter("taxorec.model.fit_samples");
+  samples->Increment(config_.batches_per_epoch * config_.batch_size);
   return epoch_loss;
 }
 
 void TaxoRecModel::EndFit(const DataSplit& split) {
-  if (options_.use_tags && options_.hyperbolic) RebuildTaxonomy();
+  if (options_.use_tags && options_.hyperbolic) {
+    RebuildTaxonomy(config_.epochs);
+  }
   Propagate();
 }
 
@@ -572,7 +598,7 @@ Status TaxoRecModel::RestoreCheckpoint(const Checkpoint& ckpt,
   if (options_.use_tags) {
     TAXOREC_RETURN_NOT_OK(load("users_tg", &users_tg_));
     TAXOREC_RETURN_NOT_OK(load("tags", &tags_));
-    if (options_.hyperbolic) RebuildTaxonomy();
+    if (options_.hyperbolic) RebuildTaxonomy(/*epoch=*/-1);
   }
   Propagate();
   return Status::OK();

@@ -108,7 +108,9 @@ class TaxoRecModel : public Recommender {
   void ComputeAlpha(const DataSplit& split);
   /// Sets up dataset views, α, layers and (optionally) random leaves.
   void InitFromSplit(const DataSplit& split, Rng* rng, bool init_params);
-  void RebuildTaxonomy();
+  /// Rebuilds the taxonomy from the current tag table. `epoch` is only for
+  /// telemetry (-1 = outside the epoch loop, e.g. checkpoint restore).
+  void RebuildTaxonomy(int epoch);
   /// Data-driven initialization of u^tg' from the warmed-up tag table
   /// (Einstein midpoint of the user's interacted tags).
   void InitUserTagEmbeddings();

@@ -1,0 +1,175 @@
+#include "core/telemetry.h"
+
+#include <utility>
+
+#include "common/json.h"
+
+namespace taxorec {
+namespace {
+
+/// Starts an event object with the two fields every line carries.
+JsonWriter BeginEvent(const char* event, double t) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("event").String(event);
+  w.Key("t").Double(t);
+  return w;
+}
+
+}  // namespace
+
+std::string GitDescribe() {
+  // TAXOREC_GIT_DESCRIBE is baked in at CMake configure time on this
+  // translation unit only (no runtime git invocation).
+#if defined(TAXOREC_GIT_DESCRIBE)
+  return TAXOREC_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+RunTelemetry::RunTelemetry(std::string path, std::ofstream out)
+    : path_(std::move(path)),
+      start_(std::chrono::steady_clock::now()),
+      out_(std::move(out)) {}
+
+StatusOr<std::unique_ptr<RunTelemetry>> RunTelemetry::Open(
+    const std::string& path, const RunManifest& manifest) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open telemetry file: " + path);
+  }
+  auto sink = std::unique_ptr<RunTelemetry>(
+      new RunTelemetry(path, std::move(out)));
+  JsonWriter w = BeginEvent("run_start", 0.0);
+  w.Key("model").String(manifest.model);
+  w.Key("dataset").String(manifest.dataset);
+  w.Key("seed").Uint(manifest.seed);
+  w.Key("threads").Int(manifest.threads);
+  w.Key("epochs").Int(manifest.epochs);
+  w.Key("flags").String(manifest.flags);
+  w.Key("git_describe").String(GitDescribe());
+  w.EndObject();
+  sink->WriteLine(w.TakeString());
+  if (!sink->out_) {
+    return Status::IOError("cannot write telemetry manifest: " + path);
+  }
+  return sink;
+}
+
+double RunTelemetry::Elapsed() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+void RunTelemetry::WriteLine(const std::string& json) {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << json << "\n";
+  out_.flush();
+}
+
+void RunTelemetry::AppendHealthFields(const HealthReport& report,
+                                      JsonWriter* w) {
+  w->Key("values_scanned").Uint(report.values_scanned);
+  w->Key("nonfinite_values").Uint(report.nonfinite_values);
+  w->Key("off_manifold_rows").Uint(report.off_manifold_rows);
+  w->Key("bad_losses").Uint(report.bad_losses);
+  if (const HealthIssue* issue = report.first_issue()) {
+    w->Key("first_bad_matrix").String(issue->matrix);
+    w->Key("first_bad_row").Uint(issue->row);
+    w->Key("value_class").String(issue->kind);
+    w->Key("first_bad_value").Double(issue->value);
+  }
+}
+
+void RunTelemetry::EmitEpoch(int epoch, double loss, double lr_scale,
+                             double wall_seconds) {
+  JsonWriter w = BeginEvent("epoch", Elapsed());
+  w.Key("epoch").Int(epoch);
+  w.Key("loss").Double(loss);
+  w.Key("lr_scale").Double(lr_scale);
+  w.Key("wall_seconds").Double(wall_seconds);
+  w.EndObject();
+  WriteLine(w.TakeString());
+}
+
+void RunTelemetry::EmitHealthFail(int epoch, const HealthReport& report) {
+  JsonWriter w = BeginEvent("health_fail", Elapsed());
+  w.Key("epoch").Int(epoch);
+  AppendHealthFields(report, &w);
+  w.EndObject();
+  WriteLine(w.TakeString());
+}
+
+void RunTelemetry::EmitRollback(int epoch, double lr_scale,
+                                const HealthReport& report) {
+  JsonWriter w = BeginEvent("rollback", Elapsed());
+  w.Key("epoch").Int(epoch);
+  w.Key("lr_scale").Double(lr_scale);
+  AppendHealthFields(report, &w);
+  w.EndObject();
+  WriteLine(w.TakeString());
+}
+
+void RunTelemetry::EmitCheckpoint(int epoch, const std::string& path,
+                                  uint64_t bytes) {
+  JsonWriter w = BeginEvent("checkpoint", Elapsed());
+  w.Key("epoch").Int(epoch);
+  w.Key("path").String(path);
+  w.Key("bytes").Uint(bytes);
+  w.EndObject();
+  WriteLine(w.TakeString());
+}
+
+void RunTelemetry::EmitResume(int epoch, const std::string& path,
+                              double lr_scale) {
+  JsonWriter w = BeginEvent("resume", Elapsed());
+  w.Key("epoch").Int(epoch);
+  w.Key("path").String(path);
+  w.Key("lr_scale").Double(lr_scale);
+  w.EndObject();
+  WriteLine(w.TakeString());
+}
+
+void RunTelemetry::EmitTaxonomyRebuild(int epoch, size_t num_nodes,
+                                       size_t max_depth, size_t num_tags,
+                                       double wall_seconds) {
+  JsonWriter w = BeginEvent("taxonomy_rebuild", Elapsed());
+  w.Key("epoch").Int(epoch);
+  w.Key("num_nodes").Uint(num_nodes);
+  w.Key("max_depth").Uint(max_depth);
+  w.Key("num_tags").Uint(num_tags);
+  w.Key("wall_seconds").Double(wall_seconds);
+  w.EndObject();
+  WriteLine(w.TakeString());
+}
+
+void RunTelemetry::EmitEval(const EvalResult& result, double wall_seconds) {
+  JsonWriter w = BeginEvent("eval", Elapsed());
+  w.Key("num_eval_users").Uint(result.num_eval_users);
+  for (size_t i = 0; i < result.ks.size(); ++i) {
+    const std::string k = std::to_string(result.ks[i]);
+    w.Key("recall@" + k).Double(result.recall[i]);
+    w.Key("ndcg@" + k).Double(result.ndcg[i]);
+  }
+  w.Key("wall_seconds").Double(wall_seconds);
+  w.EndObject();
+  WriteLine(w.TakeString());
+}
+
+void RunTelemetry::EmitRunEnd(bool ok, const std::string& status,
+                              int epochs_run, int rollbacks,
+                              double final_loss, double wall_seconds) {
+  JsonWriter w = BeginEvent("run_end", Elapsed());
+  w.Key("ok").Bool(ok);
+  w.Key("status").String(status);
+  w.Key("epochs_run").Int(epochs_run);
+  w.Key("rollbacks").Int(rollbacks);
+  w.Key("final_loss").Double(final_loss);
+  w.Key("wall_seconds").Double(wall_seconds);
+  w.EndObject();
+  WriteLine(w.TakeString());
+}
+
+}  // namespace taxorec

@@ -1,0 +1,108 @@
+// Per-run telemetry: a JSONL event stream for offline run analysis.
+//
+// A RunTelemetry sink owns one append-only JSONL file (one JSON object per
+// line). The first line is a `run_start` manifest (model, dataset, seed,
+// threads, flags, git describe); subsequent lines are flat scalar-only
+// events fed by RunTrainLoop (epoch loss/lr/wall-time, health verdicts,
+// rollbacks, checkpoints, resumes), TaxoRecModel (taxonomy stats per
+// rebuild), and the evaluation driver (final ranking metrics). Flat events
+// keep downstream parsers trivial — see tools/telemetry_report.
+//
+// Every event carries `"event"` (its kind) and `"t"` (seconds since the
+// sink was opened). Lines are flushed as they are written so a crashed run
+// leaves a readable prefix. Emitters are thread-safe (one mutex per sink)
+// but never touch model numerics: a run with telemetry attached is
+// bit-identical to one without.
+#ifndef TAXOREC_CORE_TELEMETRY_H_
+#define TAXOREC_CORE_TELEMETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/health.h"
+#include "common/status.h"
+#include "eval/evaluator.h"
+
+namespace taxorec {
+
+class JsonWriter;
+
+/// `git describe --tags --always --dirty` of the checkout this binary was
+/// configured from ("unknown" when git metadata was unavailable).
+std::string GitDescribe();
+
+/// Immutable run identity written as the `run_start` line.
+struct RunManifest {
+  std::string model;    // e.g. "TaxoRec", "CML"
+  std::string dataset;  // dataset path or name
+  uint64_t seed = 0;
+  int threads = 1;
+  int epochs = 0;
+  /// The flags the run was launched with, joined with spaces.
+  std::string flags;
+};
+
+/// JSONL event sink for one run. Create with Open; emitters append one
+/// flushed line each. Destruction closes the file.
+class RunTelemetry {
+ public:
+  /// Opens (truncates) `path` and writes the `run_start` manifest line.
+  static StatusOr<std::unique_ptr<RunTelemetry>> Open(
+      const std::string& path, const RunManifest& manifest);
+
+  /// Healthy epoch: loss, cumulative lr scale, and epoch wall time.
+  void EmitEpoch(int epoch, double loss, double lr_scale,
+                 double wall_seconds);
+
+  /// Health scan failed after `epoch` (emitted before the rollback event).
+  void EmitHealthFail(int epoch, const HealthReport& report);
+
+  /// State restored from the last healthy snapshot; lr_scale is the new
+  /// cumulative scale after backoff.
+  void EmitRollback(int epoch, double lr_scale, const HealthReport& report);
+
+  /// Checkpoint written to `path` (`bytes` is the serialized size).
+  void EmitCheckpoint(int epoch, const std::string& path, uint64_t bytes);
+
+  /// Run resumed from an on-disk checkpoint at `epoch`.
+  void EmitResume(int epoch, const std::string& path, double lr_scale);
+
+  /// Taxonomy rebuilt before `epoch` with the resulting tree shape.
+  void EmitTaxonomyRebuild(int epoch, size_t num_nodes, size_t max_depth,
+                           size_t num_tags, double wall_seconds);
+
+  /// Final ranking metrics, flattened to per-k keys (recall@10, ndcg@10,
+  /// ...).
+  void EmitEval(const EvalResult& result, double wall_seconds);
+
+  /// Terminal line: `status` is "ok" or the error message.
+  void EmitRunEnd(bool ok, const std::string& status, int epochs_run,
+                  int rollbacks, double final_loss, double wall_seconds);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  RunTelemetry(std::string path, std::ofstream out);
+
+  /// Appends the shared health-report fields (counters plus the structured
+  /// first issue) to a partially built event object.
+  static void AppendHealthFields(const HealthReport& report, JsonWriter* w);
+
+  /// Seconds since Open (monotonic).
+  double Elapsed() const;
+  /// Writes one line under the sink mutex and flushes.
+  void WriteLine(const std::string& json);
+
+  const std::string path_;
+  const std::chrono::steady_clock::time_point start_;
+  std::mutex mu_;
+  std::ofstream out_;
+};
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_CORE_TELEMETRY_H_

@@ -1,11 +1,16 @@
 #include "core/trainer.h"
 
+#include <chrono>
 #include <fstream>
 #include <utility>
 
 #include "baselines/cml.h"
 #include "baselines/hyperml.h"
+#include "common/log.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "core/taxorec_model.h"
+#include "core/telemetry.h"
 
 namespace taxorec {
 namespace {
@@ -19,16 +24,57 @@ void Emit(const TrainLoopOptions& opts, TrainLoopEvent event) {
 }
 
 /// Writes `state` + the trainer bookkeeping entry to opts.checkpoint_path.
+/// On success `*bytes_out` (optional) receives the file size.
 Status WriteTrainerCheckpoint(const Checkpoint& state, int next_epoch,
                               double lr_scale, int rollbacks,
-                              const std::string& path) {
+                              const std::string& path,
+                              uint64_t* bytes_out = nullptr) {
   Checkpoint with_meta = state;  // map copy; matrices are value types
   Matrix meta(1, 3);
   meta.at(0, 0) = static_cast<double>(next_epoch);
   meta.at(0, 1) = lr_scale;
   meta.at(0, 2) = static_cast<double>(rollbacks);
   with_meta.Put(kTrainerStateEntry, std::move(meta));
+  if (bytes_out != nullptr) *bytes_out = with_meta.SerializedBytes();
   return with_meta.WriteFile(path);
+}
+
+/// Seconds elapsed since `start`.
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// "users_ir row 0 (nan)" clause for divergence Status messages, or "".
+std::string FirstDefectClause(const HealthReport& report) {
+  const HealthIssue* issue = report.first_issue();
+  if (issue == nullptr) return "";
+  return "; first defect: " + issue->matrix + " row " +
+         std::to_string(issue->row) + " (" + issue->kind + ")";
+}
+
+/// Attaches the sink to the model for the loop's lifetime; detaching in the
+/// destructor keeps the model from holding a dangling pointer after the
+/// sink dies.
+class ScopedModelTelemetry {
+ public:
+  ScopedModelTelemetry(Recommender* model, RunTelemetry* telemetry)
+      : model_(model) {
+    model_->SetTelemetry(telemetry);
+  }
+  ~ScopedModelTelemetry() { model_->SetTelemetry(nullptr); }
+  ScopedModelTelemetry(const ScopedModelTelemetry&) = delete;
+  ScopedModelTelemetry& operator=(const ScopedModelTelemetry&) = delete;
+
+ private:
+  Recommender* model_;
+};
+
+Counter* HealthScanCounter() {
+  static Counter* scans = MetricsRegistry::Instance().GetCounter(
+      "taxorec.trainer.health_scans");
+  return scans;
 }
 
 }  // namespace
@@ -68,6 +114,8 @@ StatusOr<TrainLoopResult> RunTrainLoop(Recommender* model,
                                        const DataSplit& split, Rng* rng,
                                        const TrainLoopOptions& opts) {
   TrainLoopResult result;
+  TraceSpan loop_span("train_loop");
+  ScopedModelTelemetry scoped_telemetry(model, opts.telemetry);
 
   if (!model->SupportsEpochFit()) {
     if (opts.resume) {
@@ -83,9 +131,14 @@ StatusOr<TrainLoopResult> RunTrainLoop(Recommender* model,
     result.epoch_granular = false;
     HealthMonitor monitor(opts.health);
     model->CheckHealth(&monitor);
+    HealthScanCounter()->Increment();
     if (!monitor.healthy()) {
+      if (opts.telemetry != nullptr) {
+        opts.telemetry->EmitHealthFail(0, monitor.report());
+      }
       return Status::Internal(model->name() + " training diverged: " +
-                              monitor.report().ToString());
+                              monitor.report().ToString() +
+                              FirstDefectClause(monitor.report()));
     }
     return result;
   }
@@ -120,6 +173,17 @@ StatusOr<TrainLoopResult> RunTrainLoop(Recommender* model,
     }
     TAXOREC_RETURN_NOT_OK(model->RestoreState(*ckpt, split));
     if (lr_scale != 1.0) model->ScaleLearningRate(lr_scale);
+    static Counter* resumes =
+        MetricsRegistry::Instance().GetCounter("taxorec.trainer.resumes");
+    resumes->Increment();
+    TAXOREC_LOG(INFO) << "resumed from checkpoint"
+                      << Kv("path", opts.checkpoint_path)
+                      << Kv("bytes", ckpt->SerializedBytes())
+                      << Kv("epoch", start_epoch)
+                      << Kv("lr_scale", lr_scale);
+    if (opts.telemetry != nullptr) {
+      opts.telemetry->EmitResume(start_epoch, opts.checkpoint_path, lr_scale);
+    }
     Emit(opts, {TrainLoopEvent::Kind::kResume, start_epoch, 0.0, lr_scale,
                 opts.checkpoint_path});
   } else {
@@ -131,24 +195,44 @@ StatusOr<TrainLoopResult> RunTrainLoop(Recommender* model,
   Checkpoint snapshot = model->SaveState();
   int snapshot_epoch = start_epoch;
 
+  static Counter* epochs_counter =
+      MetricsRegistry::Instance().GetCounter("taxorec.trainer.epochs");
+  static Counter* rollbacks_counter =
+      MetricsRegistry::Instance().GetCounter("taxorec.trainer.rollbacks");
+
   int epoch = start_epoch;
   while (epoch < total_epochs) {
+    const auto epoch_start = std::chrono::steady_clock::now();
     const double loss = model->FitEpoch(split, epoch, rng);
+    const double epoch_wall = SecondsSince(epoch_start);
 
     HealthMonitor monitor(opts.health);
     monitor.CheckLoss(epoch, loss);
     model->CheckHealth(&monitor);
+    HealthScanCounter()->Increment();
     if (!monitor.healthy()) {
+      if (opts.telemetry != nullptr) {
+        opts.telemetry->EmitHealthFail(epoch, monitor.report());
+      }
       if (rollbacks >= opts.max_divergence_retries) {
         return Status::Internal(
             model->name() + " diverged at epoch " + std::to_string(epoch) +
             " after " + std::to_string(rollbacks) +
-            " rollback(s): " + monitor.report().ToString());
+            " rollback(s): " + monitor.report().ToString() +
+            FirstDefectClause(monitor.report()));
       }
       TAXOREC_RETURN_NOT_OK(model->RestoreState(snapshot, split));
       model->ScaleLearningRate(opts.lr_backoff);
       lr_scale *= opts.lr_backoff;
       ++rollbacks;
+      rollbacks_counter->Increment();
+      TAXOREC_LOG(WARN) << "divergence rollback" << Kv("epoch", epoch)
+                        << Kv("snapshot_epoch", snapshot_epoch)
+                        << Kv("lr_scale", lr_scale)
+                        << Kv("report", monitor.report().ToString());
+      if (opts.telemetry != nullptr) {
+        opts.telemetry->EmitRollback(epoch, lr_scale, monitor.report());
+      }
       Emit(opts, {TrainLoopEvent::Kind::kRollback, epoch, loss, lr_scale,
                   monitor.report().ToString()});
       epoch = snapshot_epoch;
@@ -157,6 +241,10 @@ StatusOr<TrainLoopResult> RunTrainLoop(Recommender* model,
 
     result.final_loss = loss;
     ++result.epochs_run;
+    epochs_counter->Increment();
+    if (opts.telemetry != nullptr) {
+      opts.telemetry->EmitEpoch(epoch, loss, lr_scale, epoch_wall);
+    }
     Emit(opts, {TrainLoopEvent::Kind::kEpoch, epoch, loss, lr_scale, ""});
     ++epoch;
     snapshot = model->SaveState();
@@ -164,9 +252,16 @@ StatusOr<TrainLoopResult> RunTrainLoop(Recommender* model,
 
     if (opts.save_every > 0 && !opts.checkpoint_path.empty() &&
         epoch % opts.save_every == 0 && epoch < total_epochs) {
-      TAXOREC_RETURN_NOT_OK(WriteTrainerCheckpoint(
-          snapshot, epoch, lr_scale, rollbacks, opts.checkpoint_path));
+      uint64_t ckpt_bytes = 0;
+      TAXOREC_RETURN_NOT_OK(WriteTrainerCheckpoint(snapshot, epoch, lr_scale,
+                                                   rollbacks,
+                                                   opts.checkpoint_path,
+                                                   &ckpt_bytes));
       ++result.checkpoints_written;
+      if (opts.telemetry != nullptr) {
+        opts.telemetry->EmitCheckpoint(epoch, opts.checkpoint_path,
+                                       ckpt_bytes);
+      }
       Emit(opts, {TrainLoopEvent::Kind::kCheckpoint, epoch, 0.0, lr_scale,
                   opts.checkpoint_path});
     }
@@ -176,16 +271,26 @@ StatusOr<TrainLoopResult> RunTrainLoop(Recommender* model,
 
   HealthMonitor final_monitor(opts.health);
   model->CheckHealth(&final_monitor);
+  HealthScanCounter()->Increment();
   if (!final_monitor.healthy()) {
+    if (opts.telemetry != nullptr) {
+      opts.telemetry->EmitHealthFail(total_epochs, final_monitor.report());
+    }
     return Status::Internal(model->name() + " finished unhealthy: " +
-                            final_monitor.report().ToString());
+                            final_monitor.report().ToString() +
+                            FirstDefectClause(final_monitor.report()));
   }
 
   if (!opts.checkpoint_path.empty()) {
+    uint64_t ckpt_bytes = 0;
     TAXOREC_RETURN_NOT_OK(WriteTrainerCheckpoint(
         model->SaveState(), total_epochs, lr_scale, rollbacks,
-        opts.checkpoint_path));
+        opts.checkpoint_path, &ckpt_bytes));
     ++result.checkpoints_written;
+    if (opts.telemetry != nullptr) {
+      opts.telemetry->EmitCheckpoint(total_epochs, opts.checkpoint_path,
+                                     ckpt_bytes);
+    }
     Emit(opts, {TrainLoopEvent::Kind::kCheckpoint, total_epochs, 0.0,
                 lr_scale, opts.checkpoint_path});
   }

@@ -15,6 +15,8 @@
 
 namespace taxorec {
 
+class RunTelemetry;  // core/telemetry.h
+
 /// Fits `model` on the split and evaluates it in one call.
 EvalResult TrainAndEvaluate(Recommender* model, const DataSplit& split,
                             Rng* rng, const EvalOptions& eval_opts = {});
@@ -61,6 +63,10 @@ struct TrainLoopOptions {
   double lr_backoff = 0.5;
   HealthOptions health;
   std::function<void(const TrainLoopEvent&)> callback;
+  /// Optional JSONL sink; the loop emits epoch/health/rollback/checkpoint/
+  /// resume events and attaches the sink to the model for the duration of
+  /// the run (taxonomy rebuild events). Not owned; must outlive the call.
+  RunTelemetry* telemetry = nullptr;
 };
 
 struct TrainLoopResult {

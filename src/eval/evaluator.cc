@@ -6,8 +6,12 @@
 #include <numeric>
 #include <unordered_set>
 
+#include <chrono>
+
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 
 namespace taxorec {
 namespace {
@@ -78,6 +82,8 @@ double NdcgAtK(std::span<const uint32_t> ranked, const TargetLookup& relevant,
 EvalResult EvaluateRanking(const Recommender& model, const DataSplit& split,
                            const EvalOptions& opts) {
   TAXOREC_CHECK(!opts.ks.empty());
+  TraceSpan span("evaluate_ranking");
+  const auto eval_start = std::chrono::steady_clock::now();
   EvalResult result;
   result.ks = opts.ks;
   result.recall.assign(opts.ks.size(), 0.0);
@@ -162,6 +168,19 @@ EvalResult EvaluateRanking(const Recommender& model, const DataSplit& split,
       result.ndcg[i] /= n;
     }
   }
+
+  static Counter* calls =
+      MetricsRegistry::Instance().GetCounter("taxorec.eval.calls");
+  static Counter* users =
+      MetricsRegistry::Instance().GetCounter("taxorec.eval.users");
+  static Histogram* wall = MetricsRegistry::Instance().GetHistogram(
+      "taxorec.eval.wall_seconds",
+      {0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0});
+  calls->Increment();
+  users->Increment(result.num_eval_users);
+  wall->Observe(std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - eval_start)
+                    .count());
   return result;
 }
 

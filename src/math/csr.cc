@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <tuple>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 #include "math/vec_ops.h"
 
 namespace taxorec {
@@ -85,6 +87,16 @@ void CsrMatrix::MultiplyAccum(const Matrix& dense, double alpha,
                               Matrix* out) const {
   TAXOREC_CHECK(dense.rows() == cols_);
   TAXOREC_CHECK(out->rows() == rows_ && out->cols() == dense.cols());
+  // Whole-call instruments only: per-row updates would put an atomic RMW in
+  // the innermost loop (the <3% armed-overhead budget of
+  // bench_micro_kernels is measured against this placement).
+  TraceSpan span("spmm");
+  static Counter* calls =
+      MetricsRegistry::Instance().GetCounter("taxorec.spmm.calls");
+  static Counter* row_count =
+      MetricsRegistry::Instance().GetCounter("taxorec.spmm.rows");
+  calls->Increment();
+  row_count->Increment(rows_);
   // Row-parallel SpMM: every output row is owned by exactly one worker, so
   // the result is bit-identical at any thread count. Small grain + static
   // round-robin chunks balance the power-law row lengths.

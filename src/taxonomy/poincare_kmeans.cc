@@ -4,7 +4,9 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 #include "hyperbolic/klein.h"
 #include "hyperbolic/maps.h"
 #include "hyperbolic/poincare.h"
@@ -77,6 +79,7 @@ KMeansResult PoincareKMeans(const Matrix& points,
                             Rng* rng, const KMeansOptions& opts) {
   TAXOREC_CHECK(K >= 1);
   TAXOREC_CHECK(subset.size() >= static_cast<size_t>(K));
+  TraceSpan span("poincare_kmeans");
   const size_t n = subset.size();
   const size_t d = points.cols();
 
@@ -165,6 +168,12 @@ KMeansResult PoincareKMeans(const Matrix& points,
       result.assignment[worst_i] = k;
     }
   }
+  static Counter* calls =
+      MetricsRegistry::Instance().GetCounter("taxorec.kmeans.calls");
+  static Counter* iterations =
+      MetricsRegistry::Instance().GetCounter("taxorec.kmeans.iterations");
+  calls->Increment();
+  iterations->Increment(result.iterations);
   return result;
 }
 

@@ -1,0 +1,123 @@
+// Tests for the leveled structured logger: level parsing, threshold
+// gating, the file sink, and key=value field formatting.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/log.h"
+
+namespace taxorec {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetLogLevel(LogLevel::kInfo); }
+  void TearDown() override {
+    ASSERT_TRUE(SetLogFile("").ok());
+    SetLogLevel(LogLevel::kInfo);
+  }
+};
+
+TEST_F(LogTest, ParseLogLevelAcceptsEveryName) {
+  const struct {
+    const char* name;
+    LogLevel level;
+  } kCases[] = {{"debug", LogLevel::kDebug},
+                {"info", LogLevel::kInfo},
+                {"warn", LogLevel::kWarn},
+                {"error", LogLevel::kError},
+                {"off", LogLevel::kOff}};
+  for (const auto& c : kCases) {
+    auto parsed = ParseLogLevel(c.name);
+    ASSERT_TRUE(parsed.ok()) << c.name;
+    EXPECT_EQ(*parsed, c.level) << c.name;
+    EXPECT_STREQ(LogLevelName(c.level), c.name);
+  }
+}
+
+TEST_F(LogTest, ParseLogLevelRejectsUnknownNames) {
+  for (const char* bad : {"", "verbose", "INFO ", "fatal"}) {
+    auto parsed = ParseLogLevel(bad);
+    EXPECT_FALSE(parsed.ok()) << "'" << bad << "' should not parse";
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST_F(LogTest, ThresholdGatesLowerSeverities) {
+  SetLogLevel(LogLevel::kWarn);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarn);
+  EXPECT_FALSE(LogEnabled(LogLevel::kDebug));
+  EXPECT_FALSE(LogEnabled(LogLevel::kInfo));
+  EXPECT_TRUE(LogEnabled(LogLevel::kWarn));
+  EXPECT_TRUE(LogEnabled(LogLevel::kError));
+
+  SetLogLevel(LogLevel::kOff);
+  EXPECT_FALSE(LogEnabled(LogLevel::kError));
+}
+
+TEST_F(LogTest, DisabledSeverityEvaluatesNoOperands) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  const auto count = [&]() {
+    ++evaluations;
+    return "x";
+  };
+  TAXOREC_LOG(INFO) << count();
+  EXPECT_EQ(evaluations, 0);
+  SetLogLevel(LogLevel::kInfo);
+}
+
+TEST_F(LogTest, FileSinkReceivesFormattedLine) {
+  const std::string path = TempPath("log_sink.txt");
+  std::remove(path.c_str());
+  ASSERT_TRUE(SetLogFile(path).ok());
+
+  TAXOREC_LOG(WARN) << "checkpoint write failed"
+                    << Kv("path", "model.ckpt") << Kv("bytes", 52488);
+  ASSERT_TRUE(SetLogFile("").ok());  // close (and flush) the sink
+
+  const std::string contents = ReadAll(path);
+  EXPECT_NE(contents.find("checkpoint write failed"), std::string::npos)
+      << contents;
+  EXPECT_NE(contents.find("path=model.ckpt"), std::string::npos) << contents;
+  EXPECT_NE(contents.find("bytes=52488"), std::string::npos) << contents;
+  EXPECT_NE(contents.find("log_test.cc"), std::string::npos) << contents;
+  // Severity letter leads the line.
+  EXPECT_EQ(contents[0], 'W') << contents;
+}
+
+TEST_F(LogTest, FileSinkHonorsThreshold) {
+  const std::string path = TempPath("log_threshold.txt");
+  std::remove(path.c_str());
+  ASSERT_TRUE(SetLogFile(path).ok());
+  SetLogLevel(LogLevel::kError);
+
+  TAXOREC_LOG(INFO) << "suppressed line";
+  TAXOREC_LOG(ERROR) << "emitted line";
+  ASSERT_TRUE(SetLogFile("").ok());
+
+  const std::string contents = ReadAll(path);
+  EXPECT_EQ(contents.find("suppressed line"), std::string::npos) << contents;
+  EXPECT_NE(contents.find("emitted line"), std::string::npos) << contents;
+}
+
+TEST_F(LogTest, SetLogFileRejectsUnwritablePath) {
+  EXPECT_FALSE(SetLogFile("/nonexistent-dir/zzz/log.txt").ok());
+}
+
+}  // namespace
+}  // namespace taxorec

@@ -1,0 +1,146 @@
+// Tests for the process-global metrics registry: counter/gauge semantics,
+// histogram bucket boundaries, lock-free updates raced under ParallelFor
+// (the tsan label runs this under ThreadSanitizer), and the JSON snapshot.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/metrics.h"
+#include "common/parallel.h"
+
+namespace taxorec {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Instance().ResetAll();
+    SetNumThreads(1);
+  }
+  void TearDown() override {
+    MetricsRegistry::Instance().ResetAll();
+    SetNumThreads(1);
+  }
+};
+
+TEST_F(MetricsTest, CounterIncrementsAndResets) {
+  Counter* c = MetricsRegistry::Instance().GetCounter("taxorec.test.counter");
+  EXPECT_EQ(c->value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->value(), 42u);
+  c->Reset();
+  EXPECT_EQ(c->value(), 0u);
+}
+
+TEST_F(MetricsTest, RegistryReturnsSameInstrumentForSameName) {
+  auto& reg = MetricsRegistry::Instance();
+  Counter* a = reg.GetCounter("taxorec.test.same");
+  Counter* b = reg.GetCounter("taxorec.test.same");
+  EXPECT_EQ(a, b);
+  a->Increment(3);
+  EXPECT_EQ(b->value(), 3u);
+}
+
+TEST_F(MetricsTest, GaugeIsLastWriteWins) {
+  Gauge* g = MetricsRegistry::Instance().GetGauge("taxorec.test.gauge");
+  g->Set(1.5);
+  g->Set(-2.25);
+  EXPECT_DOUBLE_EQ(g->value(), -2.25);
+}
+
+TEST_F(MetricsTest, HistogramBucketBoundariesAreInclusiveUpperBounds) {
+  Histogram* h = MetricsRegistry::Instance().GetHistogram(
+      "taxorec.test.hist", {1.0, 2.0, 5.0});
+  ASSERT_EQ(h->bounds().size(), 3u);
+
+  h->Observe(0.5);   // <= 1.0 -> bucket 0
+  h->Observe(1.0);   // == bound: still bucket 0 (inclusive upper bound)
+  h->Observe(1.001); // bucket 1
+  h->Observe(2.0);   // bucket 1
+  h->Observe(5.0);   // bucket 2
+  h->Observe(5.001); // overflow bucket
+  h->Observe(100.0); // overflow bucket
+
+  EXPECT_EQ(h->bucket_count(0), 2u);
+  EXPECT_EQ(h->bucket_count(1), 2u);
+  EXPECT_EQ(h->bucket_count(2), 1u);
+  EXPECT_EQ(h->bucket_count(3), 2u);  // overflow
+  EXPECT_EQ(h->count(), 7u);
+  EXPECT_DOUBLE_EQ(h->sum(), 0.5 + 1.0 + 1.001 + 2.0 + 5.0 + 5.001 + 100.0);
+}
+
+TEST_F(MetricsTest, CounterIncrementsAreExactUnderParallelFor) {
+  Counter* c = MetricsRegistry::Instance().GetCounter("taxorec.test.race");
+  SetNumThreads(4);
+  constexpr size_t kIters = 200000;
+  ParallelFor(0, kIters, 512, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) c->Increment();
+  });
+  EXPECT_EQ(c->value(), kIters);
+}
+
+TEST_F(MetricsTest, HistogramObservationsAreExactUnderParallelFor) {
+  Histogram* h = MetricsRegistry::Instance().GetHistogram(
+      "taxorec.test.hist_race", {10.0, 100.0});
+  SetNumThreads(4);
+  constexpr size_t kIters = 100000;
+  ParallelFor(0, kIters, 512, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) h->Observe(1.0);
+  });
+  EXPECT_EQ(h->count(), kIters);
+  EXPECT_EQ(h->bucket_count(0), kIters);
+  EXPECT_DOUBLE_EQ(h->sum(), static_cast<double>(kIters));
+}
+
+TEST_F(MetricsTest, SnapshotJsonIsValidAndComplete) {
+  auto& reg = MetricsRegistry::Instance();
+  reg.GetCounter("taxorec.test.snap_counter")->Increment(7);
+  reg.GetGauge("taxorec.test.snap_gauge")->Set(3.5);
+  Histogram* h =
+      reg.GetHistogram("taxorec.test.snap_hist", {0.1, 1.0});
+  h->Observe(0.05);
+  h->Observe(50.0);
+
+  const std::string json = reg.SnapshotJson();
+  std::string error;
+  ASSERT_TRUE(JsonSyntaxValid(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"taxorec.test.snap_counter\":7"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("taxorec.test.snap_gauge"), std::string::npos);
+  // The histogram serializes its buckets with an "Inf" overflow entry.
+  EXPECT_NE(json.find("\"le\":\"Inf\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos) << json;
+}
+
+TEST_F(MetricsTest, ResetAllZeroesWithoutInvalidatingPointers) {
+  auto& reg = MetricsRegistry::Instance();
+  Counter* c = reg.GetCounter("taxorec.test.reset_counter");
+  Histogram* h = reg.GetHistogram("taxorec.test.reset_hist", {1.0});
+  c->Increment(9);
+  h->Observe(0.5);
+  reg.ResetAll();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(h->bucket_count(0), 0u);
+  // The pointer survives the reset and keeps counting.
+  c->Increment();
+  EXPECT_EQ(c->value(), 1u);
+}
+
+TEST_F(MetricsTest, PeakRssBytesReportsOnLinux) {
+#if defined(__linux__)
+  EXPECT_GT(PeakRssBytes(), 0u);
+#else
+  EXPECT_EQ(PeakRssBytes(), 0u);
+#endif
+}
+
+}  // namespace
+}  // namespace taxorec

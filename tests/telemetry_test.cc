@@ -1,0 +1,392 @@
+// End-to-end tests for the per-run JSONL telemetry stream: the golden
+// event sequence for a faulted training run (health fail -> rollback with
+// lr halving -> recovery), structured first-defect reporting in the
+// exhausted-retries Status, checkpoint byte accounting, and the guarantee
+// that an attached sink (and disarmed tracing) never perturbs numerics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/json.h"
+#include "common/metrics.h"
+#include "common/parallel.h"
+#include "common/trace.h"
+#include "core/taxorec_model.h"
+#include "core/telemetry.h"
+#include "core/trainer.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+
+namespace taxorec {
+namespace {
+
+using Event = std::map<std::string, std::string>;
+
+ModelConfig TinyConfig() {
+  ModelConfig cfg;
+  cfg.dim = 16;
+  cfg.tag_dim = 4;
+  cfg.epochs = 2;
+  cfg.batches_per_epoch = 2;
+  cfg.batch_size = 64;
+  cfg.gcn_layers = 2;
+  cfg.taxo_rebuild_every = 2;
+  return cfg;
+}
+
+DataSplit SmallSplit() {
+  SyntheticConfig cfg;
+  cfg.seed = 11;
+  cfg.num_users = 60;
+  cfg.num_items = 90;
+  cfg.num_tags = 15;
+  cfg.num_roots = 3;
+  return TemporalSplit(GenerateSynthetic(cfg));
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Parses a JSONL file into flat events, asserting every line is valid
+/// JSON and carries the mandatory "event" and "t" keys.
+std::vector<Event> ReadEvents(const std::string& path) {
+  std::vector<Event> events;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::string error;
+    EXPECT_TRUE(JsonSyntaxValid(line, &error)) << error << "\n" << line;
+    Event e;
+    EXPECT_TRUE(ParseFlatJsonObject(line, &e, &error)) << error << "\n"
+                                                       << line;
+    EXPECT_TRUE(e.count("event")) << line;
+    EXPECT_TRUE(e.count("t")) << line;
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+std::string Get(const Event& e, const std::string& key) {
+  const auto it = e.find(key);
+  return it == e.end() ? "" : it->second;
+}
+
+/// Index of the first event of `kind` at or after `from` (-1 when absent).
+int FindEvent(const std::vector<Event>& events, const std::string& kind,
+              size_t from = 0) {
+  for (size_t i = from; i < events.size(); ++i) {
+    if (Get(events[i], "event") == kind) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void ExpectSameCheckpoint(const Checkpoint& a, const Checkpoint& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [name, ma] : a.entries()) {
+    const Matrix* mb = b.Get(name);
+    ASSERT_NE(mb, nullptr) << name;
+    const auto fa = ma.flat();
+    const auto fb = mb->flat();
+    ASSERT_EQ(fa.size(), fb.size()) << name;
+    EXPECT_EQ(
+        std::memcmp(fa.data(), fb.data(), fa.size() * sizeof(double)), 0)
+        << name << " differs";
+  }
+}
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Instance().Reset();
+    MetricsRegistry::Instance().ResetAll();
+    StopTracing();
+    ClearTraceBuffers();
+    SetNumThreads(1);
+  }
+  void TearDown() override {
+    FaultInjector::Instance().Reset();
+    MetricsRegistry::Instance().ResetAll();
+    StopTracing();
+    ClearTraceBuffers();
+    SetNumThreads(1);
+  }
+};
+
+TEST_F(TelemetryTest, GitDescribeIsNeverEmpty) {
+  EXPECT_FALSE(GitDescribe().empty());
+}
+
+// The golden sequence for `--epochs 2 --inject-fault grad-nan@1` (epochs
+// are 0-based, so the fault poisons the second epoch): run_start, epoch 0
+// healthy, then health_fail(1) -> rollback(lr 0.5) -> epoch 1 retried
+// healthy -> eval -> run_end with rollbacks=1.
+TEST_F(TelemetryTest, FaultedRunEmitsGoldenEventSequence) {
+  const DataSplit split = SmallSplit();
+  const ModelConfig cfg = TinyConfig();
+  FaultInjector::Instance().Arm(faults::kGradNan, /*epoch=*/1);
+
+  const std::string path = TempPath("golden_run.jsonl");
+  RunManifest manifest;
+  manifest.model = "TaxoRec";
+  manifest.dataset = "synthetic";
+  manifest.seed = 5;
+  manifest.threads = 1;
+  manifest.epochs = cfg.epochs;
+  manifest.flags = "--inject-fault grad-nan@1";
+  auto telemetry = RunTelemetry::Open(path, manifest);
+  ASSERT_TRUE(telemetry.ok()) << telemetry.status().ToString();
+
+  TaxoRecModel model(cfg, TaxoRecOptions{});
+  Rng rng(5);
+  TrainLoopOptions opts;
+  opts.telemetry = telemetry->get();
+  auto result = RunTrainLoop(&model, split, &rng, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rollbacks, 1);
+  EXPECT_DOUBLE_EQ(result->lr_scale, 0.5);
+
+  const EvalResult r = EvaluateRanking(model, split);
+  (*telemetry)->EmitEval(r, 0.25);
+  (*telemetry)->EmitRunEnd(true, "ok", result->epochs_run, result->rollbacks,
+                           result->final_loss, 1.0);
+  telemetry->reset();  // close the sink
+
+  const std::vector<Event> events = ReadEvents(path);
+  ASSERT_GE(events.size(), 6u);
+
+  // Line 0: the manifest.
+  EXPECT_EQ(Get(events[0], "event"), "run_start");
+  EXPECT_EQ(Get(events[0], "model"), "TaxoRec");
+  EXPECT_EQ(Get(events[0], "seed"), "5");
+  EXPECT_EQ(Get(events[0], "epochs"), "2");
+  EXPECT_EQ(Get(events[0], "flags"), "--inject-fault grad-nan@1");
+  EXPECT_FALSE(Get(events[0], "git_describe").empty());
+
+  // Epoch 1 fails its health scan with a structured first defect...
+  const int fail = FindEvent(events, "health_fail");
+  ASSERT_GE(fail, 1);
+  EXPECT_EQ(Get(events[fail], "epoch"), "1");
+  EXPECT_FALSE(Get(events[fail], "first_bad_matrix").empty());
+  EXPECT_EQ(Get(events[fail], "value_class"), "nan");
+  EXPECT_NE(Get(events[fail], "nonfinite_values"), "0");
+
+  // ...then rolls back with the learning rate halved...
+  const int rollback = FindEvent(events, "rollback", fail + 1);
+  ASSERT_GT(rollback, fail);
+  EXPECT_EQ(Get(events[rollback], "epoch"), "1");
+  EXPECT_EQ(Get(events[rollback], "lr_scale"), "0.5");
+
+  // ...and both epochs complete healthy, epoch 1 via the retry.
+  std::vector<std::string> epoch_ids;
+  int last_epoch_event = -1;
+  for (int i = FindEvent(events, "epoch"); i != -1;
+       i = FindEvent(events, "epoch", i + 1)) {
+    epoch_ids.push_back(Get(events[i], "epoch"));
+    last_epoch_event = i;
+    double loss = std::stod(Get(events[i], "loss"));
+    EXPECT_TRUE(std::isfinite(loss)) << Get(events[i], "loss");
+  }
+  EXPECT_EQ(epoch_ids, (std::vector<std::string>{"0", "1"}));
+  // Epoch 0 landed before the failure; the epoch-1 retry after the
+  // rollback.
+  EXPECT_LT(FindEvent(events, "epoch"), fail);
+  EXPECT_GT(last_epoch_event, rollback);
+
+  const int eval = FindEvent(events, "eval");
+  ASSERT_NE(eval, -1);
+  EXPECT_EQ(Get(events[eval], "num_eval_users"),
+            std::to_string(r.num_eval_users));
+  EXPECT_FALSE(Get(events[eval], "recall@10").empty());
+  EXPECT_FALSE(Get(events[eval], "ndcg@20").empty());
+
+  const int end = FindEvent(events, "run_end");
+  ASSERT_EQ(end, static_cast<int>(events.size()) - 1);
+  EXPECT_EQ(Get(events[end], "ok"), "true");
+  EXPECT_EQ(Get(events[end], "rollbacks"), "1");
+
+  // Timestamps never run backwards.
+  double prev = -1.0;
+  for (const Event& e : events) {
+    const double t = std::stod(Get(e, "t"));
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+
+  // The registry saw the rollback too.
+  EXPECT_EQ(MetricsRegistry::Instance()
+                .GetCounter("taxorec.trainer.rollbacks")
+                ->value(),
+            1u);
+  EXPECT_GT(MetricsRegistry::Instance()
+                .GetCounter("taxorec.trainer.health_scans")
+                ->value(),
+            0u);
+}
+
+TEST_F(TelemetryTest, ExhaustedRetriesStatusNamesFirstDefect) {
+  const DataSplit split = SmallSplit();
+  const ModelConfig cfg = TinyConfig();
+  FaultInjector::Instance().Arm(faults::kGradNan, /*epoch=*/-1,
+                                /*count=*/1000);
+
+  const std::string path = TempPath("diverged_run.jsonl");
+  auto telemetry = RunTelemetry::Open(path, RunManifest{});
+  ASSERT_TRUE(telemetry.ok()) << telemetry.status().ToString();
+
+  TaxoRecModel model(cfg, TaxoRecOptions{});
+  Rng rng(5);
+  TrainLoopOptions opts;
+  opts.telemetry = telemetry->get();
+  opts.max_divergence_retries = 2;
+  auto result = RunTrainLoop(&model, split, &rng, opts);
+  ASSERT_FALSE(result.ok());
+  const std::string message(result.status().message());
+  EXPECT_NE(message.find("diverged"), std::string::npos) << message;
+  // The satellite requirement: the Status names the first bad matrix, the
+  // row, and the value class instead of a bare "diverged".
+  EXPECT_NE(message.find("first defect:"), std::string::npos) << message;
+  EXPECT_NE(message.find(" row "), std::string::npos) << message;
+  EXPECT_NE(message.find("nan"), std::string::npos) << message;
+  telemetry->reset();
+
+  // Every retry left a health_fail line with the structured defect.
+  const std::vector<Event> events = ReadEvents(path);
+  int fails = 0;
+  for (const Event& e : events) {
+    if (Get(e, "event") != "health_fail") continue;
+    ++fails;
+    EXPECT_FALSE(Get(e, "first_bad_matrix").empty());
+    EXPECT_FALSE(Get(e, "first_bad_row").empty());
+  }
+  EXPECT_EQ(fails, 3);  // initial attempt + 2 retries
+}
+
+TEST_F(TelemetryTest, CheckpointEventsReportPathAndBytes) {
+  const DataSplit split = SmallSplit();
+  const ModelConfig cfg = TinyConfig();
+  const std::string ckpt = TempPath("telemetry_ckpt.ckpt");
+  const std::string path = TempPath("ckpt_run.jsonl");
+  auto telemetry = RunTelemetry::Open(path, RunManifest{});
+  ASSERT_TRUE(telemetry.ok()) << telemetry.status().ToString();
+
+  TaxoRecModel model(cfg, TaxoRecOptions{});
+  Rng rng(21);
+  TrainLoopOptions opts;
+  opts.telemetry = telemetry->get();
+  opts.checkpoint_path = ckpt;
+  opts.save_every = 1;
+  auto result = RunTrainLoop(&model, split, &rng, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  telemetry->reset();
+
+  const std::vector<Event> events = ReadEvents(path);
+  int checkpoints = 0;
+  for (const Event& e : events) {
+    if (Get(e, "event") != "checkpoint") continue;
+    ++checkpoints;
+    EXPECT_EQ(Get(e, "path"), ckpt);
+    EXPECT_GT(std::stoull(Get(e, "bytes")), 0u);
+  }
+  EXPECT_EQ(checkpoints, result->checkpoints_written);
+  EXPECT_GT(MetricsRegistry::Instance()
+                .GetCounter("taxorec.checkpoint.writes")
+                ->value(),
+            0u);
+}
+
+// An attached telemetry sink observes the run without perturbing it: the
+// final weights match an unobserved run bit for bit.
+TEST_F(TelemetryTest, AttachedSinkKeepsTrainingBitIdentical) {
+  const DataSplit split = SmallSplit();
+  const ModelConfig cfg = TinyConfig();
+
+  TaxoRecModel plain(cfg, TaxoRecOptions{});
+  Rng rng1(21);
+  auto r1 = RunTrainLoop(&plain, split, &rng1);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+
+  auto telemetry =
+      RunTelemetry::Open(TempPath("identity_run.jsonl"), RunManifest{});
+  ASSERT_TRUE(telemetry.ok()) << telemetry.status().ToString();
+  TaxoRecModel observed(cfg, TaxoRecOptions{});
+  Rng rng2(21);
+  TrainLoopOptions opts;
+  opts.telemetry = telemetry->get();
+  auto r2 = RunTrainLoop(&observed, split, &rng2, opts);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+
+  ExpectSameCheckpoint(plain.SaveCheckpoint(), observed.SaveCheckpoint());
+}
+
+// Disarmed trace spans sit on the eval hot path (SpMM, per-user ranking)
+// but must not break `--threads` bit-identity.
+TEST_F(TelemetryTest, DisarmedTracingEvalBitIdenticalAcrossThreadCounts) {
+  const DataSplit split = SmallSplit();
+  const ModelConfig cfg = TinyConfig();
+  TaxoRecModel model(cfg, TaxoRecOptions{});
+  Rng rng(21);
+  model.Fit(split, &rng);
+
+  ASSERT_FALSE(TracingEnabled());
+  SetNumThreads(1);
+  const EvalResult base = EvaluateRanking(model, split);
+  ASSERT_GT(base.num_eval_users, 0u);
+  for (int threads : {2, 8}) {
+    SetNumThreads(threads);
+    const EvalResult r = EvaluateRanking(model, split);
+    ASSERT_EQ(r.num_eval_users, base.num_eval_users);
+    ASSERT_EQ(r.per_user_recall.size(), base.per_user_recall.size());
+    EXPECT_EQ(std::memcmp(r.per_user_recall.data(),
+                          base.per_user_recall.data(),
+                          base.per_user_recall.size() * sizeof(double)),
+              0)
+        << "threads=" << threads;
+    EXPECT_EQ(std::memcmp(r.per_user_ndcg.data(), base.per_user_ndcg.data(),
+                          base.per_user_ndcg.size() * sizeof(double)),
+              0)
+        << "threads=" << threads;
+    for (size_t k = 0; k < base.ks.size(); ++k) {
+      EXPECT_EQ(r.recall[k], base.recall[k]) << "threads=" << threads;
+      EXPECT_EQ(r.ndcg[k], base.ndcg[k]) << "threads=" << threads;
+    }
+  }
+}
+
+// Taxonomy rebuilds report the tree shape the recommender will use.
+TEST_F(TelemetryTest, TaxonomyRebuildEventsCarryTreeShape) {
+  const DataSplit split = SmallSplit();
+  const ModelConfig cfg = TinyConfig();
+  const std::string path = TempPath("taxo_run.jsonl");
+  auto telemetry = RunTelemetry::Open(path, RunManifest{});
+  ASSERT_TRUE(telemetry.ok()) << telemetry.status().ToString();
+
+  TaxoRecModel model(cfg, TaxoRecOptions{});
+  Rng rng(21);
+  TrainLoopOptions opts;
+  opts.telemetry = telemetry->get();
+  ASSERT_TRUE(RunTrainLoop(&model, split, &rng, opts).ok());
+  telemetry->reset();
+
+  const std::vector<Event> events = ReadEvents(path);
+  int rebuilds = 0;
+  for (const Event& e : events) {
+    if (Get(e, "event") != "taxonomy_rebuild") continue;
+    ++rebuilds;
+    EXPECT_GT(std::stoull(Get(e, "num_nodes")), 0u);
+    EXPECT_GT(std::stoull(Get(e, "num_tags")), 0u);
+  }
+  EXPECT_GT(rebuilds, 0);
+}
+
+}  // namespace
+}  // namespace taxorec

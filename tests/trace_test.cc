@@ -1,0 +1,137 @@
+// Tests for trace spans and the Chrome trace exporter: disarmed spans are
+// free (no shared-state writes), armed spans land in per-thread buffers,
+// and the exported JSON is syntactically valid trace_event format.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "common/json.h"
+#include "common/parallel.h"
+#include "common/trace.h"
+
+namespace taxorec {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StopTracing();
+    ClearTraceBuffers();
+    SetNumThreads(1);
+  }
+  void TearDown() override {
+    StopTracing();
+    ClearTraceBuffers();
+    SetNumThreads(1);
+  }
+};
+
+TEST_F(TraceTest, DisarmedSpansRecordNothing) {
+  ASSERT_FALSE(TracingEnabled());
+  for (int i = 0; i < 100; ++i) {
+    TraceSpan span("disarmed_span");
+  }
+  EXPECT_EQ(TraceEventCount(), 0u);
+}
+
+TEST_F(TraceTest, ArmedSpansAreBuffered) {
+  StartTracing();
+  ASSERT_TRUE(TracingEnabled());
+  {
+    TraceSpan outer("outer");
+    TraceSpan inner("inner");
+  }
+  StopTracing();
+  EXPECT_EQ(TraceEventCount(), 2u);
+
+  // Spans constructed while disarmed never record, even if tracing is
+  // re-armed before they destruct.
+  {
+    TraceSpan late("late");
+    StartTracing();
+  }
+  StopTracing();
+  EXPECT_EQ(TraceEventCount(), 2u);
+}
+
+TEST_F(TraceTest, ChromeTraceJsonIsValidAndCarriesSpans) {
+  StartTracing();
+  {
+    TraceSpan span("json_check_span");
+  }
+  StopTracing();
+
+  const std::string json = ChromeTraceJson();
+  std::string error;
+  ASSERT_TRUE(JsonSyntaxValid(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"json_check_span\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cat\":\"taxorec\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos) << json;
+}
+
+TEST_F(TraceTest, WriteChromeTraceProducesLoadableFile) {
+  StartTracing();
+  {
+    TraceSpan span("file_span");
+  }
+  StopTracing();
+
+  const std::string path = TempPath("trace.json");
+  std::remove(path.c_str());
+  ASSERT_TRUE(WriteChromeTrace(path).ok());
+  const std::string contents = ReadAll(path);
+  std::string error;
+  EXPECT_TRUE(JsonSyntaxValid(contents, &error)) << error;
+  EXPECT_NE(contents.find("file_span"), std::string::npos);
+
+  EXPECT_FALSE(WriteChromeTrace("/nonexistent-dir/zzz/trace.json").ok());
+}
+
+TEST_F(TraceTest, SpansFromWorkerThreadsAreCollected) {
+  SetNumThreads(4);
+  StartTracing();
+  constexpr size_t kSpans = 64;
+  ParallelFor(0, kSpans, 1, [](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      TraceSpan span("worker_span");
+    }
+  });
+  StopTracing();
+  EXPECT_EQ(TraceEventCount(), kSpans);
+
+  const std::string json = ChromeTraceJson();
+  std::string error;
+  EXPECT_TRUE(JsonSyntaxValid(json, &error)) << error;
+}
+
+TEST_F(TraceTest, ClearTraceBuffersDropsEverything) {
+  StartTracing();
+  {
+    TraceSpan span("to_be_cleared");
+  }
+  StopTracing();
+  ASSERT_GT(TraceEventCount(), 0u);
+  ClearTraceBuffers();
+  EXPECT_EQ(TraceEventCount(), 0u);
+  EXPECT_EQ(ChromeTraceJson().find("to_be_cleared"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace taxorec

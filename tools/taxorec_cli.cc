@@ -12,6 +12,7 @@
 //
 // `train` works for every registered model; `recommend`/`taxonomy` restore
 // a TaxoRec checkpoint (checkpointing of baselines is not exposed here).
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <numeric>
@@ -20,7 +21,11 @@
 #include "common/checkpoint.h"
 #include "common/fault_injection.h"
 #include "common/flags.h"
+#include "common/log.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "core/taxorec_model.h"
+#include "core/telemetry.h"
 #include "core/trainer.h"
 #include "data/io.h"
 #include "data/profiles.h"
@@ -71,6 +76,16 @@ void DefineModelFlags(FlagSet* flags) {
   flags->DefineDouble("lambda", 0.1, "taxonomy regularization weight");
   flags->DefineInt("seed", 13, "random seed");
   DefineThreadsFlag(flags);
+  DefineLogLevelFlag(flags);
+  flags->DefineString("log-file", "", "mirror log lines to this file");
+}
+
+/// Applies --log-level / --log-file (shared by every subcommand).
+Status ApplyLoggingFlags(const FlagSet& flags) {
+  TAXOREC_RETURN_NOT_OK(ApplyLogLevelFlag(flags));
+  const std::string log_file = flags.GetString("log-file");
+  if (!log_file.empty()) TAXOREC_RETURN_NOT_OK(SetLogFile(log_file));
+  return Status::OK();
 }
 
 int CmdGenerate(int argc, const char* const* argv) {
@@ -146,8 +161,16 @@ int CmdTrain(int argc, const char* const* argv) {
   flags.DefineString("inject-fault", "",
                      "arm a fault site: 'grad-nan[@epoch]' or 'ckpt-write' "
                      "(recovery drills)");
+  flags.DefineString("telemetry-out", "",
+                     "write per-run JSONL events (epochs, health, rollbacks, "
+                     "checkpoints, eval) here");
+  flags.DefineString("metrics-out", "",
+                     "write the final metrics-registry snapshot JSON here");
+  flags.DefineString("trace-out", "",
+                     "collect trace spans and write Chrome trace JSON here");
   if (Status s = flags.Parse(argc, argv, 2); !s.ok()) return Fail(s);
   if (Status s = ApplyThreadsFlag(flags); !s.ok()) return Fail(s);
+  if (Status s = ApplyLoggingFlags(flags); !s.ok()) return Fail(s);
   const std::string fault_spec = flags.GetString("inject-fault");
   if (!fault_spec.empty()) {
     if (Status s = FaultInjector::Instance().ArmFromSpec(fault_spec);
@@ -201,19 +224,79 @@ int CmdTrain(int argc, const char* const* argv) {
     }
   };
 
+  // Observability sinks. Telemetry/metrics/tracing never change model
+  // numerics: a run without these flags is bit-identical to one with them.
+  std::unique_ptr<RunTelemetry> telemetry;
+  if (!flags.GetString("telemetry-out").empty()) {
+    RunManifest manifest;
+    manifest.model = name;
+    manifest.dataset = flags.GetString("data");
+    manifest.seed = cfg.seed;
+    manifest.threads = static_cast<int>(flags.GetInt("threads"));
+    manifest.epochs = cfg.epochs;
+    for (int i = 2; i < argc; ++i) {
+      if (i > 2) manifest.flags += ' ';
+      manifest.flags += argv[i];
+    }
+    auto sink = RunTelemetry::Open(flags.GetString("telemetry-out"), manifest);
+    if (!sink.ok()) return Fail(sink.status());
+    telemetry = std::move(*sink);
+    loop.telemetry = telemetry.get();
+  }
+  const bool tracing = !flags.GetString("trace-out").empty();
+  if (tracing) StartTracing();
+  // Flushes the trace and metrics sinks; runs on every exit path so a
+  // failed run still leaves its observability artifacts behind.
+  auto finalize = [&]() -> Status {
+    if (tracing) {
+      StopTracing();
+      TAXOREC_RETURN_NOT_OK(WriteChromeTrace(flags.GetString("trace-out")));
+    }
+    const std::string metrics_path = flags.GetString("metrics-out");
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path, std::ios::trunc);
+      if (!out) return Status::IOError("cannot write " + metrics_path);
+      out << MetricsRegistry::Instance().SnapshotJson() << "\n";
+    }
+    return Status::OK();
+  };
+
   std::printf("training %s on %s ...\n", name.c_str(), data->name.c_str());
+  const auto run_start = std::chrono::steady_clock::now();
+  auto run_seconds = [&]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         run_start)
+        .count();
+  };
   Rng rng(cfg.seed);
   auto result = RunTrainLoop(model.get(), split, &rng, loop);
-  if (!result.ok()) return Fail(result.status());
+  if (!result.ok()) {
+    if (telemetry != nullptr) {
+      telemetry->EmitRunEnd(false, result.status().ToString(), 0, 0, 0.0,
+                            run_seconds());
+    }
+    if (Status s = finalize(); !s.ok()) return Fail(s);
+    return Fail(result.status());
+  }
   if (result->rollbacks > 0) {
     std::printf("recovered from %d divergence(s); final lr scale %.4g\n",
                 result->rollbacks, result->lr_scale);
   }
+  const auto eval_start = std::chrono::steady_clock::now();
   const EvalResult r = EvaluateRanking(*model, split);
+  if (telemetry != nullptr) {
+    telemetry->EmitEval(
+        r, std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         eval_start)
+               .count());
+    telemetry->EmitRunEnd(true, "ok", result->epochs_run, result->rollbacks,
+                          result->final_loss, run_seconds());
+  }
   std::printf("test Recall@10 %.4f  Recall@20 %.4f  NDCG@10 %.4f  NDCG@20 "
               "%.4f (%zu users)\n",
               r.recall[0], r.recall[1], r.ndcg[0], r.ndcg[1],
               r.num_eval_users);
+  if (Status s = finalize(); !s.ok()) return Fail(s);
   return 0;
 }
 
@@ -236,6 +319,7 @@ int CmdRecommend(int argc, const char* const* argv) {
   flags.DefineInt("k", 10, "recommendations to print");
   if (Status s = flags.Parse(argc, argv, 2); !s.ok()) return Fail(s);
   if (Status s = ApplyThreadsFlag(flags); !s.ok()) return Fail(s);
+  if (Status s = ApplyLoggingFlags(flags); !s.ok()) return Fail(s);
 
   TaxoRecModel model(ConfigFromFlags(flags), TaxoRecOptions{});
   DataSplit split;
@@ -270,6 +354,7 @@ int CmdTaxonomy(int argc, const char* const* argv) {
   flags.DefineString("json", "", "write JSON here");
   if (Status s = flags.Parse(argc, argv, 2); !s.ok()) return Fail(s);
   if (Status s = ApplyThreadsFlag(flags); !s.ok()) return Fail(s);
+  if (Status s = ApplyLoggingFlags(flags); !s.ok()) return Fail(s);
 
   TaxoRecModel model(ConfigFromFlags(flags), TaxoRecOptions{});
   DataSplit split;

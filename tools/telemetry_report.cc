@@ -1,0 +1,141 @@
+// telemetry_report — renders a RunTelemetry JSONL stream as a human-
+// readable run summary: the manifest, an epoch table (loss / lr scale /
+// wall time) with rollback and checkpoint markers inline, taxonomy rebuild
+// stats, and the final evaluation metrics.
+//
+//   taxorec_cli train --data data.tsv --telemetry-out run.jsonl
+//   telemetry_report run.jsonl
+//
+// Events are flat JSON objects (see core/telemetry.h), so the parser is
+// ParseFlatJsonObject per line; unknown event kinds are listed but not
+// interpreted, keeping the tool forward-compatible with new emitters.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace taxorec::tools {
+namespace {
+
+using Event = std::map<std::string, std::string>;
+
+std::string Get(const Event& e, const std::string& key,
+                const std::string& fallback = "-") {
+  const auto it = e.find(key);
+  return it == e.end() ? fallback : it->second;
+}
+
+double GetDouble(const Event& e, const std::string& key) {
+  const auto it = e.find(key);
+  return it == e.end() ? 0.0 : std::strtod(it->second.c_str(), nullptr);
+}
+
+int Main(int argc, const char* const* argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: telemetry_report <run.jsonl>\n");
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", argv[1]);
+    return 1;
+  }
+
+  std::vector<Event> events;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    Event e;
+    std::string error;
+    if (!ParseFlatJsonObject(line, &e, &error)) {
+      std::fprintf(stderr, "error: %s:%zu: %s\n", argv[1], lineno,
+                   error.c_str());
+      return 1;
+    }
+    events.push_back(std::move(e));
+  }
+  if (events.empty()) {
+    std::fprintf(stderr, "error: %s has no events\n", argv[1]);
+    return 1;
+  }
+
+  for (const Event& e : events) {
+    if (Get(e, "event") != "run_start") continue;
+    std::printf("run: model=%s dataset=%s seed=%s threads=%s epochs=%s\n",
+                Get(e, "model").c_str(), Get(e, "dataset").c_str(),
+                Get(e, "seed").c_str(), Get(e, "threads").c_str(),
+                Get(e, "epochs").c_str());
+    std::printf("     git=%s flags=[%s]\n", Get(e, "git_describe").c_str(),
+                Get(e, "flags", "").c_str());
+  }
+
+  std::printf("\n%-7s %-14s %-10s %-10s %s\n", "epoch", "loss", "lr_scale",
+              "wall_s", "notes");
+  size_t unknown = 0;
+  for (const Event& e : events) {
+    const std::string kind = Get(e, "event");
+    if (kind == "epoch") {
+      std::printf("%-7s %-14.6g %-10s %-10.3f\n", Get(e, "epoch").c_str(),
+                  GetDouble(e, "loss"), Get(e, "lr_scale").c_str(),
+                  GetDouble(e, "wall_seconds"));
+    } else if (kind == "health_fail") {
+      std::printf("%-7s %-14s %-10s %-10s health FAIL: %s row %s (%s)\n",
+                  Get(e, "epoch").c_str(), "-", "-", "-",
+                  Get(e, "first_bad_matrix").c_str(),
+                  Get(e, "first_bad_row").c_str(),
+                  Get(e, "value_class").c_str());
+    } else if (kind == "rollback") {
+      std::printf("%-7s %-14s %-10s %-10s ROLLBACK -> lr_scale %s\n",
+                  Get(e, "epoch").c_str(), "-", "-", "-",
+                  Get(e, "lr_scale").c_str());
+    } else if (kind == "checkpoint") {
+      std::printf("%-7s %-14s %-10s %-10s checkpoint %s (%s bytes)\n",
+                  Get(e, "epoch").c_str(), "-", "-", "-",
+                  Get(e, "path").c_str(), Get(e, "bytes").c_str());
+    } else if (kind == "resume") {
+      std::printf("%-7s %-14s %-10s %-10s resumed from %s\n",
+                  Get(e, "epoch").c_str(), "-", Get(e, "lr_scale").c_str(),
+                  "-", Get(e, "path").c_str());
+    } else if (kind == "taxonomy_rebuild") {
+      std::printf("%-7s %-14s %-10s %-10.3f taxonomy: %s nodes, depth %s\n",
+                  Get(e, "epoch").c_str(), "-", "-",
+                  GetDouble(e, "wall_seconds"), Get(e, "num_nodes").c_str(),
+                  Get(e, "max_depth").c_str());
+    } else if (kind == "eval") {
+      std::printf("\neval (%s users, %.3fs):", Get(e, "num_eval_users").c_str(),
+                  GetDouble(e, "wall_seconds"));
+      for (const auto& [key, value] : e) {
+        if (key.rfind("recall@", 0) == 0 || key.rfind("ndcg@", 0) == 0) {
+          std::printf(" %s=%s", key.c_str(), value.c_str());
+        }
+      }
+      std::printf("\n");
+    } else if (kind == "run_end") {
+      std::printf("\nrun end: ok=%s epochs_run=%s rollbacks=%s "
+                  "final_loss=%s wall=%.3fs\n",
+                  Get(e, "ok").c_str(), Get(e, "epochs_run").c_str(),
+                  Get(e, "rollbacks").c_str(), Get(e, "final_loss").c_str(),
+                  GetDouble(e, "wall_seconds"));
+      if (Get(e, "ok") != "true") {
+        std::printf("  status: %s\n", Get(e, "status").c_str());
+      }
+    } else if (kind != "run_start") {
+      ++unknown;
+    }
+  }
+  if (unknown > 0) {
+    std::printf("(%zu event(s) of unknown kind skipped)\n", unknown);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace taxorec::tools
+
+int main(int argc, char** argv) { return taxorec::tools::Main(argc, argv); }
