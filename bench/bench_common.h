@@ -18,6 +18,7 @@
 #include "common/log.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/profiler.h"
 #include "common/trace.h"
 #include "data/profiles.h"
 #include "data/split.h"
@@ -186,10 +187,23 @@ inline std::string ArgValue(int argc, const char* const* argv,
   return "";
 }
 
+/// True when the bare switch `--name` appears in argv (valueless flags like
+/// --quick; ArgValue would misread the following argument as its value).
+inline bool HasArg(int argc, const char* const* argv,
+                   const std::string& name) {
+  const std::string flag = "--" + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
 /// Applies the shared observability flags: --log-level (threshold),
 /// --trace-out (arms span collection; the trace is written by ~BenchRun),
 /// --metrics-out (metrics snapshot path; written by ~BenchRun). Returns the
-/// trace path ("" = tracing stays off).
+/// trace path ("" = tracing stays off). Span aggregation (profiling) is
+/// armed unconditionally — every BENCH_<name>.json embeds the call-path
+/// profile of its own run; --profile-out additionally writes it as JSONL.
 inline std::string InitObservability(int argc, const char* const* argv) {
   const std::string level = ArgValue(argc, argv, "log-level");
   if (!level.empty()) {
@@ -199,13 +213,15 @@ inline std::string InitObservability(int argc, const char* const* argv) {
   }
   const std::string trace_out = ArgValue(argc, argv, "trace-out");
   if (!trace_out.empty()) StartTracing();
+  StartProfiling();
   return trace_out;
 }
 
-/// Times a bench binary and records {threads, wall_seconds, peak RSS, the
-/// metrics-registry snapshot} to BENCH_<name>.json on destruction; also
-/// honors --trace-out/--metrics-out/--log-level. Declare one at the top of
-/// main():
+/// Times a bench binary and records {threads, wall_seconds, peak RSS,
+/// getrusage counters, the call-path profile, the metrics-registry
+/// snapshot} to BENCH_<name>.json on destruction; also honors
+/// --trace-out/--profile-out/--metrics-out/--log-level. Declare one at the
+/// top of main():
 ///   taxorec::bench::BenchRun run("table2_overall", argc, argv);
 class BenchRun {
  public:
@@ -213,6 +229,7 @@ class BenchRun {
       : name_(std::move(name)),
         threads_(InitThreads(argc, argv)),
         trace_out_(InitObservability(argc, argv)),
+        profile_out_(ArgValue(argc, argv, "profile-out")),
         metrics_out_(ArgValue(argc, argv, "metrics-out")),
         start_(std::chrono::steady_clock::now()) {}
 
@@ -230,6 +247,12 @@ class BenchRun {
         std::fprintf(stderr, "[bench] %s\n", s.ToString().c_str());
       }
     }
+    StopProfiling();
+    if (!profile_out_.empty()) {
+      if (Status s = WriteProfileJsonl(profile_out_); !s.ok()) {
+        std::fprintf(stderr, "[bench] %s\n", s.ToString().c_str());
+      }
+    }
     const std::string metrics_json =
         MetricsRegistry::Instance().SnapshotJson();
     if (!metrics_out_.empty()) {
@@ -244,10 +267,12 @@ class BenchRun {
     std::fprintf(f,
                  "{\"bench\": \"%s\", \"threads\": %d, "
                  "\"hardware_concurrency\": %d, \"wall_seconds\": %.3f, "
-                 "\"peak_rss_bytes\": %llu, \"metrics\": %s}\n",
+                 "\"peak_rss_bytes\": %llu,\n"
+                 " \"rusage\": %s,\n \"profile\": %s,\n \"metrics\": %s}\n",
                  name_.c_str(), threads_, HardwareThreads(), secs,
                  static_cast<unsigned long long>(PeakRssBytes()),
-                 metrics_json.c_str());
+                 RusageJsonObject(SelfRusage()).c_str(),
+                 ProfileJsonArray().c_str(), metrics_json.c_str());
     std::fclose(f);
     std::printf("[bench] %s: threads=%d wall=%.2fs -> %s\n", name_.c_str(),
                 threads_, secs, path.c_str());
@@ -259,6 +284,7 @@ class BenchRun {
   std::string name_;
   int threads_;
   std::string trace_out_;
+  std::string profile_out_;
   std::string metrics_out_;
   std::chrono::steady_clock::time_point start_;
 };

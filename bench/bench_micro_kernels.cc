@@ -4,7 +4,13 @@
 // of the building blocks. After the google-benchmark suites, a thread-
 // scaling report times SpMM and full-ranking evaluation at 1 thread vs the
 // configured count (--threads / TAXOREC_THREADS) and writes both timings
-// to BENCH_micro.json.
+// to BENCH_micro.json, followed by the instrumentation overhead checks
+// (armed tracing and armed profiling each within 3% on the SpMM hot path).
+//
+// --quick skips the google-benchmark suites and shrinks the scaling
+// datasets: the `ctest -L bench` smoke mode, whose BENCH_micro.json is
+// gated against bench/baselines/BENCH_micro.baseline.json by
+// bench_compare.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -227,12 +233,15 @@ double TimeBestSeconds(int reps, Fn&& fn) {
 }
 
 /// Times row-parallel SpMM and full-ranking evaluation single- vs
-/// multi-threaded and writes BENCH_micro.json.
-void RunThreadScalingReport(int threads, double wall_before) {
+/// multi-threaded and writes BENCH_micro.json. `quick` shrinks the
+/// datasets so the ctest bench smoke stays fast; the baseline it gates
+/// against must be refreshed in the same mode (see bench_compare
+/// --update-baseline).
+void RunThreadScalingReport(int threads, double wall_before, bool quick) {
   Rng rng(42);
   SyntheticConfig cfg;
-  cfg.num_users = 1500;
-  cfg.num_items = 2500;
+  cfg.num_users = quick ? 500 : 1500;
+  cfg.num_items = quick ? 900 : 2500;
   cfg.num_tags = 80;
   cfg.seed = 7;
   const Dataset data = GenerateSynthetic(cfg);
@@ -271,25 +280,30 @@ void RunThreadScalingReport(int threads, double wall_before) {
   std::fprintf(
       f,
       "{\"bench\": \"micro\", \"threads\": %d, \"hardware_concurrency\": %d,\n"
+      " \"quick\": %s,\n"
       " \"spmm\": {\"t1_seconds\": %.6f, \"tN_seconds\": %.6f, "
       "\"speedup\": %.3f},\n"
       " \"eval\": {\"t1_seconds\": %.6f, \"tN_seconds\": %.6f, "
       "\"speedup\": %.3f},\n"
       " \"wall_seconds\": %.3f, \"peak_rss_bytes\": %llu,\n"
-      " \"metrics\": %s}\n",
-      threads, HardwareThreads(), spmm_t1, spmm_tn, spmm_t1 / spmm_tn,
-      eval_t1, eval_tn, eval_t1 / eval_tn, wall_before,
+      " \"rusage\": %s,\n \"profile\": %s,\n \"metrics\": %s}\n",
+      threads, HardwareThreads(), quick ? "true" : "false", spmm_t1, spmm_tn,
+      spmm_t1 / spmm_tn, eval_t1, eval_tn, eval_t1 / eval_tn, wall_before,
       static_cast<unsigned long long>(PeakRssBytes()),
+      taxorec::RusageJsonObject(taxorec::SelfRusage()).c_str(),
+      taxorec::ProfileJsonArray().c_str(),
       MetricsRegistry::Instance().SnapshotJson().c_str());
   std::fclose(f);
   std::printf("[bench] micro: threads=%d -> BENCH_micro.json\n", threads);
 }
 
-/// Asserts the observability budget from common/trace.h: armed tracing may
-/// slow the SpMM hot path by at most 3% (plus a small absolute slack for
-/// timer noise on sub-millisecond kernels). Best-of-N timings with retries
-/// keep scheduler hiccups from failing the check spuriously.
-void RunTraceOverheadCheck() {
+/// Asserts the observability budget from common/trace.h: armed tracing and
+/// armed profiling may each slow the SpMM hot path by at most 3% (plus a
+/// small absolute slack for timer noise on sub-millisecond kernels) over a
+/// fully disarmed run. Best-of-N timings with retries keep scheduler
+/// hiccups from failing the checks spuriously. Both consumers are disarmed
+/// on return.
+void RunInstrumentationOverheadChecks() {
   Rng rng(11);
   SyntheticConfig cfg;
   cfg.num_users = 1500;
@@ -305,21 +319,31 @@ void RunTraceOverheadCheck() {
 
   constexpr double kRelBudget = 0.03;
   constexpr double kAbsSlackSeconds = 500e-6;
-  double plain = 0.0, traced = 0.0;
-  bool within_budget = false;
-  for (int attempt = 0; attempt < 5 && !within_budget; ++attempt) {
-    StopTracing();
-    plain = TimeBestSeconds(10, spmm);
-    StartTracing();
-    traced = TimeBestSeconds(10, spmm);
-    StopTracing();
-    ClearTraceBuffers();
-    within_budget = traced <= plain * (1.0 + kRelBudget) + kAbsSlackSeconds;
-  }
-  std::printf("  spmm trace overhead: plain %.6fs traced %.6fs (%+.2f%%)\n",
-              plain, traced, 100.0 * (traced / plain - 1.0));
-  TAXOREC_CHECK_MSG(within_budget,
-                    "armed tracing exceeds the 3% SpMM overhead budget");
+  // The bench harness arms profiling globally; both consumers must be off
+  // for the disarmed baseline.
+  StopTracing();
+  StopProfiling();
+
+  auto check_armed = [&](const char* what, void (*arm)(), void (*disarm)(),
+                         void (*drop)()) {
+    double plain = 0.0, armed = 0.0;
+    bool within_budget = false;
+    for (int attempt = 0; attempt < 5 && !within_budget; ++attempt) {
+      plain = TimeBestSeconds(10, spmm);
+      arm();
+      armed = TimeBestSeconds(10, spmm);
+      disarm();
+      drop();
+      within_budget = armed <= plain * (1.0 + kRelBudget) + kAbsSlackSeconds;
+    }
+    std::printf("  spmm %s overhead: plain %.6fs armed %.6fs (%+.2f%%)\n",
+                what, plain, armed, 100.0 * (armed / plain - 1.0));
+    TAXOREC_CHECK_MSG(within_budget,
+                      "armed instrumentation exceeds the 3% SpMM overhead "
+                      "budget");
+  };
+  check_armed("trace", &StartTracing, &StopTracing, &ClearTraceBuffers);
+  check_armed("profile", &StartProfiling, &StopProfiling, &ClearProfile);
 }
 
 }  // namespace
@@ -327,21 +351,32 @@ void RunTraceOverheadCheck() {
 
 int main(int argc, char** argv) {
   const auto start = std::chrono::steady_clock::now();
+  const bool quick = taxorec::bench::HasArg(argc, argv, "quick");
   const int threads = taxorec::bench::InitThreads(argc, argv);
   const std::string trace_out = taxorec::bench::InitObservability(argc, argv);
+  const std::string profile_out =
+      taxorec::bench::ArgValue(argc, argv, "profile-out");
   const std::string metrics_out =
       taxorec::bench::ArgValue(argc, argv, "metrics-out");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!quick) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
   const double wall = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - start)
                           .count();
-  taxorec::RunThreadScalingReport(threads, wall);
-  // Drain any armed trace before the overhead check, which toggles and
-  // clears the trace machinery itself.
+  taxorec::RunThreadScalingReport(threads, wall, quick);
+  // Drain the armed sinks before the overhead checks, which toggle and
+  // clear the instrumentation machinery themselves.
   if (!trace_out.empty()) {
     taxorec::StopTracing();
     if (taxorec::Status s = taxorec::WriteChromeTrace(trace_out); !s.ok()) {
+      std::fprintf(stderr, "[bench] %s\n", s.ToString().c_str());
+    }
+  }
+  if (!profile_out.empty()) {
+    if (taxorec::Status s = taxorec::WriteProfileJsonl(profile_out);
+        !s.ok()) {
       std::fprintf(stderr, "[bench] %s\n", s.ToString().c_str());
     }
   }
@@ -352,7 +387,7 @@ int main(int argc, char** argv) {
       std::fclose(mf);
     }
   }
-  taxorec::RunTraceOverheadCheck();
-  benchmark::Shutdown();
+  taxorec::RunInstrumentationOverheadChecks();
+  if (!quick) benchmark::Shutdown();
   return 0;
 }

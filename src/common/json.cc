@@ -338,6 +338,62 @@ class JsonScanner {
     }
   }
 
+  /// Value() that also records every scalar under its dotted path.
+  bool FlattenValue(const std::string& prefix,
+                    std::map<std::string, std::string>* out) {
+    SkipWs();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') {
+      if (!Consume('{')) return false;
+      SkipWs();
+      if (Peek('}')) {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        SkipWs();
+        std::string key;
+        if (!String(&key)) return false;
+        SkipWs();
+        if (!Consume(':')) return false;
+        const std::string path = prefix.empty() ? key : prefix + "." + key;
+        if (!FlattenValue(path, out)) return false;
+        SkipWs();
+        if (Peek(',')) {
+          ++pos_;
+          continue;
+        }
+        return Consume('}');
+      }
+    }
+    if (c == '[') {
+      if (!Consume('[')) return false;
+      SkipWs();
+      if (Peek(']')) {
+        ++pos_;
+        return true;
+      }
+      size_t index = 0;
+      while (true) {
+        const std::string path = (prefix.empty() ? std::string() : prefix + ".") +
+                                 std::to_string(index);
+        if (!FlattenValue(path, out)) return false;
+        ++index;
+        SkipWs();
+        if (Peek(',')) {
+          ++pos_;
+          continue;
+        }
+        return Consume(']');
+      }
+    }
+    std::string value;
+    if (!Scalar(&value)) return false;
+    (*out)[prefix] = value;
+    return true;
+  }
+
   void SkipWs() {
     while (pos_ < s_.size() &&
            (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
@@ -400,6 +456,23 @@ bool ParseFlatJsonObject(std::string_view json,
     if (!scanner.Consume('}')) return fail("expected '}'");
     return true;
   }
+}
+
+bool FlattenJson(std::string_view json,
+                 std::map<std::string, std::string>* out,
+                 std::string* error) {
+  out->clear();
+  JsonScanner scanner(json);
+  if (!scanner.FlattenValue("", out)) {
+    scanner.Fail(error);
+    return false;
+  }
+  scanner.SkipWs();
+  if (scanner.pos_ != json.size()) {
+    if (error != nullptr) *error = "trailing data";
+    return false;
+  }
+  return true;
 }
 
 }  // namespace taxorec

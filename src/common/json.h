@@ -69,6 +69,16 @@ bool ParseFlatJsonObject(std::string_view json,
                          std::map<std::string, std::string>* out,
                          std::string* error = nullptr);
 
+/// Flattens an arbitrary JSON document into dotted-path -> textual value:
+/// object members join with '.', array elements use their decimal index
+/// ("spmm.t1_seconds", "profile.0.path"). Scalars keep the textual form of
+/// ParseFlatJsonObject; empty containers produce no entries. This is how
+/// bench_compare addresses metrics inside BENCH_<name>.json. Returns false
+/// (and fills `error`) on malformed input.
+bool FlattenJson(std::string_view json,
+                 std::map<std::string, std::string>* out,
+                 std::string* error = nullptr);
+
 }  // namespace taxorec
 
 #endif  // TAXOREC_COMMON_JSON_H_

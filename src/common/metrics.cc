@@ -4,6 +4,10 @@
 #include <cstdio>
 #include <cstring>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "common/check.h"
 #include "common/json.h"
 
@@ -36,6 +40,33 @@ void Histogram::Observe(double v) {
   counts_[i].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   AtomicAdd(&sum_, v);
+}
+
+double Histogram::Percentile(double q) const {
+  TAXOREC_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  const uint64_t total = count();
+  if (total == 0) return 0.0;
+  // Rank of the q-th observation (1-based, ceil — q=0 hits the first).
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(total) + 0.9999999));
+  uint64_t seen = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    const uint64_t in_bucket = bucket_count(i);
+    if (in_bucket == 0) continue;
+    if (seen + in_bucket < rank) {
+      seen += in_bucket;
+      continue;
+    }
+    // Overflow bucket has no upper bound; the last bound is the best
+    // defensible answer (documented clamp).
+    if (i == bounds_.size()) return bounds_.back();
+    // Interpolate linearly inside [lo, bounds_[i]] by rank position.
+    const double lo = i == 0 ? std::min(0.0, bounds_[0]) : bounds_[i - 1];
+    const double frac = static_cast<double>(rank - seen) /
+                        static_cast<double>(in_bucket);
+    return lo + (bounds_[i] - lo) * frac;
+  }
+  return bounds_.back();  // unreachable when counts are consistent
 }
 
 void Histogram::Reset() {
@@ -108,6 +139,9 @@ std::string MetricsRegistry::SnapshotJson() const {
     w.Key(name).BeginObject();
     w.Key("count").Uint(h->count());
     w.Key("sum").Double(h->sum());
+    w.Key("p50").Double(h->Percentile(0.50));
+    w.Key("p95").Double(h->Percentile(0.95));
+    w.Key("p99").Double(h->Percentile(0.99));
     w.Key("buckets").BeginArray();
     const auto& bounds = h->bounds();
     for (size_t i = 0; i <= bounds.size(); ++i) {
@@ -133,6 +167,37 @@ void MetricsRegistry::ResetAll() {
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();
+}
+
+RusageCounters SelfRusage() {
+  RusageCounters out;
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    out.user_cpu_seconds = static_cast<double>(ru.ru_utime.tv_sec) +
+                           static_cast<double>(ru.ru_utime.tv_usec) * 1e-6;
+    out.system_cpu_seconds = static_cast<double>(ru.ru_stime.tv_sec) +
+                             static_cast<double>(ru.ru_stime.tv_usec) * 1e-6;
+    out.minor_page_faults = static_cast<uint64_t>(ru.ru_minflt);
+    out.major_page_faults = static_cast<uint64_t>(ru.ru_majflt);
+    out.voluntary_ctx_switches = static_cast<uint64_t>(ru.ru_nvcsw);
+    out.involuntary_ctx_switches = static_cast<uint64_t>(ru.ru_nivcsw);
+  }
+#endif
+  return out;
+}
+
+std::string RusageJsonObject(const RusageCounters& counters) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("user_cpu_seconds").Double(counters.user_cpu_seconds);
+  w.Key("system_cpu_seconds").Double(counters.system_cpu_seconds);
+  w.Key("minor_page_faults").Uint(counters.minor_page_faults);
+  w.Key("major_page_faults").Uint(counters.major_page_faults);
+  w.Key("voluntary_ctx_switches").Uint(counters.voluntary_ctx_switches);
+  w.Key("involuntary_ctx_switches").Uint(counters.involuntary_ctx_switches);
+  w.EndObject();
+  return w.TakeString();
 }
 
 uint64_t PeakRssBytes() {

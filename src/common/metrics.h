@@ -67,6 +67,14 @@ class Histogram {
   }
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Estimated q-quantile (q in [0, 1], checked) by linear interpolation
+  /// inside the bucket holding the q-th observation. Fixed buckets only
+  /// bound the answer: results are exact at bucket edges, interpolated
+  /// within, and clamped to bounds().back() for observations in the
+  /// overflow bucket. Returns 0 with no observations.
+  double Percentile(double q) const;
+
   void Reset();
 
  private:
@@ -110,6 +118,25 @@ class MetricsRegistry {
 /// Peak resident set size of this process in bytes (VmHWM from
 /// /proc/self/status on Linux; 0 where unavailable).
 uint64_t PeakRssBytes();
+
+/// getrusage(RUSAGE_SELF) snapshot — the OS-level complement to the wall
+/// times in BENCH_<name>.json and the telemetry run_end event (all zero
+/// where getrusage is unavailable).
+struct RusageCounters {
+  double user_cpu_seconds = 0.0;
+  double system_cpu_seconds = 0.0;
+  uint64_t minor_page_faults = 0;
+  uint64_t major_page_faults = 0;
+  uint64_t voluntary_ctx_switches = 0;
+  uint64_t involuntary_ctx_switches = 0;
+};
+
+/// Cumulative resource usage of this process so far.
+RusageCounters SelfRusage();
+
+/// `counters` as one flat JSON object, e.g.
+/// {"user_cpu_seconds":1.5,...,"involuntary_ctx_switches":12}.
+std::string RusageJsonObject(const RusageCounters& counters);
 
 }  // namespace taxorec
 

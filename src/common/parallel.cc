@@ -1,9 +1,13 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <memory>
 
 #include "common/check.h"
+#include "common/log.h"
+#include "common/metrics.h"
 
 namespace taxorec {
 namespace {
@@ -11,6 +15,74 @@ namespace {
 std::mutex g_config_mu;
 int g_num_threads = 0;  // 0 = unset → HardwareThreads()
 std::unique_ptr<ThreadPool> g_pool;
+
+std::atomic<double> g_imbalance_warn_threshold{4.0};
+
+// Regions faster than this on their busiest worker never WARN: at sub-10ms
+// scale the µs timer quantizes busy times into meaningless ratios.
+constexpr uint64_t kImbalanceWarnFloorUs = 10'000;
+
+/// Cached taxorec.pool.* instruments (registration mutex paid once).
+struct PoolMetrics {
+  Counter* regions = MetricsRegistry::Instance().GetCounter(
+      "taxorec.pool.regions");
+  Counter* chunks =
+      MetricsRegistry::Instance().GetCounter("taxorec.pool.chunks");
+  Histogram* imbalance = MetricsRegistry::Instance().GetHistogram(
+      "taxorec.pool.imbalance", {1.1, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0});
+
+  Counter* WorkerBusy(size_t w) {
+    std::lock_guard<std::mutex> lock(mu);
+    while (worker_busy.size() <= w) {
+      worker_busy.push_back(MetricsRegistry::Instance().GetCounter(
+          "taxorec.pool.worker." + std::to_string(worker_busy.size()) +
+          ".busy_us"));
+    }
+    return worker_busy[w];
+  }
+
+ private:
+  std::mutex mu;
+  std::vector<Counter*> worker_busy;
+};
+
+PoolMetrics& PoolMetricsInstance() {
+  static PoolMetrics* metrics = new PoolMetrics();
+  return *metrics;
+}
+
+/// Folds one fanned-out region's per-worker busy times into the pool
+/// instruments; instruments never touch caller state, so observability
+/// stays off the determinism surface.
+void RecordPoolRegion(const uint64_t* busy_us, int num_workers,
+                      size_t num_chunks, size_t range) {
+  PoolMetrics& m = PoolMetricsInstance();
+  m.regions->Increment();
+  m.chunks->Increment(num_chunks);
+  uint64_t total = 0;
+  uint64_t max_busy = 0;
+  for (int w = 0; w < num_workers; ++w) {
+    total += busy_us[w];
+    if (busy_us[w] > max_busy) max_busy = busy_us[w];
+    m.WorkerBusy(static_cast<size_t>(w))->Increment(busy_us[w]);
+  }
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(num_workers);
+  if (mean <= 0.0) return;
+  const double ratio = static_cast<double>(max_busy) / mean;
+  m.imbalance->Observe(ratio);
+  const double threshold =
+      g_imbalance_warn_threshold.load(std::memory_order_relaxed);
+  if (ratio > threshold && max_busy >= kImbalanceWarnFloorUs) {
+    TAXOREC_LOG(WARN) << "parallel region imbalance"
+                      << Kv("imbalance", ratio)
+                      << Kv("threshold", threshold)
+                      << Kv("workers", num_workers)
+                      << Kv("chunks", num_chunks) << Kv("range", range)
+                      << Kv("max_worker_us", max_busy)
+                      << Kv("mean_worker_us", mean);
+  }
+}
 
 // Set while a worker executes chunks; a ParallelFor issued from inside a
 // worker (e.g. a parallel kernel called from an already-parallel region)
@@ -42,6 +114,15 @@ void SetNumThreads(int n) {
   TAXOREC_CHECK(n >= 1);
   std::lock_guard<std::mutex> lock(g_config_mu);
   g_num_threads = n;
+}
+
+void SetPoolImbalanceWarnThreshold(double ratio) {
+  TAXOREC_CHECK(ratio >= 1.0);
+  g_imbalance_warn_threshold.store(ratio, std::memory_order_relaxed);
+}
+
+double GetPoolImbalanceWarnThreshold() {
+  return g_imbalance_warn_threshold.load(std::memory_order_relaxed);
 }
 
 ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
@@ -111,7 +192,12 @@ void ParallelForWorker(size_t begin, size_t end, size_t grain,
     fn(begin, end, 0);
     return;
   }
+  // Per-worker busy times for the utilization metrics. Each slot has one
+  // writer; Run's completion handshake (mutex + condvar) publishes the
+  // writes to the caller before RecordPoolRegion reads them.
+  std::vector<uint64_t> busy_us(static_cast<size_t>(num_workers), 0);
   auto worker_fn = [&](int w) {
+    const auto t0 = std::chrono::steady_clock::now();
     tl_in_worker = true;
     for (size_t c = static_cast<size_t>(w); c < num_chunks;
          c += static_cast<size_t>(num_workers)) {
@@ -120,8 +206,13 @@ void ParallelForWorker(size_t begin, size_t end, size_t grain,
       fn(chunk_begin, chunk_end, w);
     }
     tl_in_worker = false;
+    busy_us[static_cast<size_t>(w)] = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
   };
   AcquirePool(threads)->Run(num_workers, worker_fn);
+  RecordPoolRegion(busy_us.data(), num_workers, num_chunks, n);
 }
 
 void ParallelFor(size_t begin, size_t end, size_t grain,

@@ -30,6 +30,22 @@ namespace taxorec {
 /// max(1, std::thread::hardware_concurrency()).
 int HardwareThreads();
 
+/// Pool utilization is exported through MetricsRegistry (always on; one
+/// clock pair per worker per region, far off the chunk loop):
+///   taxorec.pool.regions            regions that actually fanned out (>1
+///                                   worker; the sequential path is free)
+///   taxorec.pool.chunks             chunks dispatched across those regions
+///   taxorec.pool.worker.<w>.busy_us cumulative busy time of worker w
+///   taxorec.pool.imbalance          histogram of max-worker/mean-worker
+///                                   busy time per region (1.0 = perfectly
+///                                   balanced, W = one worker did it all)
+/// A region slower than 10ms on its busiest worker whose imbalance exceeds
+/// the warn threshold logs one WARN line with the region shape.
+void SetPoolImbalanceWarnThreshold(double ratio);
+
+/// Current WARN threshold (default 4.0).
+double GetPoolImbalanceWarnThreshold();
+
 /// Current global thread count used by ParallelFor. Defaults to
 /// HardwareThreads() until SetNumThreads is called.
 int GetNumThreads();

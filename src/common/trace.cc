@@ -6,11 +6,12 @@
 #include <vector>
 
 #include "common/json.h"
+#include "common/log.h"
 
 namespace taxorec {
 namespace internal {
 
-std::atomic<bool> g_tracing_enabled{false};
+std::atomic<uint32_t> g_instrument_mode{0};
 
 namespace {
 
@@ -94,11 +95,13 @@ void RecordSpan(const char* name, uint64_t start_us, uint64_t dur_us) {
 
 void StartTracing() {
   internal::TraceNowMicros();  // pin the epoch before the first span
-  internal::g_tracing_enabled.store(true, std::memory_order_relaxed);
+  internal::g_instrument_mode.fetch_or(internal::kTraceArmed,
+                                       std::memory_order_relaxed);
 }
 
 void StopTracing() {
-  internal::g_tracing_enabled.store(false, std::memory_order_relaxed);
+  internal::g_instrument_mode.fetch_and(~internal::kTraceArmed,
+                                        std::memory_order_relaxed);
 }
 
 void ClearTraceBuffers() {
@@ -117,6 +120,19 @@ size_t TraceEventCount() {
   }
   return n;
 }
+
+uint64_t TraceDroppedCount() {
+  auto& reg = internal::Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  uint64_t n = 0;
+  for (auto* b : reg.buffers) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    n += b->dropped;
+  }
+  return n;
+}
+
+size_t TraceRingCapacity() { return internal::kRingCapacity; }
 
 std::string ChromeTraceJson() {
   JsonWriter w;
@@ -141,6 +157,21 @@ std::string ChromeTraceJson() {
         w.Key("dur").Uint(e.dur_us);
         w.EndObject();
       }
+      // Ring overflow is surfaced in-band: one metadata event per thread
+      // that lost events, so a viewer shows the gap instead of silently
+      // presenting a truncated timeline.
+      if (b->dropped > 0) {
+        w.BeginObject();
+        w.Key("name").String("dropped_events");
+        w.Key("cat").String("taxorec");
+        w.Key("ph").String("M");
+        w.Key("pid").Int(1);
+        w.Key("tid").Int(b->tid);
+        w.Key("args").BeginObject();
+        w.Key("dropped").Uint(b->dropped);
+        w.EndObject();
+        w.EndObject();
+      }
     }
   }
   w.EndArray();
@@ -150,6 +181,12 @@ std::string ChromeTraceJson() {
 }
 
 Status WriteChromeTrace(const std::string& path) {
+  if (const uint64_t dropped = TraceDroppedCount(); dropped > 0) {
+    TAXOREC_LOG(WARN) << "trace ring overflow; oldest events were overwritten"
+                      << Kv("dropped", dropped)
+                      << Kv("ring_capacity", internal::kRingCapacity)
+                      << Kv("path", path);
+  }
   const std::string json = ChromeTraceJson();
   std::ofstream out(path, std::ios::trunc);
   if (!out) return Status::IOError("cannot write trace file: " + path);

@@ -7,15 +7,20 @@
 //     ...
 //   }
 //
-// Tracing is disarmed by default: the constructor is a single relaxed
-// atomic load and the destructor a null check, so disarmed spans cost a
-// predictable branch and never touch shared state — `--threads`
-// bit-identity and hot-path timings are unaffected (the <3% armed-SpMM
-// budget is asserted by bench_micro_kernels). When armed (StartTracing /
-// `--trace-out`), each completed span records {name, thread, start,
-// duration} into a per-thread ring buffer (fixed capacity; oldest events
-// are overwritten and counted as dropped). WriteChromeTrace drains every
-// buffer into a JSON file loadable by chrome://tracing / Perfetto.
+// Instrumentation is disarmed by default: the constructor is a single
+// relaxed atomic load of the shared instrument-mode word and the
+// destructor a branch, so disarmed spans cost a predictable branch and
+// never touch shared state — `--threads` bit-identity and hot-path
+// timings are unaffected (the <3% armed-SpMM budget is asserted by
+// bench_micro_kernels). The same mode word arms two consumers of the one
+// span site:
+//   - tracing (StartTracing / `--trace-out`): each completed span records
+//     {name, thread, start, duration} into a per-thread ring buffer
+//     (fixed capacity; oldest events are overwritten and counted as
+//     dropped). WriteChromeTrace drains every buffer into a JSON file
+//     loadable by chrome://tracing / Perfetto.
+//   - profiling (StartProfiling / `--profile-out`, common/profiler.h):
+//     spans roll up per call path into aggregate site statistics.
 //
 // Span names must be string literals (or otherwise outlive the drain).
 #ifndef TAXOREC_COMMON_TRACE_H_
@@ -30,16 +35,24 @@
 namespace taxorec {
 
 namespace internal {
-extern std::atomic<bool> g_tracing_enabled;
+// Bitmask of armed span consumers; disarmed spans read it once, relaxed.
+inline constexpr uint32_t kTraceArmed = 1u << 0;
+inline constexpr uint32_t kProfileArmed = 1u << 1;
+extern std::atomic<uint32_t> g_instrument_mode;
 /// Appends one completed span to the calling thread's ring buffer.
 void RecordSpan(const char* name, uint64_t start_us, uint64_t dur_us);
+/// Pushes a span onto the calling thread's profile stack (profiler.cc).
+void ProfileEnter(const char* name);
+/// Pops the profile stack and folds `dur_us` into the site aggregates.
+void ProfileExit(const char* name, uint64_t dur_us);
 /// Microseconds since process start (steady clock).
 uint64_t TraceNowMicros();
 }  // namespace internal
 
-/// True while spans are being collected.
+/// True while spans are being collected for the Chrome trace.
 inline bool TracingEnabled() {
-  return internal::g_tracing_enabled.load(std::memory_order_relaxed);
+  return (internal::g_instrument_mode.load(std::memory_order_relaxed) &
+          internal::kTraceArmed) != 0;
 }
 
 /// Arms span collection. Buffers keep accumulating across Start/Stop
@@ -56,6 +69,12 @@ void ClearTraceBuffers();
 /// Buffered events across all threads (drain size for tests).
 size_t TraceEventCount();
 
+/// Events overwritten by the per-thread rings since the last clear.
+uint64_t TraceDroppedCount();
+
+/// Fixed per-thread ring capacity (oldest events overwritten past this).
+size_t TraceRingCapacity();
+
 /// Writes all buffered spans as a Chrome trace_event JSON object
 /// ({"traceEvents": [...]}) to `path`.
 Status WriteChromeTrace(const std::string& path);
@@ -63,18 +82,27 @@ Status WriteChromeTrace(const std::string& path);
 /// Serializes the buffered spans to the Chrome trace JSON string.
 std::string ChromeTraceJson();
 
-/// RAII span: records the enclosing scope when tracing is armed at
-/// construction time, and compiles down to a pointer check when not.
+/// RAII span: records the enclosing scope into whichever consumers were
+/// armed at construction time (the mode snapshot keeps trace enter/record
+/// and profile push/pop paired even across Start/Stop calls mid-span), and
+/// compiles down to one relaxed load plus a branch when disarmed.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name)
-      : name_(TracingEnabled() ? name : nullptr),
-        start_us_(name_ != nullptr ? internal::TraceNowMicros() : 0) {}
+      : mode_(internal::g_instrument_mode.load(std::memory_order_relaxed)),
+        name_(name),
+        start_us_(mode_ != 0 ? internal::TraceNowMicros() : 0) {
+    if (mode_ & internal::kProfileArmed) internal::ProfileEnter(name_);
+  }
 
   ~TraceSpan() {
-    if (name_ != nullptr) {
-      internal::RecordSpan(name_, start_us_,
-                           internal::TraceNowMicros() - start_us_);
+    if (mode_ == 0) return;
+    const uint64_t dur_us = internal::TraceNowMicros() - start_us_;
+    if (mode_ & internal::kTraceArmed) {
+      internal::RecordSpan(name_, start_us_, dur_us);
+    }
+    if (mode_ & internal::kProfileArmed) {
+      internal::ProfileExit(name_, dur_us);
     }
   }
 
@@ -82,6 +110,7 @@ class TraceSpan {
   TraceSpan& operator=(const TraceSpan&) = delete;
 
  private:
+  const uint32_t mode_;
   const char* name_;
   uint64_t start_us_;
 };

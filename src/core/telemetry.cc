@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/json.h"
+#include "common/metrics.h"
 
 namespace taxorec {
 namespace {
@@ -168,6 +169,16 @@ void RunTelemetry::EmitRunEnd(bool ok, const std::string& status,
   w.Key("rollbacks").Int(rollbacks);
   w.Key("final_loss").Double(final_loss);
   w.Key("wall_seconds").Double(wall_seconds);
+  // OS-level resource usage alongside wall time, so regressions in CPU or
+  // paging show up in the run record even when wall time masks them.
+  const RusageCounters ru = SelfRusage();
+  w.Key("user_cpu_seconds").Double(ru.user_cpu_seconds);
+  w.Key("system_cpu_seconds").Double(ru.system_cpu_seconds);
+  w.Key("minor_page_faults").Uint(ru.minor_page_faults);
+  w.Key("major_page_faults").Uint(ru.major_page_faults);
+  w.Key("voluntary_ctx_switches").Uint(ru.voluntary_ctx_switches);
+  w.Key("involuntary_ctx_switches").Uint(ru.involuntary_ctx_switches);
+  w.Key("peak_rss_bytes").Uint(PeakRssBytes());
   w.EndObject();
   WriteLine(w.TakeString());
 }

@@ -79,7 +79,9 @@ class RunTelemetry {
   /// ...).
   void EmitEval(const EvalResult& result, double wall_seconds);
 
-  /// Terminal line: `status` is "ok" or the error message.
+  /// Terminal line: `status` is "ok" or the error message. Also records
+  /// getrusage counters (user/system CPU, page faults, context switches)
+  /// and peak RSS, so every run ends with its resource footprint.
   void EmitRunEnd(bool ok, const std::string& status, int epochs_run,
                   int rollbacks, double final_loss, double wall_seconds);
 

@@ -130,7 +130,10 @@ StatusOr<TrainLoopResult> RunTrainLoop(Recommender* model,
     model->Fit(split, rng);
     result.epoch_granular = false;
     HealthMonitor monitor(opts.health);
-    model->CheckHealth(&monitor);
+    {
+      TraceSpan scan_span("health_scan");
+      model->CheckHealth(&monitor);
+    }
     HealthScanCounter()->Increment();
     if (!monitor.healthy()) {
       if (opts.telemetry != nullptr) {
@@ -208,7 +211,10 @@ StatusOr<TrainLoopResult> RunTrainLoop(Recommender* model,
 
     HealthMonitor monitor(opts.health);
     monitor.CheckLoss(epoch, loss);
-    model->CheckHealth(&monitor);
+    {
+      TraceSpan scan_span("health_scan");
+      model->CheckHealth(&monitor);
+    }
     HealthScanCounter()->Increment();
     if (!monitor.healthy()) {
       if (opts.telemetry != nullptr) {
@@ -270,7 +276,10 @@ StatusOr<TrainLoopResult> RunTrainLoop(Recommender* model,
   model->EndFit(split);
 
   HealthMonitor final_monitor(opts.health);
-  model->CheckHealth(&final_monitor);
+  {
+    TraceSpan scan_span("health_scan");
+    model->CheckHealth(&final_monitor);
+  }
   HealthScanCounter()->Increment();
   if (!final_monitor.healthy()) {
     if (opts.telemetry != nullptr) {

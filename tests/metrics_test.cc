@@ -73,6 +73,64 @@ TEST_F(MetricsTest, HistogramBucketBoundariesAreInclusiveUpperBounds) {
   EXPECT_DOUBLE_EQ(h->sum(), 0.5 + 1.0 + 1.001 + 2.0 + 5.0 + 5.001 + 100.0);
 }
 
+TEST_F(MetricsTest, PercentileInterpolatesWithinBuckets) {
+  Histogram* h = MetricsRegistry::Instance().GetHistogram(
+      "taxorec.test.hist_pct", {10.0, 20.0, 40.0});
+  EXPECT_DOUBLE_EQ(h->Percentile(0.5), 0.0);  // no observations yet
+
+  // 100 observations spread uniformly below 10: every quantile lands in
+  // bucket 0 and interpolates across [0, 10].
+  for (int i = 0; i < 100; ++i) h->Observe(5.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(0.5), 5.0);   // rank 50 of 100 -> half way
+  EXPECT_DOUBLE_EQ(h->Percentile(1.0), 10.0);  // rank 100 -> bucket top
+  h->Reset();
+
+  // 50 below 10, 50 in (10, 20]: the median sits exactly at the first
+  // bound, p75 half way through the second bucket.
+  for (int i = 0; i < 50; ++i) h->Observe(1.0);
+  for (int i = 0; i < 50; ++i) h->Observe(15.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(0.75), 15.0);
+  h->Reset();
+
+  // Everything overflows: clamp to the last bound rather than invent an
+  // upper edge.
+  for (int i = 0; i < 10; ++i) h->Observe(1000.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(0.5), 40.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(0.99), 40.0);
+}
+
+TEST_F(MetricsTest, SnapshotJsonCarriesHistogramPercentiles) {
+  Histogram* h = MetricsRegistry::Instance().GetHistogram(
+      "taxorec.test.hist_pct_json", {1.0, 2.0});
+  for (int i = 0; i < 10; ++i) h->Observe(0.5);
+  const std::string json = MetricsRegistry::Instance().SnapshotJson();
+  std::string error;
+  ASSERT_TRUE(JsonSyntaxValid(json, &error)) << error;
+  EXPECT_NE(json.find("\"p50\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p95\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\""), std::string::npos) << json;
+}
+
+TEST_F(MetricsTest, SelfRusageReportsCpuTimeAndSerializes) {
+  const RusageCounters ru = SelfRusage();
+#if defined(__linux__)
+  // The test process has certainly burned some CPU and faulted pages in.
+  EXPECT_GT(ru.user_cpu_seconds + ru.system_cpu_seconds, 0.0);
+  EXPECT_GT(ru.minor_page_faults, 0u);
+#endif
+  const std::string json = RusageJsonObject(ru);
+  std::map<std::string, std::string> flat;
+  std::string error;
+  ASSERT_TRUE(ParseFlatJsonObject(json, &flat, &error)) << error;
+  for (const char* key :
+       {"user_cpu_seconds", "system_cpu_seconds", "minor_page_faults",
+        "major_page_faults", "voluntary_ctx_switches",
+        "involuntary_ctx_switches"}) {
+    EXPECT_EQ(flat.count(key), 1u) << key;
+  }
+}
+
 TEST_F(MetricsTest, CounterIncrementsAreExactUnderParallelFor) {
   Counter* c = MetricsRegistry::Instance().GetCounter("taxorec.test.race");
   SetNumThreads(4);

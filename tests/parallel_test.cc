@@ -6,10 +6,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <numeric>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "core/taxorec_model.h"
 #include "data/split.h"
@@ -136,6 +138,69 @@ TEST(ThreadLocalAccumulatorTest, ReductionIsDeterministicPerThreadCount) {
   for (int rep = 0; rep < 5; ++rep) {
     EXPECT_EQ(first, run());  // bitwise equal: assignment is static
   }
+}
+
+// Pool utilization is always-on, so these assert on metric deltas (other
+// suites and earlier tests may already have recorded regions).
+TEST(PoolUtilizationTest, FannedOutRegionRecordsRegionChunksAndBusyTime) {
+  ThreadCountGuard guard;
+  constexpr int kWorkers = 4;
+  SetNumThreads(kWorkers);
+  auto& reg = MetricsRegistry::Instance();
+  Counter* regions = reg.GetCounter("taxorec.pool.regions");
+  Counter* chunks = reg.GetCounter("taxorec.pool.chunks");
+  Histogram* imbalance = reg.GetHistogram(
+      "taxorec.pool.imbalance", {1.1, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0});
+  const uint64_t regions_before = regions->value();
+  const uint64_t chunks_before = chunks->value();
+  const uint64_t observations_before = imbalance->count();
+  uint64_t busy_before = 0;
+  for (int w = 0; w < kWorkers; ++w) {
+    busy_before += reg.GetCounter("taxorec.pool.worker." + std::to_string(w) +
+                                  ".busy_us")
+                       ->value();
+  }
+
+  // Spin on the clock so every worker's busy time clears the µs timer even
+  // if the optimizer folds arithmetic work away.
+  ParallelFor(0, 64, 1, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      const auto until =
+          std::chrono::steady_clock::now() + std::chrono::microseconds(50);
+      while (std::chrono::steady_clock::now() < until) {
+      }
+    }
+  });
+
+  EXPECT_EQ(regions->value(), regions_before + 1);
+  EXPECT_EQ(chunks->value(), chunks_before + 64);
+  EXPECT_EQ(imbalance->count(), observations_before + 1);
+  uint64_t busy_after = 0;
+  for (int w = 0; w < kWorkers; ++w) {
+    busy_after += reg.GetCounter("taxorec.pool.worker." + std::to_string(w) +
+                                 ".busy_us")
+                      ->value();
+  }
+  EXPECT_GT(busy_after, busy_before);
+}
+
+TEST(PoolUtilizationTest, SequentialPathRecordsNoRegion) {
+  ThreadCountGuard guard;
+  SetNumThreads(1);
+  Counter* regions =
+      MetricsRegistry::Instance().GetCounter("taxorec.pool.regions");
+  const uint64_t before = regions->value();
+  int calls = 0;
+  ParallelFor(0, 1000, 8, [&](size_t, size_t) { ++calls; });
+  EXPECT_GT(calls, 0);
+  EXPECT_EQ(regions->value(), before);  // 1-thread path has no pool cost
+}
+
+TEST(PoolUtilizationTest, ImbalanceWarnThresholdRoundTrips) {
+  const double saved = GetPoolImbalanceWarnThreshold();
+  SetPoolImbalanceWarnThreshold(2.5);
+  EXPECT_DOUBLE_EQ(GetPoolImbalanceWarnThreshold(), 2.5);
+  SetPoolImbalanceWarnThreshold(saved);
 }
 
 CsrMatrix PowerLawCsr(size_t rows, size_t cols, size_t nnz, uint64_t seed) {

@@ -213,6 +213,17 @@ TEST_F(TelemetryTest, FaultedRunEmitsGoldenEventSequence) {
   ASSERT_EQ(end, static_cast<int>(events.size()) - 1);
   EXPECT_EQ(Get(events[end], "ok"), "true");
   EXPECT_EQ(Get(events[end], "rollbacks"), "1");
+  // run_end carries the process resource footprint.
+  for (const char* key :
+       {"user_cpu_seconds", "system_cpu_seconds", "minor_page_faults",
+        "major_page_faults", "voluntary_ctx_switches",
+        "involuntary_ctx_switches", "peak_rss_bytes"}) {
+    EXPECT_FALSE(Get(events[end], key).empty()) << key;
+  }
+#if defined(__linux__)
+  EXPECT_GT(std::stod(Get(events[end], "user_cpu_seconds")), 0.0);
+  EXPECT_GT(std::stod(Get(events[end], "peak_rss_bytes")), 0.0);
+#endif
 
   // Timestamps never run backwards.
   double prev = -1.0;

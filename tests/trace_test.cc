@@ -49,6 +49,30 @@ TEST_F(TraceTest, DisarmedSpansRecordNothing) {
   EXPECT_EQ(TraceEventCount(), 0u);
 }
 
+TEST_F(TraceTest, RingOverflowCountsDropsAndEmitsMetadataEvent) {
+  StartTracing();
+  const size_t capacity = TraceRingCapacity();
+  for (size_t i = 0; i < capacity + 5; ++i) {
+    TraceSpan span("overflow_span");
+  }
+  StopTracing();
+  EXPECT_EQ(TraceEventCount(), capacity);  // ring holds the newest events
+  EXPECT_EQ(TraceDroppedCount(), 5u);
+
+  // The export surfaces the loss in-band: a per-thread metadata event plus
+  // the top-level droppedEvents total.
+  const std::string json = ChromeTraceJson();
+  std::string error;
+  ASSERT_TRUE(JsonSyntaxValid(json, &error)) << error;
+  EXPECT_NE(json.find("\"name\":\"dropped_events\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"droppedEvents\":5"), std::string::npos);
+
+  ClearTraceBuffers();
+  EXPECT_EQ(TraceDroppedCount(), 0u);
+  EXPECT_EQ(ChromeTraceJson().find("dropped_events"), std::string::npos);
+}
+
 TEST_F(TraceTest, ArmedSpansAreBuffered) {
   StartTracing();
   ASSERT_TRUE(TracingEnabled());

@@ -23,6 +23,7 @@
 #include "common/flags.h"
 #include "common/log.h"
 #include "common/metrics.h"
+#include "common/profiler.h"
 #include "common/trace.h"
 #include "core/taxorec_model.h"
 #include "core/telemetry.h"
@@ -168,6 +169,10 @@ int CmdTrain(int argc, const char* const* argv) {
                      "write the final metrics-registry snapshot JSON here");
   flags.DefineString("trace-out", "",
                      "collect trace spans and write Chrome trace JSON here");
+  flags.DefineString("profile-out", "",
+                     "aggregate trace spans into a call-path profile and "
+                     "write it as JSONL here (render with `telemetry_report "
+                     "--profile`)");
   if (Status s = flags.Parse(argc, argv, 2); !s.ok()) return Fail(s);
   if (Status s = ApplyThreadsFlag(flags); !s.ok()) return Fail(s);
   if (Status s = ApplyLoggingFlags(flags); !s.ok()) return Fail(s);
@@ -245,12 +250,19 @@ int CmdTrain(int argc, const char* const* argv) {
   }
   const bool tracing = !flags.GetString("trace-out").empty();
   if (tracing) StartTracing();
+  const bool profiling = !flags.GetString("profile-out").empty();
+  if (profiling) StartProfiling();
   // Flushes the trace and metrics sinks; runs on every exit path so a
   // failed run still leaves its observability artifacts behind.
   auto finalize = [&]() -> Status {
     if (tracing) {
       StopTracing();
       TAXOREC_RETURN_NOT_OK(WriteChromeTrace(flags.GetString("trace-out")));
+    }
+    if (profiling) {
+      StopProfiling();
+      TAXOREC_RETURN_NOT_OK(
+          WriteProfileJsonl(flags.GetString("profile-out")));
     }
     const std::string metrics_path = flags.GetString("metrics-out");
     if (!metrics_path.empty()) {

@@ -6,6 +6,12 @@
 //   taxorec_cli train --data data.tsv --telemetry-out run.jsonl
 //   telemetry_report run.jsonl
 //
+// With --profile it instead renders a `--profile-out` call-path profile
+// (common/profiler.h JSONL) as an indented site tree:
+//
+//   taxorec_cli train --data data.tsv --profile-out profile.jsonl
+//   telemetry_report --profile profile.jsonl
+//
 // Events are flat JSON objects (see core/telemetry.h), so the parser is
 // ParseFlatJsonObject per line; unknown event kinds are listed but not
 // interpreted, keeping the tool forward-compatible with new emitters.
@@ -34,9 +40,69 @@ double GetDouble(const Event& e, const std::string& key) {
   return it == e.end() ? 0.0 : std::strtod(it->second.c_str(), nullptr);
 }
 
+/// Renders a --profile-out JSONL file (one flat object per call-path site,
+/// depth-first preorder) as the same fixed-width tree ProfileReportText
+/// produces live: depth = number of '/' separators in "path", label = the
+/// final path segment.
+int ProfileMain(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", path);
+    return 1;
+  }
+  std::printf("%-36s %8s %12s %12s %10s %10s\n", "site", "calls", "incl_ms",
+              "self_ms", "min_us", "max_us");
+  std::string line;
+  size_t lineno = 0;
+  size_t sites = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    Event e;
+    std::string error;
+    if (!ParseFlatJsonObject(line, &e, &error)) {
+      std::fprintf(stderr, "error: %s:%zu: %s\n", path, lineno,
+                   error.c_str());
+      return 1;
+    }
+    const std::string site_path = Get(e, "path", "");
+    if (site_path.empty()) {
+      std::fprintf(stderr, "error: %s:%zu: missing \"path\" key\n", path,
+                   lineno);
+      return 1;
+    }
+    size_t depth = 0;
+    size_t last_sep = std::string::npos;
+    for (size_t i = 0; i < site_path.size(); ++i) {
+      if (site_path[i] == '/') {
+        ++depth;
+        last_sep = i;
+      }
+    }
+    std::string label(depth * 2, ' ');
+    label += last_sep == std::string::npos ? site_path
+                                           : site_path.substr(last_sep + 1);
+    std::printf("%-36s %8s %12.3f %12.3f %10s %10s\n", label.c_str(),
+                Get(e, "calls").c_str(), GetDouble(e, "inclusive_us") / 1e3,
+                GetDouble(e, "self_us") / 1e3, Get(e, "min_us").c_str(),
+                Get(e, "max_us").c_str());
+    ++sites;
+  }
+  if (sites == 0) {
+    std::fprintf(stderr, "error: %s has no profile sites\n", path);
+    return 1;
+  }
+  return 0;
+}
+
 int Main(int argc, const char* const* argv) {
+  if (argc == 3 && std::string(argv[1]) == "--profile") {
+    return ProfileMain(argv[2]);
+  }
   if (argc != 2) {
-    std::fprintf(stderr, "usage: telemetry_report <run.jsonl>\n");
+    std::fprintf(stderr,
+                 "usage: telemetry_report <run.jsonl>\n"
+                 "       telemetry_report --profile <profile.jsonl>\n");
     return 2;
   }
   std::ifstream in(argv[1]);
