@@ -174,6 +174,22 @@ inline int InitThreads(int argc, const char* const* argv) {
   return n;
 }
 
+/// Best-of-`reps` wall time of fn(), after one untimed warm-up call.
+template <typename Fn>
+double TimeBestSeconds(int reps, Fn&& fn) {
+  fn();  // warm-up
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    if (secs < best) best = secs;
+  }
+  return best;
+}
+
 /// Scans raw argv for `--name=value` / `--name value` (shared by the bench
 /// binaries, which do not use FlagSet).
 inline std::string ArgValue(int argc, const char* const* argv,

@@ -216,22 +216,6 @@ class DotScorer : public Recommender {
   Matrix items_;
 };
 
-/// Best-of-`reps` wall time of fn().
-template <typename Fn>
-double TimeBestSeconds(int reps, Fn&& fn) {
-  fn();  // warm-up
-  double best = 1e100;
-  for (int r = 0; r < reps; ++r) {
-    const auto t0 = std::chrono::steady_clock::now();
-    fn();
-    const double secs = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count();
-    if (secs < best) best = secs;
-  }
-  return best;
-}
-
 /// Times row-parallel SpMM and full-ranking evaluation single- vs
 /// multi-threaded and writes BENCH_micro.json. `quick` shrinks the
 /// datasets so the ctest bench smoke stays fast; the baseline it gates
@@ -260,11 +244,11 @@ void RunThreadScalingReport(int threads, double wall_before, bool quick) {
   auto eval = [&] { eval_out = EvaluateRanking(scorer, split); };
 
   SetNumThreads(1);
-  const double spmm_t1 = TimeBestSeconds(5, spmm);
-  const double eval_t1 = TimeBestSeconds(3, eval);
+  const double spmm_t1 = bench::TimeBestSeconds(5, spmm);
+  const double eval_t1 = bench::TimeBestSeconds(3, eval);
   SetNumThreads(threads);
-  const double spmm_tn = TimeBestSeconds(5, spmm);
-  const double eval_tn = TimeBestSeconds(3, eval);
+  const double spmm_tn = bench::TimeBestSeconds(5, spmm);
+  const double eval_tn = bench::TimeBestSeconds(3, eval);
 
   std::printf("\nthread scaling (threads=%d, hardware_concurrency=%d)\n",
               threads, HardwareThreads());
@@ -329,9 +313,9 @@ void RunInstrumentationOverheadChecks() {
     double plain = 0.0, armed = 0.0;
     bool within_budget = false;
     for (int attempt = 0; attempt < 5 && !within_budget; ++attempt) {
-      plain = TimeBestSeconds(10, spmm);
+      plain = bench::TimeBestSeconds(10, spmm);
       arm();
-      armed = TimeBestSeconds(10, spmm);
+      armed = bench::TimeBestSeconds(10, spmm);
       disarm();
       drop();
       within_budget = armed <= plain * (1.0 + kRelBudget) + kAbsSlackSeconds;

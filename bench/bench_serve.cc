@@ -1,0 +1,292 @@
+// Serving-path benchmark: the seed ranking loop (per-user full score row +
+// iota + partial_sort, sequential over users) against the serving subsystem
+// (frozen snapshot, blocked top-K heaps, batched fan-out over the thread
+// pool), with a bit-identity check between the two, plus a cached-replay
+// phase measuring the LRU result cache.
+//
+// Writes BENCH_serve.json. `--quick` shrinks the catalogue for the ctest
+// bench smoke, which bench_compare gates against
+// bench/baselines/BENCH_serve.baseline.json (the *_seconds keys). Latency
+// percentiles are reported in *_ms keys, which the gate ignores — they
+// jitter far more than the aggregate timings.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "bench_common.h"
+#include "data/synthetic.h"
+#include "eval/recommend.h"
+#include "hyperbolic/lorentz.h"
+#include "math/rng.h"
+#include "math/vec_ops.h"
+#include "serve/server.h"
+
+namespace taxorec {
+namespace {
+
+/// Dot-product stub with a native serving export: the scoring arithmetic is
+/// trivial, so the timings isolate the ranking machinery itself.
+class DotScorer : public Recommender {
+ public:
+  DotScorer(Matrix users, Matrix items)
+      : users_(std::move(users)), items_(std::move(items)) {}
+  std::string name() const override { return "DotScorer"; }
+  void Fit(const DataSplit&, Rng*) override {}
+  void ScoreItems(uint32_t user, std::span<double> out) const override {
+    const auto u = users_.row(user);
+    for (size_t v = 0; v < out.size(); ++v) {
+      out[v] = vec::Dot(u, items_.row(v));
+    }
+  }
+  ScoringSnapshot ExportScoringSnapshot() const override {
+    ScoringSnapshot snap;
+    snap.kernel = ScoreKernel::kDot;
+    snap.num_users = users_.rows();
+    snap.num_items = items_.rows();
+    snap.users = users_;
+    snap.items = items_;
+    return snap;
+  }
+
+ private:
+  Matrix users_;
+  Matrix items_;
+};
+
+/// Lorentz-distance stub (HyperML-shaped): the per-pair kernel is an order
+/// of magnitude heavier, the regime where batching matters less and the
+/// heap matters more.
+class LorentzScorer : public Recommender {
+ public:
+  LorentzScorer(Matrix users, Matrix items)
+      : users_(std::move(users)), items_(std::move(items)) {}
+  std::string name() const override { return "LorentzScorer"; }
+  void Fit(const DataSplit&, Rng*) override {}
+  void ScoreItems(uint32_t user, std::span<double> out) const override {
+    const auto u = users_.row(user);
+    for (size_t v = 0; v < out.size(); ++v) {
+      out[v] = -lorentz::SqDistance(u, items_.row(v));
+    }
+  }
+  ScoringSnapshot ExportScoringSnapshot() const override {
+    ScoringSnapshot snap;
+    snap.kernel = ScoreKernel::kNegLorentzSqDist;
+    snap.num_users = users_.rows();
+    snap.num_items = items_.rows();
+    snap.users = users_;
+    snap.items = items_;
+    return snap;
+  }
+
+ private:
+  Matrix users_;
+  Matrix items_;
+};
+
+/// The seed implementation of RecommendAllUsers, verbatim modulo the
+/// non-finite sanitize (which the fixed reference path also performs):
+/// sequential over users, one full score row + index permutation each.
+std::vector<std::vector<uint32_t>> SeedRecommendAllUsers(
+    const Recommender& model, const DataSplit& split, size_t k) {
+  std::vector<std::vector<uint32_t>> out(split.num_users);
+  for (uint32_t u = 0; u < split.num_users; ++u) {
+    std::vector<double> scores(split.num_items);
+    model.ScoreItems(u, std::span<double>(scores));
+    for (double& x : scores) {
+      if (!std::isfinite(x)) x = -std::numeric_limits<double>::infinity();
+    }
+    for (uint32_t v : split.train.RowCols(u)) {
+      scores[v] = -std::numeric_limits<double>::infinity();
+    }
+    std::vector<uint32_t> order(split.num_items);
+    std::iota(order.begin(), order.end(), 0u);
+    const size_t top = std::min(k, order.size());
+    std::partial_sort(order.begin(), order.begin() + top, order.end(),
+                      [&](uint32_t a, uint32_t b) {
+                        if (scores[a] != scores[b]) {
+                          return scores[a] > scores[b];
+                        }
+                        return a < b;
+                      });
+    out[u].assign(order.begin(), order.begin() + top);
+  }
+  return out;
+}
+
+struct PathTimings {
+  double seed_seconds = 0.0;
+  double serve_seconds = 0.0;
+};
+
+PathTimings TimeRankingPaths(const Recommender& model, const DataSplit& split,
+                             size_t k, int reps) {
+  // Bit-identity first: the ISSUE's acceptance bar. Checked outside the
+  // timed region.
+  const auto seed_lists = SeedRecommendAllUsers(model, split, k);
+  RecommendOptions opts;
+  opts.k = k;
+  const auto serve_lists = RecommendAllUsers(model, split, opts);
+  TAXOREC_CHECK_MSG(seed_lists == serve_lists,
+                    "serve path diverged from the seed ranking");
+
+  PathTimings t;
+  std::vector<std::vector<uint32_t>> sink;
+  t.seed_seconds = bench::TimeBestSeconds(
+      reps, [&] { sink = SeedRecommendAllUsers(model, split, k); });
+  t.serve_seconds = bench::TimeBestSeconds(
+      reps, [&] { sink = RecommendAllUsers(model, split, opts); });
+  return t;
+}
+
+struct CacheReplay {
+  double qps = 0.0;
+  double hit_rate = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// Replays a skewed random request stream through a cached BatchServer in
+/// fixed-size batches; per-batch wall times give exact latency percentiles.
+CacheReplay RunCacheReplay(const Recommender& model, const DataSplit& split,
+                           size_t k, size_t num_requests) {
+  ServeOptions opts;
+  opts.cache_capacity = split.num_users / 2 + 1;
+  BatchServer server(model, split, opts);
+
+  Rng rng(77);
+  std::vector<ServeRequest> requests(num_requests);
+  for (auto& req : requests) {
+    // Zipf-ish skew: half the traffic hits an eighth of the users.
+    const uint64_t hot = rng.Uniform(2);
+    const size_t pool = hot ? std::max<size_t>(1, split.num_users / 8)
+                            : split.num_users;
+    req.user = static_cast<uint32_t>(rng.Uniform(pool));
+    req.k = k;
+  }
+
+  constexpr size_t kBatch = 64;
+  std::vector<double> batch_ms;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t b0 = 0; b0 < requests.size(); b0 += kBatch) {
+    const size_t b1 = std::min(b0 + kBatch, requests.size());
+    const auto bt0 = std::chrono::steady_clock::now();
+    const auto lists = server.ServeBatch(std::span<const ServeRequest>(
+        requests.data() + b0, b1 - b0));
+    TAXOREC_CHECK(lists.size() == b1 - b0);
+    batch_ms.push_back(std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - bt0)
+                           .count());
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::sort(batch_ms.begin(), batch_ms.end());
+  const auto pct = [&](double q) {
+    const size_t i = std::min(batch_ms.size() - 1,
+                              static_cast<size_t>(q * batch_ms.size()));
+    return batch_ms[i];
+  };
+  CacheReplay replay;
+  replay.qps = static_cast<double>(num_requests) / wall;
+  replay.hit_rate = static_cast<double>(server.cache()->hits()) /
+                    static_cast<double>(num_requests);
+  replay.p50_ms = pct(0.50);
+  replay.p95_ms = pct(0.95);
+  replay.p99_ms = pct(0.99);
+  return replay;
+}
+
+int Main(int argc, const char* const* argv) {
+  const auto start = std::chrono::steady_clock::now();
+  const bool quick = bench::HasArg(argc, argv, "quick");
+  const int threads = bench::InitThreads(argc, argv);
+  bench::InitObservability(argc, argv);
+
+  SyntheticConfig cfg;
+  cfg.num_users = quick ? 400 : 2000;
+  cfg.num_items = quick ? 1500 : 12000;
+  cfg.num_tags = 40;
+  cfg.seed = 7;
+  const Dataset data = GenerateSynthetic(cfg);
+  const DataSplit split = TemporalSplit(data);
+  constexpr size_t kTopK = 10;
+  const int reps = quick ? 3 : 5;
+
+  Rng rng(42);
+  Matrix du(split.num_users, 64), dv(split.num_items, 64);
+  du.FillGaussian(&rng, 0.1);
+  dv.FillGaussian(&rng, 0.1);
+  const DotScorer dot(std::move(du), std::move(dv));
+
+  Matrix lu(split.num_users, 33), lv(split.num_items, 33);
+  for (size_t i = 0; i < split.num_users; ++i) {
+    lorentz::RandomPoint(&rng, 0.5, lu.row(i));
+  }
+  for (size_t i = 0; i < split.num_items; ++i) {
+    lorentz::RandomPoint(&rng, 0.5, lv.row(i));
+  }
+  const LorentzScorer lor(std::move(lu), std::move(lv));
+
+  std::printf("serve bench: %zu users x %zu items, top-%zu, threads=%d\n",
+              split.num_users, split.num_items, kTopK, threads);
+  const PathTimings dot_t = TimeRankingPaths(dot, split, kTopK, reps);
+  std::printf("  dot:     seed %.4fs  serve %.4fs  speedup %.2fx\n",
+              dot_t.seed_seconds, dot_t.serve_seconds,
+              dot_t.seed_seconds / dot_t.serve_seconds);
+  const PathTimings lor_t = TimeRankingPaths(lor, split, kTopK, reps);
+  std::printf("  lorentz: seed %.4fs  serve %.4fs  speedup %.2fx\n",
+              lor_t.seed_seconds, lor_t.serve_seconds,
+              lor_t.seed_seconds / lor_t.serve_seconds);
+
+  const CacheReplay replay =
+      RunCacheReplay(dot, split, kTopK, quick ? 4000 : 20000);
+  std::printf(
+      "  cached replay: %.0f req/s  hit rate %.1f%%  batch p50 %.3fms "
+      "p95 %.3fms p99 %.3fms\n",
+      replay.qps, 100.0 * replay.hit_rate, replay.p50_ms, replay.p95_ms,
+      replay.p99_ms);
+
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  StopProfiling();
+  std::FILE* f = std::fopen("BENCH_serve.json", "w");
+  if (f == nullptr) return 1;
+  std::fprintf(
+      f,
+      "{\"bench\": \"serve\", \"threads\": %d, \"hardware_concurrency\": %d,\n"
+      " \"quick\": %s, \"users\": %zu, \"items\": %zu, \"k\": %zu,\n"
+      " \"dot\": {\"seed_seconds\": %.6f, \"serve_seconds\": %.6f, "
+      "\"speedup\": %.3f},\n"
+      " \"lorentz\": {\"seed_seconds\": %.6f, \"serve_seconds\": %.6f, "
+      "\"speedup\": %.3f},\n"
+      " \"cache_replay\": {\"qps\": %.0f, \"hit_rate\": %.4f, "
+      "\"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f},\n"
+      " \"wall_seconds\": %.3f, \"peak_rss_bytes\": %llu,\n"
+      " \"rusage\": %s,\n \"profile\": %s,\n \"metrics\": %s}\n",
+      threads, HardwareThreads(), quick ? "true" : "false",
+      static_cast<size_t>(split.num_users),
+      static_cast<size_t>(split.num_items), kTopK, dot_t.seed_seconds,
+      dot_t.serve_seconds, dot_t.seed_seconds / dot_t.serve_seconds,
+      lor_t.seed_seconds, lor_t.serve_seconds,
+      lor_t.seed_seconds / lor_t.serve_seconds, replay.qps, replay.hit_rate,
+      replay.p50_ms, replay.p95_ms, replay.p99_ms, wall,
+      static_cast<unsigned long long>(PeakRssBytes()),
+      RusageJsonObject(SelfRusage()).c_str(), ProfileJsonArray().c_str(),
+      MetricsRegistry::Instance().SnapshotJson().c_str());
+  std::fclose(f);
+  std::printf("[bench] serve: threads=%d wall=%.2fs -> BENCH_serve.json\n",
+              threads, wall);
+  return 0;
+}
+
+}  // namespace
+}  // namespace taxorec
+
+int main(int argc, char** argv) { return taxorec::Main(argc, argv); }

@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
     for (const auto& name : RegisteredModelNames()) {
       const ModelRunResult& r = results.at(name);
       std::string star;
-      if (name != "TaxoRec" &&
+      if (name != "TaxoRec" && r.primary_k == taxo.primary_k &&
           r.per_user_ndcg.size() == taxo.per_user_ndcg.size()) {
         const auto w =
             stats::WilcoxonSignedRank(taxo.per_user_ndcg, r.per_user_ndcg);

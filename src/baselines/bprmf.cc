@@ -50,4 +50,14 @@ void BprMf::ScoreItems(uint32_t user, std::span<double> out) const {
   }
 }
 
+ScoringSnapshot BprMf::ExportScoringSnapshot() const {
+  ScoringSnapshot snap;
+  snap.kernel = ScoreKernel::kDot;
+  snap.num_users = users_.rows();
+  snap.num_items = items_.rows();
+  snap.users = users_;
+  snap.items = items_;
+  return snap;
+}
+
 }  // namespace taxorec

@@ -15,6 +15,7 @@ class BprMf : public Recommender {
   std::string name() const override { return "BPRMF"; }
   void Fit(const DataSplit& split, Rng* rng) override;
   void ScoreItems(uint32_t user, std::span<double> out) const override;
+  ScoringSnapshot ExportScoringSnapshot() const override;
 
  private:
   ModelConfig config_;

@@ -52,4 +52,14 @@ void Cml::ScoreItems(uint32_t user, std::span<double> out) const {
   }
 }
 
+ScoringSnapshot Cml::ExportScoringSnapshot() const {
+  ScoringSnapshot snap;
+  snap.kernel = ScoreKernel::kNegSqDist;
+  snap.num_users = users_.rows();
+  snap.num_items = items_.rows();
+  snap.users = users_;
+  snap.items = items_;
+  return snap;
+}
+
 }  // namespace taxorec

@@ -16,6 +16,7 @@ class Cml : public Recommender {
   std::string name() const override { return "CML"; }
   void Fit(const DataSplit& split, Rng* rng) override;
   void ScoreItems(uint32_t user, std::span<double> out) const override;
+  ScoringSnapshot ExportScoringSnapshot() const override;
 
  private:
   ModelConfig config_;

@@ -80,6 +80,16 @@ void HyperMl::ScoreItems(uint32_t user, std::span<double> out) const {
   }
 }
 
+ScoringSnapshot HyperMl::ExportScoringSnapshot() const {
+  ScoringSnapshot snap;
+  snap.kernel = ScoreKernel::kNegLorentzSqDist;
+  snap.num_users = users_.rows();
+  snap.num_items = items_.rows();
+  snap.users = users_;
+  snap.items = items_;
+  return snap;
+}
+
 void HyperMl::ScaleLearningRate(double factor) {
   TAXOREC_CHECK(factor > 0.0);
   config_.lr *= factor;

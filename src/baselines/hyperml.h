@@ -29,6 +29,7 @@ class HyperMl : public Recommender {
   std::string name() const override { return "HyperML"; }
   void Fit(const DataSplit& split, Rng* rng) override;
   void ScoreItems(uint32_t user, std::span<double> out) const override;
+  ScoringSnapshot ExportScoringSnapshot() const override;
 
   bool SupportsEpochFit() const override { return true; }
   int num_epochs() const override { return config_.epochs; }

@@ -66,4 +66,14 @@ void LightGcn::ScoreItems(uint32_t user, std::span<double> out) const {
   }
 }
 
+ScoringSnapshot LightGcn::ExportScoringSnapshot() const {
+  ScoringSnapshot snap;
+  snap.kernel = ScoreKernel::kDot;
+  snap.num_users = users_out_.rows();
+  snap.num_items = items_out_.rows();
+  snap.users = users_out_;
+  snap.items = items_out_;
+  return snap;
+}
+
 }  // namespace taxorec

@@ -19,6 +19,7 @@ class LightGcn : public Recommender {
   std::string name() const override { return "LightGCN"; }
   void Fit(const DataSplit& split, Rng* rng) override;
   void ScoreItems(uint32_t user, std::span<double> out) const override;
+  ScoringSnapshot ExportScoringSnapshot() const override;
 
  private:
   /// Recomputes the propagated output embeddings from the current leaves.

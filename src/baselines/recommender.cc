@@ -18,6 +18,15 @@
 
 namespace taxorec {
 
+ScoringSnapshot Recommender::ExportScoringSnapshot() const {
+  // Generic fallback: a virtual snapshot that scores through ScoreItems.
+  // FrozenModel::Freeze fills the user/item counts from the split.
+  ScoringSnapshot snap;
+  snap.kernel = ScoreKernel::kVirtual;
+  snap.live = this;
+  return snap;
+}
+
 void Recommender::BeginFit(const DataSplit& split, Rng* rng) {}
 
 double Recommender::FitEpoch(const DataSplit& split, int epoch, Rng* rng) {

@@ -15,6 +15,7 @@
 #include "data/dataset.h"
 #include "data/sampler.h"
 #include "math/rng.h"
+#include "serve/snapshot.h"
 
 namespace taxorec {
 
@@ -73,6 +74,16 @@ class Recommender {
   /// Writes a preference score for every item (higher = better) for `user`.
   /// `out` has split.num_items entries.
   virtual void ScoreItems(uint32_t user, std::span<double> out) const = 0;
+
+  /// Exports an immutable scoring snapshot for the serving layer
+  /// (serve/frozen_model.h). Native implementers (TaxoRecModel, HyperMl,
+  /// the dot/Euclidean baselines) copy their final embedding blocks plus a
+  /// kernel tag, making the snapshot self-contained and block-servable;
+  /// the default wraps `this` as a kVirtual snapshot whose scoring
+  /// delegates to ScoreItems (the model must then outlive the snapshot).
+  /// Snapshot scores are bit-identical to ScoreItems in either case. Only
+  /// meaningful on a trained model.
+  virtual ScoringSnapshot ExportScoringSnapshot() const;
 
   // --- Epoch-granular training protocol (optional) -----------------------
   //

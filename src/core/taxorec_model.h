@@ -62,6 +62,9 @@ class TaxoRecModel : public Recommender {
   std::string name() const override { return options_.display_name; }
   void Fit(const DataSplit& split, Rng* rng) override;
   void ScoreItems(uint32_t user, std::span<double> out) const override;
+  /// Native serving export: two-channel kernel when use_tags, otherwise a
+  /// plain distance kernel, hyperbolic or Euclidean per the options.
+  ScoringSnapshot ExportScoringSnapshot() const override;
 
   // Native epoch-granular protocol (see recommender.h): Fit() is exactly
   // BeginFit + FitEpoch(0..epochs) + EndFit, and every minibatch draws

@@ -12,72 +12,9 @@
 #include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/trace.h"
+#include "eval/metrics.h"
 
 namespace taxorec {
-namespace {
-
-// Hybrid membership test over a user's held-out items: below this size a
-// linear scan beats building an unordered_set (measured on the synthetic
-// power-law profiles, where most users hold ≤ 8 test items).
-constexpr size_t kLinearScanMaxTargets = 8;
-
-// Target lists come from CSR rows, so they are duplicate-free; |relevant|
-// is the list length under both lookup strategies.
-class TargetLookup {
- public:
-  explicit TargetLookup(const std::vector<uint32_t>& targets)
-      : list_(targets) {
-    if (targets.size() > kLinearScanMaxTargets) {
-      set_.insert(targets.begin(), targets.end());
-    }
-  }
-
-  bool contains(uint32_t v) const {
-    if (!set_.empty()) return set_.count(v) > 0;
-    for (uint32_t t : list_) {
-      if (t == v) return true;
-    }
-    return false;
-  }
-
-  size_t size() const { return list_.size(); }
-
- private:
-  const std::vector<uint32_t>& list_;
-  std::unordered_set<uint32_t> set_;
-};
-
-double RecallAtK(std::span<const uint32_t> ranked, const TargetLookup& relevant,
-                 int k) {
-  if (relevant.size() == 0) return 0.0;
-  const size_t limit = std::min<size_t>(ranked.size(), static_cast<size_t>(k));
-  size_t hits = 0;
-  for (size_t i = 0; i < limit; ++i) {
-    if (relevant.contains(ranked[i])) ++hits;
-  }
-  return static_cast<double>(hits) / static_cast<double>(relevant.size());
-}
-
-double NdcgAtK(std::span<const uint32_t> ranked, const TargetLookup& relevant,
-               int k) {
-  if (relevant.size() == 0) return 0.0;
-  const size_t limit = std::min<size_t>(ranked.size(), static_cast<size_t>(k));
-  double dcg = 0.0;
-  for (size_t i = 0; i < limit; ++i) {
-    if (relevant.contains(ranked[i])) {
-      dcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
-    }
-  }
-  const size_t ideal_hits =
-      std::min<size_t>(relevant.size(), static_cast<size_t>(k));
-  double idcg = 0.0;
-  for (size_t i = 0; i < ideal_hits; ++i) {
-    idcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
-  }
-  return idcg > 0.0 ? dcg / idcg : 0.0;
-}
-
-}  // namespace
 
 EvalResult EvaluateRanking(const Recommender& model, const DataSplit& split,
                            const EvalOptions& opts) {
@@ -86,6 +23,7 @@ EvalResult EvaluateRanking(const Recommender& model, const DataSplit& split,
   const auto eval_start = std::chrono::steady_clock::now();
   EvalResult result;
   result.ks = opts.ks;
+  result.primary_k = opts.ks[0];
   result.recall.assign(opts.ks.size(), 0.0);
   result.ndcg.assign(opts.ks.size(), 0.0);
   const int max_k = *std::max_element(opts.ks.begin(), opts.ks.end());
@@ -118,6 +56,15 @@ EvalResult EvaluateRanking(const Recommender& model, const DataSplit& split,
           const TargetLookup targets(targets_vec);
 
           model.ScoreItems(u, std::span<double>(s.scores));
+          // A NaN score would break the comparator's strict weak ordering
+          // (NaN != NaN is false, NaN > x is false → partial_sort may scan
+          // past its buffer). Rank every non-finite score last; -inf maps
+          // to itself, so the exclusion masking below is unaffected.
+          for (double& x : s.scores) {
+            if (!std::isfinite(x)) {
+              x = -std::numeric_limits<double>::infinity();
+            }
+          }
           // Mask already-seen items out of the ranking.
           for (uint32_t v : split.train.RowCols(u)) {
             s.scores[v] = -std::numeric_limits<double>::infinity();

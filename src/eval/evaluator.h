@@ -24,10 +24,15 @@ struct EvalResult {
   std::vector<int> ks;
   std::vector<double> recall;  // mean over evaluated users, aligned with ks
   std::vector<double> ndcg;
-  /// Per-user metrics at ks[0] (inputs for the Wilcoxon signed-rank test);
-  /// ordered by ascending user id over evaluated users.
+  /// Per-user metrics at primary_k (inputs for the Wilcoxon signed-rank
+  /// test); ordered by ascending user id over evaluated users.
   std::vector<double> per_user_recall;
   std::vector<double> per_user_ndcg;
+  /// The cutoff the per-user vectors were computed at — always ks[0] of the
+  /// producing run. Significance tests must only pair runs whose primary_k
+  /// matches; comparing per-user metrics at different cutoffs is
+  /// meaningless.
+  int primary_k = 0;
   size_t num_eval_users = 0;
 };
 

@@ -34,6 +34,7 @@ ModelRunResult RunProtocol(const RecommenderFactory& factory,
     if (s == 0) {
       result.per_user_recall = er.per_user_recall;
       result.per_user_ndcg = er.per_user_ndcg;
+      result.primary_k = er.primary_k;
     }
   }
   const auto t1 = std::chrono::steady_clock::now();

@@ -24,8 +24,11 @@ struct ModelRunResult {
   std::vector<int> ks;
   std::vector<double> recall_mean, recall_std;
   std::vector<double> ndcg_mean, ndcg_std;
-  /// Per-user metrics at ks[0] from the first seed (Wilcoxon inputs).
+  /// Per-user metrics at primary_k from the first seed (Wilcoxon inputs).
   std::vector<double> per_user_recall, per_user_ndcg;
+  /// Cutoff of the per-user vectors (EvalResult::primary_k, i.e. ks[0]).
+  /// Wilcoxon comparisons must only pair results with equal primary_k.
+  int primary_k = 0;
   double train_seconds = 0.0;
 };
 

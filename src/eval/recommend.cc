@@ -1,10 +1,12 @@
 #include "eval/recommend.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <numeric>
 
 #include "common/check.h"
+#include "serve/server.h"
 
 namespace taxorec {
 
@@ -14,6 +16,14 @@ std::vector<ScoredItem> RecommendTopK(const Recommender& model,
   TAXOREC_CHECK(user < split.num_users);
   std::vector<double> scores(split.num_items);
   model.ScoreItems(user, std::span<double>(scores));
+  // A NaN score would break the comparator below: NaN != x is true while
+  // NaN > x and x > NaN are both false, so the "greater" lambda stops being
+  // a strict weak ordering and partial_sort is undefined behavior. Rank
+  // every non-finite score last instead; -inf maps to itself, so the
+  // exclusion masking that follows is unaffected.
+  for (double& x : scores) {
+    if (!std::isfinite(x)) x = -std::numeric_limits<double>::infinity();
+  }
   if (opts.exclude_train) {
     for (uint32_t v : split.train.RowCols(user)) {
       scores[v] = -std::numeric_limits<double>::infinity();
@@ -38,11 +48,23 @@ std::vector<ScoredItem> RecommendTopK(const Recommender& model,
 std::vector<std::vector<uint32_t>> RecommendAllUsers(
     const Recommender& model, const DataSplit& split,
     const RecommendOptions& opts) {
+  // Route through the serving layer: one frozen snapshot, blocked top-K
+  // heaps, and the deterministic thread pool, instead of a sequential
+  // score-everything-then-partial_sort loop per user. Results land in
+  // per-user slots, so the lists are bit-identical at any --threads value
+  // — and identical to calling RecommendTopK per user.
+  ServeOptions serve_opts;
+  serve_opts.exclude_train = opts.exclude_train;
+  BatchServer server(model, split, serve_opts);
+  std::vector<ServeRequest> requests(split.num_users);
+  for (uint32_t u = 0; u < split.num_users; ++u) {
+    requests[u] = ServeRequest{u, opts.k};
+  }
+  const auto ranked = server.ServeBatch(requests);
   std::vector<std::vector<uint32_t>> out(split.num_users);
   for (uint32_t u = 0; u < split.num_users; ++u) {
-    const auto scored = RecommendTopK(model, split, u, opts);
-    out[u].reserve(scored.size());
-    for (const auto& s : scored) out[u].push_back(s.item);
+    out[u].reserve(ranked[u].size());
+    for (const TopKEntry& e : ranked[u]) out[u].push_back(e.item);
   }
   return out;
 }

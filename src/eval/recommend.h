@@ -23,13 +23,20 @@ struct ScoredItem {
 };
 
 /// Returns the top-k items for `user`, best first, deterministic under
-/// score ties (lower item id wins).
+/// score ties (lower item id wins). Non-finite model scores (NaN, ±Inf)
+/// rank last, like excluded items. This is the reference single-user
+/// implementation; the serving path (serve/server.h) produces identical
+/// lists without materializing the full ranking.
 std::vector<ScoredItem> RecommendTopK(const Recommender& model,
                                       const DataSplit& split, uint32_t user,
                                       const RecommendOptions& opts = {});
 
 /// Batch variant over all users; result[u] is the user's top-k item list
 /// (ids only — suitable for ItemCoverage and downstream serving).
+/// Implemented on the serving layer: a FrozenModel snapshot of `model` plus
+/// the blocked top-K kernel fanned out over the deterministic thread pool,
+/// so it is parallel yet bit-identical to per-user RecommendTopK calls at
+/// any thread count.
 std::vector<std::vector<uint32_t>> RecommendAllUsers(
     const Recommender& model, const DataSplit& split,
     const RecommendOptions& opts = {});

@@ -1,0 +1,68 @@
+// FrozenModel: an immutable, servable view of a trained recommender.
+//
+// Freeze() asks the model for a ScoringSnapshot and validates it against
+// the dataset shape. Native snapshots (every kernel except kVirtual) score
+// item *blocks* straight from the row-major embedding matrices, which is
+// what lets the serving kernel (serve/topk.h) stream the catalogue through
+// a bounded heap instead of materializing a full score row per user — the
+// O(users · items) buffer churn that "Scalable Hyperbolic Recommender
+// Systems" identifies as the production bottleneck. Batch variants score
+// one item block for several users at a time so each item row is loaded
+// once per batch instead of once per user (the dominant memory-traffic
+// saving for dot/metric kernels).
+//
+// Scores are bit-identical to the live model's ScoreItems: every kernel
+// evaluates the same per-pair arithmetic on copies of the same parameters
+// (only the loop order over pairs changes, never the math within a pair).
+#ifndef TAXOREC_SERVE_FROZEN_MODEL_H_
+#define TAXOREC_SERVE_FROZEN_MODEL_H_
+
+#include <cstdint>
+#include <span>
+
+#include "data/dataset.h"
+#include "serve/snapshot.h"
+
+namespace taxorec {
+
+class Recommender;
+
+class FrozenModel {
+ public:
+  /// Exports `model` for serving. The split supplies/validates the
+  /// user/item counts (kVirtual snapshots have no intrinsic shape).
+  /// For kVirtual snapshots `model` must outlive the FrozenModel.
+  static FrozenModel Freeze(const Recommender& model, const DataSplit& split);
+
+  /// Wraps a hand-built snapshot (tests, pre-serialized blocks).
+  explicit FrozenModel(ScoringSnapshot snapshot);
+
+  size_t num_users() const { return snap_.num_users; }
+  size_t num_items() const { return snap_.num_items; }
+  ScoreKernel kernel() const { return snap_.kernel; }
+  /// True when ScoreBlock/ScoreBlockBatch are available (non-kVirtual).
+  bool native() const { return snap_.kernel != ScoreKernel::kVirtual; }
+  const ScoringSnapshot& snapshot() const { return snap_; }
+
+  /// Scores every item for `user`; out.size() == num_items(). Works for
+  /// every kernel (kVirtual delegates to the live model).
+  void ScoreAll(uint32_t user, std::span<double> out) const;
+
+  /// Scores items [begin, end) for `user` into out[0 .. end-begin).
+  /// Native kernels only (checked).
+  void ScoreBlock(uint32_t user, size_t begin, size_t end,
+                  std::span<double> out) const;
+
+  /// Scores items [begin, end) for each user in `users`; out is row-major
+  /// users.size() x (end - begin). Item rows are reused across the user
+  /// batch. Native kernels only (checked).
+  void ScoreBlockBatch(std::span<const uint32_t> users, size_t begin,
+                       size_t end, std::span<double> out) const;
+
+ private:
+  ScoringSnapshot snap_;
+};
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_SERVE_FROZEN_MODEL_H_

@@ -1,0 +1,65 @@
+#include "serve/result_cache.h"
+
+#include "common/check.h"
+
+namespace taxorec {
+
+ResultCache::ResultCache(size_t capacity) : capacity_(capacity) {
+  TAXOREC_CHECK(capacity_ > 0);
+}
+
+bool ResultCache::Get(uint32_t user, size_t k, uint64_t version,
+                      std::vector<TopKEntry>* out) {
+  const Key key{user, k, version};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // Refresh recency.
+  *out = it->second->second;
+  ++hits_;
+  return true;
+}
+
+void ResultCache::Put(uint32_t user, size_t k, uint64_t version,
+                      const std::vector<TopKEntry>& list) {
+  const Key key{user, k, version};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = list;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  lru_.emplace_front(key, list);
+  index_.emplace(key, lru_.begin());
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+uint64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace taxorec

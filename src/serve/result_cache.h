@@ -1,0 +1,82 @@
+// LRU cache of served top-K lists, keyed by (user, k, exclusion version).
+//
+// The exclusion version is owned by the server (serve/server.h): whenever
+// the exclusion sets change — e.g. the training matrix is swapped after a
+// retrain — the server bumps its version, and every cached entry keyed to
+// an older version simply stops matching (stale entries are evicted lazily
+// by LRU pressure rather than scanned out eagerly). The cache stores final
+// ranked lists, so a hit is a lock, a hash probe, and one copy; correctness
+// never depends on it — a hit returns exactly what recomputation would.
+//
+// Thread-safe: one mutex around the map + recency list. The serving fan-out
+// only touches the cache once per request (miss) or once total (hit), far
+// from the scoring inner loop, so contention is negligible.
+#ifndef TAXOREC_SERVE_RESULT_CACHE_H_
+#define TAXOREC_SERVE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/topk.h"
+
+namespace taxorec {
+
+class ResultCache {
+ public:
+  /// `capacity` is the maximum number of cached lists (> 0; a capacity-0
+  /// cache is expressed by not constructing one — see ServeOptions).
+  explicit ResultCache(size_t capacity);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Copies the cached list for (user, k, version) into *out and refreshes
+  /// its recency; false on miss.
+  bool Get(uint32_t user, size_t k, uint64_t version,
+           std::vector<TopKEntry>* out);
+
+  /// Inserts (or refreshes) the list for (user, k, version), evicting the
+  /// least-recently-used entry when full.
+  void Put(uint32_t user, size_t k, uint64_t version,
+           const std::vector<TopKEntry>& list);
+
+  /// Drops every entry (hit/miss counters are preserved).
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  struct Key {
+    uint32_t user;
+    uint64_t k;
+    uint64_t version;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      // splitmix64-style mix of the three fields.
+      uint64_t h = key.user;
+      h = (h ^ (key.k + 0x9E3779B97F4A7C15ULL)) * 0xBF58476D1CE4E5B9ULL;
+      h = (h ^ (h >> 31) ^ key.version) * 0x94D049BB133111EBULL;
+      return static_cast<size_t>(h ^ (h >> 29));
+    }
+  };
+  using Entry = std::pair<Key, std::vector<TopKEntry>>;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_SERVE_RESULT_CACHE_H_

@@ -1,0 +1,161 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.h"
+#include "common/metrics.h"
+#include "common/parallel.h"
+#include "common/trace.h"
+
+namespace taxorec {
+namespace {
+
+struct ServeMetrics {
+  Counter* requests;
+  Counter* cache_hits;
+  Counter* computed;
+  Counter* batches;
+  Histogram* batch_seconds;
+  Histogram* request_seconds;
+
+  static ServeMetrics& Instance() {
+    static ServeMetrics m{
+        MetricsRegistry::Instance().GetCounter("taxorec.serve.requests"),
+        MetricsRegistry::Instance().GetCounter("taxorec.serve.cache_hits"),
+        MetricsRegistry::Instance().GetCounter("taxorec.serve.computed"),
+        MetricsRegistry::Instance().GetCounter("taxorec.serve.batches"),
+        MetricsRegistry::Instance().GetHistogram(
+            "taxorec.serve.batch_seconds",
+            {1e-5, 1e-4, 1e-3, 0.01, 0.1, 0.5, 1.0, 5.0, 30.0}),
+        MetricsRegistry::Instance().GetHistogram(
+            "taxorec.serve.request_seconds",
+            {1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.1, 0.5, 1.0, 5.0}),
+    };
+    return m;
+  }
+};
+
+/// Per-worker serving scratch: reused across every request a worker ranks.
+struct WorkerScratch {
+  std::vector<double> scores;
+  std::vector<TopKHeap> heaps;
+  std::vector<uint32_t> batch_users;
+  std::vector<size_t> batch_ks;
+  std::vector<size_t> batch_slots;  // miss indices the sub-batch fills
+  std::vector<std::vector<TopKEntry>> batch_results;
+};
+
+}  // namespace
+
+BatchServer::BatchServer(const Recommender& model, const DataSplit& split,
+                         ServeOptions options)
+    : BatchServer(FrozenModel::Freeze(model, split), split,
+                  std::move(options)) {}
+
+BatchServer::BatchServer(FrozenModel model, const DataSplit& split,
+                         ServeOptions options)
+    : model_(std::move(model)), split_(&split), options_(std::move(options)) {
+  TAXOREC_CHECK(model_.num_users() == split.num_users &&
+                model_.num_items() == split.num_items);
+  TAXOREC_CHECK(options_.item_block > 0);
+  TAXOREC_CHECK(options_.user_batch > 0);
+  TAXOREC_CHECK(options_.grain > 0);
+  if (options_.cache_capacity > 0) {
+    cache_ = std::make_unique<ResultCache>(options_.cache_capacity);
+  }
+}
+
+std::span<const uint32_t> BatchServer::ExclusionsFor(uint32_t user) const {
+  if (!options_.exclude_train) return {};
+  return split_->train.RowCols(user);
+}
+
+std::vector<TopKEntry> BatchServer::ServeOne(const ServeRequest& request) {
+  return std::move(ServeBatch(std::span<const ServeRequest>(&request, 1))[0]);
+}
+
+std::vector<std::vector<TopKEntry>> BatchServer::ServeBatch(
+    std::span<const ServeRequest> requests) {
+  TraceSpan span("serve_batch");
+  const auto start = std::chrono::steady_clock::now();
+  ServeMetrics& metrics = ServeMetrics::Instance();
+  const uint64_t version = exclusion_version();
+
+  std::vector<std::vector<TopKEntry>> results(requests.size());
+  // Phase 1: cache probes in request order on the caller thread.
+  std::vector<size_t> misses;
+  if (cache_ != nullptr) {
+    for (size_t i = 0; i < requests.size(); ++i) {
+      TAXOREC_CHECK(requests[i].user < model_.num_users());
+      if (!cache_->Get(requests[i].user, requests[i].k, version,
+                       &results[i])) {
+        misses.push_back(i);
+      }
+    }
+  } else {
+    misses.resize(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      TAXOREC_CHECK(requests[i].user < model_.num_users());
+      misses[i] = i;
+    }
+  }
+
+  // Phase 2: rank the misses across the pool. Each worker consumes whole
+  // chunks of the miss list in user_batch-sized sub-batches; every result
+  // lands in its own slot, so the fan-out is race-free and the lists are
+  // bit-identical at any thread count.
+  ThreadLocalAccumulator<WorkerScratch> scratch;
+  const auto exclude_of = [this](uint32_t user) {
+    return ExclusionsFor(user);
+  };
+  ParallelForWorker(
+      0, misses.size(), options_.grain,
+      [&](size_t m0, size_t m1, int worker) {
+        WorkerScratch& s = scratch.Local(worker);
+        for (size_t b0 = m0; b0 < m1; b0 += options_.user_batch) {
+          const size_t b1 = std::min(b0 + options_.user_batch, m1);
+          s.batch_users.clear();
+          s.batch_ks.clear();
+          s.batch_slots.clear();
+          for (size_t m = b0; m < b1; ++m) {
+            const ServeRequest& req = requests[misses[m]];
+            s.batch_users.push_back(req.user);
+            s.batch_ks.push_back(req.k);
+            s.batch_slots.push_back(misses[m]);
+          }
+          BlockedTopKBatch(model_, s.batch_users, s.batch_ks, exclude_of,
+                           &s.heaps, &s.scores, &s.batch_results,
+                           options_.item_block);
+          for (size_t j = 0; j < s.batch_slots.size(); ++j) {
+            results[s.batch_slots[j]] = std::move(s.batch_results[j]);
+          }
+        }
+      });
+
+  // Phase 3: cache fills in request order on the caller thread, so the
+  // LRU state never depends on worker scheduling.
+  if (cache_ != nullptr) {
+    for (size_t i : misses) {
+      cache_->Put(requests[i].user, requests[i].k, version, results[i]);
+    }
+  }
+
+  const double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  metrics.requests->Increment(requests.size());
+  metrics.cache_hits->Increment(requests.size() - misses.size());
+  metrics.computed->Increment(misses.size());
+  metrics.batches->Increment();
+  metrics.batch_seconds->Observe(secs);
+  if (!requests.empty()) {
+    const double per_request = secs / static_cast<double>(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      metrics.request_seconds->Observe(per_request);
+    }
+  }
+  return results;
+}
+
+}  // namespace taxorec

@@ -1,0 +1,107 @@
+// BatchServer: the query-side entry point of the repository.
+//
+// Wraps a FrozenModel snapshot, the blocked top-K kernel, request batching
+// over the deterministic thread pool, and an optional LRU result cache.
+// A batch is served in three phases:
+//   1. cache probe (caller thread, request order) — hits are filled
+//      immediately, misses collected;
+//   2. parallel fan-out of the misses over ParallelForWorker with
+//      per-worker scratch (score buffer + heaps), sub-batched so native
+//      kernels amortize item-block loads across several users;
+//   3. cache fill (caller thread, request order) — so the cache's LRU
+//      state after a batch is a pure function of the request stream, not
+//      of worker scheduling.
+// Served lists are bit-identical at any --threads value and with the cache
+// on or off: every list is a pure function of (snapshot, user, k,
+// exclusion set).
+//
+// Observability (common/metrics.h):
+//   taxorec.serve.requests         requests served (hits + computed)
+//   taxorec.serve.cache_hits       requests answered from the cache
+//   taxorec.serve.computed         requests ranked by the kernel
+//   taxorec.serve.batches          ServeBatch calls
+//   taxorec.serve.batch_seconds    histogram of ServeBatch wall time
+//   taxorec.serve.request_seconds  histogram of per-request latency
+//                                  (batch wall / batch size)
+#ifndef TAXOREC_SERVE_SERVER_H_
+#define TAXOREC_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "serve/frozen_model.h"
+#include "serve/result_cache.h"
+#include "serve/topk.h"
+
+namespace taxorec {
+
+/// One top-K query.
+struct ServeRequest {
+  uint32_t user = 0;
+  size_t k = 10;
+};
+
+struct ServeOptions {
+  /// Mask items the user interacted with in training (seed semantics).
+  bool exclude_train = true;
+  /// LRU result-cache capacity in lists; 0 disables caching.
+  size_t cache_capacity = 0;
+  /// Items per scoring block (native kernels).
+  size_t item_block = kServeItemBlock;
+  /// Users scored jointly per item-block pass (native kernels).
+  size_t user_batch = 8;
+  /// Requests per thread-pool chunk in the miss fan-out.
+  size_t grain = 16;
+};
+
+class BatchServer {
+ public:
+  /// Freezes `model` against `split`. The split must outlive the server
+  /// (it backs the exclusion sets); `model` must outlive it only when the
+  /// exported snapshot is kVirtual (see serve/snapshot.h).
+  BatchServer(const Recommender& model, const DataSplit& split,
+              ServeOptions options = {});
+
+  /// Serves a pre-frozen snapshot (e.g. one loaded without a live model).
+  BatchServer(FrozenModel model, const DataSplit& split,
+              ServeOptions options = {});
+
+  /// Serves a batch; results[i] answers requests[i] (best first).
+  std::vector<std::vector<TopKEntry>> ServeBatch(
+      std::span<const ServeRequest> requests);
+
+  /// Single-request convenience wrapper.
+  std::vector<TopKEntry> ServeOne(const ServeRequest& request);
+
+  /// Bumps the exclusion-set version: call after the exclusion sets change
+  /// (e.g. the split's training matrix was rebuilt in place). Cached lists
+  /// keyed to older versions stop matching from the next request on.
+  void BumpExclusionVersion() {
+    exclusion_version_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t exclusion_version() const {
+    return exclusion_version_.load(std::memory_order_relaxed);
+  }
+
+  const FrozenModel& model() const { return model_; }
+  const ServeOptions& options() const { return options_; }
+  /// Null when caching is disabled.
+  const ResultCache* cache() const { return cache_.get(); }
+
+ private:
+  std::span<const uint32_t> ExclusionsFor(uint32_t user) const;
+
+  FrozenModel model_;
+  const DataSplit* split_;  // not owned
+  ServeOptions options_;
+  std::unique_ptr<ResultCache> cache_;
+  std::atomic<uint64_t> exclusion_version_{0};
+};
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_SERVE_SERVER_H_

@@ -1,0 +1,65 @@
+// Scoring snapshots: the immutable data a Recommender exports for serving.
+//
+// A ScoringSnapshot captures everything needed to score (user, item) pairs
+// without the live model: cache-friendly row-major embedding blocks plus a
+// kernel tag naming the score function. Models export one via
+// Recommender::ExportScoringSnapshot(); FrozenModel (serve/frozen_model.h)
+// wraps it for block-wise evaluation. The struct lives in its own header —
+// depending only on Matrix — so baselines/recommender.h can name it without
+// pulling the serving layer into every model TU.
+#ifndef TAXOREC_SERVE_SNAPSHOT_H_
+#define TAXOREC_SERVE_SNAPSHOT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "math/matrix.h"
+
+namespace taxorec {
+
+class Recommender;
+
+/// Score-function families a FrozenModel can evaluate natively (block by
+/// block, without materializing a full per-user score row).
+enum class ScoreKernel {
+  /// score = <u, v> (inner-product models: BPRMF, LightGCN, ...).
+  kDot,
+  /// score = -||u - v||^2 (Euclidean metric models: CML family).
+  kNegSqDist,
+  /// score = -d_H(u, v)^2 on the hyperboloid (HyperML, HGCF-style).
+  kNegLorentzSqDist,
+  /// TaxoRec hyperbolic: -(d_H(u,v)^2 + alpha_u * d_H(u_tg,v_tg)^2),
+  /// the tag term applied only when alpha_u > 0 (Eq. 17).
+  kTwoChannelLorentz,
+  /// TaxoRec Euclidean ablation: same shape with squared Euclidean
+  /// distances.
+  kTwoChannelEuclid,
+  /// Fallback: delegate full-row scoring to the live model's ScoreItems.
+  /// The model must outlive the snapshot; no block streaming.
+  kVirtual,
+};
+
+/// Immutable export of a trained model's scoring state. Native kernels own
+/// copies of the embedding blocks (row-major, one row per user/item), so
+/// the snapshot stays valid after the model is destroyed or retrained; the
+/// kVirtual fallback instead borrows the live model.
+struct ScoringSnapshot {
+  ScoreKernel kernel = ScoreKernel::kVirtual;
+  size_t num_users = 0;
+  size_t num_items = 0;
+  /// Primary channel (every native kernel): rows are user / item vectors.
+  Matrix users;
+  Matrix items;
+  /// Secondary (tag) channel, two-channel kernels only.
+  Matrix users_tg;
+  Matrix items_tg;
+  /// Per-user secondary-channel weight alpha_u (two-channel kernels only).
+  std::vector<double> alpha;
+  /// Live model backing a kVirtual snapshot (not owned; must outlive every
+  /// FrozenModel built from this snapshot). Null for native kernels.
+  const Recommender* live = nullptr;
+};
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_SERVE_SNAPSHOT_H_

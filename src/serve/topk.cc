@@ -1,0 +1,154 @@
+#include "serve/topk.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace taxorec {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Worst-first heap order: parent is worse than (ranked after) children.
+inline bool WorseThan(const TopKEntry& a, const TopKEntry& b) {
+  return RanksBefore(b.score, b.item, a.score, a.item);
+}
+
+/// Forces the scores of `exclude` entries falling in [begin, end) to -Inf.
+/// `exclude` is sorted ascending; *cursor advances monotonically across
+/// consecutive blocks so the whole walk is O(|exclude|) per user.
+void MaskExcludedInBlock(std::span<const uint32_t> exclude, size_t* cursor,
+                         size_t begin, size_t end,
+                         std::span<double> block_scores) {
+  while (*cursor < exclude.size() && exclude[*cursor] < end) {
+    const uint32_t v = exclude[*cursor];
+    TAXOREC_DCHECK(v >= begin);
+    block_scores[v - begin] = kNegInf;
+    ++*cursor;
+  }
+}
+
+}  // namespace
+
+void TopKHeap::Reset(size_t k) {
+  k_ = k;
+  heap_.clear();
+  if (k_ > 0 && heap_.capacity() < k_) heap_.reserve(k_);
+}
+
+void TopKHeap::SiftUp(size_t i) {
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (!WorseThan(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void TopKHeap::SiftDown(size_t i) {
+  const size_t n = heap_.size();
+  for (;;) {
+    size_t worst = i;
+    const size_t l = 2 * i + 1, r = 2 * i + 2;
+    if (l < n && WorseThan(heap_[l], heap_[worst])) worst = l;
+    if (r < n && WorseThan(heap_[r], heap_[worst])) worst = r;
+    if (worst == i) return;
+    std::swap(heap_[i], heap_[worst]);
+    i = worst;
+  }
+}
+
+void TopKHeap::Finish(std::vector<TopKEntry>* out) {
+  out->resize(heap_.size());
+  // Pop worst-first into descending slots → best-first output.
+  for (size_t n = heap_.size(); n > 0; --n) {
+    (*out)[n - 1] = heap_[0];
+    heap_[0] = heap_[n - 1];
+    heap_.pop_back();
+    if (!heap_.empty()) SiftDown(0);
+  }
+  k_ = 0;
+}
+
+void BlockedTopK(const FrozenModel& model, uint32_t user, size_t k,
+                 std::span<const uint32_t> exclude, TopKHeap* heap,
+                 std::vector<double>* scratch, std::vector<TopKEntry>* out,
+                 size_t block) {
+  TAXOREC_CHECK(block > 0);
+  const size_t n = model.num_items();
+  heap->Reset(std::min(k, n));
+  size_t cursor = 0;
+  if (!model.native()) {
+    // Fallback: one full score row (the live model's ScoreItems contract),
+    // then the same mask/sanitize/heap pipeline over it.
+    scratch->resize(n);
+    model.ScoreAll(user, std::span<double>(*scratch));
+    MaskExcludedInBlock(exclude, &cursor, 0, n, std::span<double>(*scratch));
+    for (size_t v = 0; v < n; ++v) {
+      heap->Offer(static_cast<uint32_t>(v), SanitizeScore((*scratch)[v]));
+    }
+    heap->Finish(out);
+    return;
+  }
+  scratch->resize(std::min(block, n));
+  for (size_t begin = 0; begin < n; begin += block) {
+    const size_t end = std::min(begin + block, n);
+    const std::span<double> scores(scratch->data(), end - begin);
+    model.ScoreBlock(user, begin, end, scores);
+    MaskExcludedInBlock(exclude, &cursor, begin, end, scores);
+    for (size_t v = begin; v < end; ++v) {
+      heap->Offer(static_cast<uint32_t>(v), SanitizeScore(scores[v - begin]));
+    }
+  }
+  heap->Finish(out);
+}
+
+void BlockedTopKBatch(
+    const FrozenModel& model, std::span<const uint32_t> users,
+    std::span<const size_t> ks,
+    const std::function<std::span<const uint32_t>(uint32_t)>& exclude_of,
+    std::vector<TopKHeap>* heaps, std::vector<double>* scratch,
+    std::vector<std::vector<TopKEntry>>* out, size_t block) {
+  TAXOREC_CHECK(users.size() == ks.size());
+  TAXOREC_CHECK(block > 0);
+  out->resize(users.size());
+  if (users.empty()) return;
+  if (!model.native() || users.size() == 1) {
+    TopKHeap heap;
+    for (size_t i = 0; i < users.size(); ++i) {
+      BlockedTopK(model, users[i], ks[i], exclude_of(users[i]), &heap,
+                  scratch, &(*out)[i], block);
+    }
+    return;
+  }
+  const size_t n = model.num_items();
+  if (heaps->size() < users.size()) heaps->resize(users.size());
+  std::vector<size_t> cursors(users.size(), 0);
+  for (size_t i = 0; i < users.size(); ++i) {
+    (*heaps)[i].Reset(std::min(ks[i], n));
+  }
+  const size_t width = std::min(block, n);
+  scratch->resize(users.size() * width);
+  for (size_t begin = 0; begin < n; begin += block) {
+    const size_t end = std::min(begin + block, n);
+    const size_t w = end - begin;
+    // One pass over the item block for the whole user batch.
+    model.ScoreBlockBatch(users, begin, end,
+                          std::span<double>(scratch->data(), users.size() * w));
+    for (size_t i = 0; i < users.size(); ++i) {
+      const std::span<double> scores(scratch->data() + i * w, w);
+      MaskExcludedInBlock(exclude_of(users[i]), &cursors[i], begin, end,
+                          scores);
+      TopKHeap& heap = (*heaps)[i];
+      for (size_t v = begin; v < end; ++v) {
+        heap.Offer(static_cast<uint32_t>(v),
+                   SanitizeScore(scores[v - begin]));
+      }
+    }
+  }
+  for (size_t i = 0; i < users.size(); ++i) {
+    (*heaps)[i].Finish(&(*out)[i]);
+  }
+}
+
+}  // namespace taxorec

@@ -1,0 +1,124 @@
+// Bounded top-K selection over blocked scoring — the serving hot path.
+//
+// The seed ranking path (eval/recommend.cc) materialized a full score row
+// plus a full index permutation per user and partial_sorted the whole
+// catalogue. Here the catalogue streams through in fixed-size item blocks:
+// each block is scored into a small scratch buffer (L1/L2-resident),
+// exclusions are masked by walking a sorted exclusion list in lockstep,
+// and survivors feed a K-bounded binary heap. Memory per request is
+// O(block + K) regardless of catalogue size.
+//
+// Ranking order is the repo-wide deterministic total order: score
+// descending, item id ascending on ties. Non-finite scores (NaN, ±Inf) are
+// mapped to -Inf before ranking — NaN would otherwise break the strict
+// weak ordering (UB in std::partial_sort, and an incoherent heap here) —
+// so defective scores always rank last, identically in both paths.
+#ifndef TAXOREC_SERVE_TOPK_H_
+#define TAXOREC_SERVE_TOPK_H_
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "serve/frozen_model.h"
+
+namespace taxorec {
+
+/// Items per scoring block: 2048 doubles = 16 KiB of scratch, small enough
+/// to stay cache-resident under the per-worker batch loop.
+inline constexpr size_t kServeItemBlock = 2048;
+
+/// Maps non-finite scores (NaN, +Inf, -Inf) to -Inf so the ranking
+/// comparator stays a strict weak order and defective scores rank last.
+inline double SanitizeScore(double s) {
+  return std::isfinite(s) ? s : -std::numeric_limits<double>::infinity();
+}
+
+/// One ranked result entry.
+struct TopKEntry {
+  uint32_t item = 0;
+  double score = 0.0;
+  bool operator==(const TopKEntry&) const = default;
+};
+
+/// True when (score_a, item_a) ranks strictly before (score_b, item_b):
+/// higher score first, lower item id on ties. A strict total order for
+/// sanitized (NaN-free) scores.
+inline bool RanksBefore(double score_a, uint32_t item_a, double score_b,
+                        uint32_t item_b) {
+  if (score_a != score_b) return score_a > score_b;
+  return item_a < item_b;
+}
+
+/// K-bounded selection heap: keeps the K best (RanksBefore) entries seen so
+/// far, worst at the root so each losing candidate costs one comparison.
+class TopKHeap {
+ public:
+  explicit TopKHeap(size_t k = 0) { Reset(k); }
+
+  /// Clears the heap and sets the bound (k == 0 keeps nothing).
+  void Reset(size_t k);
+
+  size_t k() const { return k_; }
+  size_t size() const { return heap_.size(); }
+
+  /// Offers a candidate; `score` must already be sanitized.
+  void Offer(uint32_t item, double score) {
+    if (heap_.size() < k_) {
+      heap_.push_back({item, score});
+      SiftUp(heap_.size() - 1);
+      return;
+    }
+    if (k_ == 0 || !RanksBefore(score, item, heap_[0].score, heap_[0].item)) {
+      return;  // Not better than the current worst.
+    }
+    heap_[0] = {item, score};
+    SiftDown(0);
+  }
+
+  /// Moves the ranked entries into *out, best first; the heap is left
+  /// empty (Reset before reuse).
+  void Finish(std::vector<TopKEntry>* out);
+
+ private:
+  // Binary heap with the *worst* entry (per RanksBefore) at index 0.
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+
+  size_t k_ = 0;
+  std::vector<TopKEntry> heap_;
+};
+
+/// Top-k items for `user`, best first, over the frozen model. `exclude`
+/// is a sorted-ascending item list (e.g. split.train.RowCols(user)) whose
+/// scores are forced to -Inf before ranking — matching the seed masking
+/// semantics, so excluded items can still appear (at -Inf) when k exceeds
+/// the remaining catalogue. `scratch` is caller-owned reusable scoring
+/// space; `heap` likewise (both resized internally). Native kernels stream
+/// `block`-sized item blocks; kVirtual snapshots fall back to one full
+/// score row in `scratch`.
+void BlockedTopK(const FrozenModel& model, uint32_t user, size_t k,
+                 std::span<const uint32_t> exclude, TopKHeap* heap,
+                 std::vector<double>* scratch, std::vector<TopKEntry>* out,
+                 size_t block = kServeItemBlock);
+
+/// Batched variant: ranks users[i] with bound ks[i] into (*out)[i]. Native
+/// kernels score each item block once for the whole user batch
+/// (FrozenModel::ScoreBlockBatch), amortizing item-row memory traffic;
+/// kVirtual snapshots degrade to per-user BlockedTopK. exclude_of(u) must
+/// return u's sorted exclusion list (empty span for none). Results are a
+/// pure function of (model, user, k, exclusions) — batch composition never
+/// changes them.
+void BlockedTopKBatch(
+    const FrozenModel& model, std::span<const uint32_t> users,
+    std::span<const size_t> ks,
+    const std::function<std::span<const uint32_t>(uint32_t)>& exclude_of,
+    std::vector<TopKHeap>* heaps, std::vector<double>* scratch,
+    std::vector<std::vector<TopKEntry>>* out, size_t block = kServeItemBlock);
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_SERVE_TOPK_H_

@@ -2,11 +2,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "data/split.h"
 #include "data/synthetic.h"
 #include "eval/evaluator.h"
 #include "eval/metrics.h"
+#include "math/rng.h"
 
 namespace taxorec {
 namespace {
@@ -42,6 +44,31 @@ TEST(MetricsTest, EmptyRelevantYieldsZero) {
   const std::vector<uint32_t> ranked = {1, 2};
   EXPECT_DOUBLE_EQ(RecallAtK(ranked, {}, 2), 0.0);
   EXPECT_DOUBLE_EQ(NdcgAtK(ranked, {}, 2), 0.0);
+}
+
+// The evaluator's TargetLookup overloads must agree bit-for-bit with the
+// unordered_set reference, on both sides of the linear-scan/hash-set
+// switchover and under randomized inputs.
+TEST(MetricsTest, TargetLookupMatchesUnorderedSetOverloads) {
+  Rng rng(41);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Target counts straddling kLinearScanMaxTargets (0..2x).
+    const size_t num_targets =
+        rng.Uniform(2 * TargetLookup::kLinearScanMaxTargets + 1);
+    std::unordered_set<uint32_t> set;
+    while (set.size() < num_targets) {
+      set.insert(static_cast<uint32_t>(rng.Uniform(50)));
+    }
+    const std::vector<uint32_t> list(set.begin(), set.end());
+    const TargetLookup lookup(list);
+
+    std::vector<uint32_t> ranked(rng.Uniform(40));
+    for (auto& v : ranked) v = static_cast<uint32_t>(rng.Uniform(50));
+    const int k = static_cast<int>(1 + rng.Uniform(30));
+
+    EXPECT_EQ(RecallAtK(ranked, lookup, k), RecallAtK(ranked, set, k));
+    EXPECT_EQ(NdcgAtK(ranked, lookup, k), NdcgAtK(ranked, set, k));
+  }
 }
 
 // An "oracle" recommender that knows the held-out items.
@@ -135,6 +162,36 @@ TEST(EvaluatorTest, PerUserVectorsSizedToEvalUsers) {
   const EvalResult r = EvaluateRanking(oracle, split);
   EXPECT_EQ(r.per_user_recall.size(), r.num_eval_users);
   EXPECT_EQ(r.per_user_ndcg.size(), r.num_eval_users);
+  EXPECT_EQ(r.primary_k, r.ks[0]);
+}
+
+// Oracle that also emits NaN for half the non-target items — a partially
+// diverged model. NaN used to poison the ranking comparator (strict weak
+// ordering violation, UB in partial_sort); sanitized to -inf it must rank
+// last and leave the oracle's perfect metrics intact.
+class NanOracleModel : public Recommender {
+ public:
+  explicit NanOracleModel(const DataSplit* split) : split_(split) {}
+  std::string name() const override { return "NanOracle"; }
+  void Fit(const DataSplit&, Rng*) override {}
+  void ScoreItems(uint32_t user, std::span<double> out) const override {
+    for (size_t v = 0; v < out.size(); ++v) {
+      out[v] = (v % 2 == 0) ? std::numeric_limits<double>::quiet_NaN() : 0.0;
+    }
+    for (uint32_t v : split_->test_items[user]) out[v] = 1.0;
+  }
+
+ private:
+  const DataSplit* split_;
+};
+
+TEST(EvaluatorTest, NanScoresRankLastInsteadOfPoisoningTheSort) {
+  const DataSplit split = MakeSplit();
+  NanOracleModel model(&split);
+  const EvalResult r = EvaluateRanking(model, split);
+  ASSERT_GT(r.num_eval_users, 0u);
+  EXPECT_NEAR(r.recall[1], 1.0, 1e-9);
+  EXPECT_NEAR(r.ndcg[1], 1.0, 1e-9);
 }
 
 }  // namespace

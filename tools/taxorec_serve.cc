@@ -1,0 +1,264 @@
+// taxorec_serve — batch top-K serving harness.
+//
+// Freezes a trained model into an immutable scoring snapshot, replays a
+// request stream against the batched server, and reports throughput and
+// latency percentiles from the metrics registry.
+//
+//   # Train a fresh model on the fly and replay 5000 random requests:
+//   taxorec_serve --data data.tsv --model TaxoRec --random-requests 5000
+//
+//   # Restore a TaxoRec checkpoint and replay a recorded JSONL stream:
+//   taxorec_serve --data data.tsv --checkpoint model.ckpt \
+//       --requests reqs.jsonl --cache 4096 --out results.jsonl
+//
+// The request file is JSONL, one object per line: {"user": 7, "k": 10}
+// ("k" optional; defaults to --k). Results (--out) are JSONL lines of the
+// form {"user":7,"k":10,"items":[...],"scores":[...]}.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/checkpoint.h"
+#include "common/flags.h"
+#include "common/json.h"
+#include "common/log.h"
+#include "common/metrics.h"
+#include "core/taxorec_model.h"
+#include "data/io.h"
+#include "data/split.h"
+#include "math/rng.h"
+#include "serve/server.h"
+
+namespace taxorec::serve_tool {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+StatusOr<std::vector<ServeRequest>> LoadRequests(const std::string& path,
+                                                 size_t default_k,
+                                                 size_t num_users) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot read " + path);
+  std::vector<ServeRequest> requests;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::map<std::string, std::string> obj;
+    std::string error;
+    if (!ParseFlatJsonObject(line, &obj, &error)) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": " + error);
+    }
+    const auto user_it = obj.find("user");
+    if (user_it == obj.end()) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": missing \"user\"");
+    }
+    ServeRequest req;
+    req.user = static_cast<uint32_t>(std::stoul(user_it->second));
+    if (req.user >= num_users) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": user id out of range");
+    }
+    const auto k_it = obj.find("k");
+    req.k = k_it != obj.end() ? static_cast<size_t>(std::stoul(k_it->second))
+                              : default_k;
+    requests.push_back(req);
+  }
+  if (requests.empty()) {
+    return Status::InvalidArgument(path + ": no requests");
+  }
+  return requests;
+}
+
+std::vector<ServeRequest> RandomRequests(size_t n, size_t default_k,
+                                         size_t num_users, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ServeRequest> requests(n);
+  for (auto& req : requests) {
+    req.user = static_cast<uint32_t>(rng.Uniform(num_users));
+    req.k = default_k;
+  }
+  return requests;
+}
+
+Status WriteResults(const std::string& path,
+                    const std::vector<ServeRequest>& requests,
+                    const std::vector<std::vector<TopKEntry>>& results) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot write " + path);
+  JsonWriter w;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    w.BeginObject();
+    w.Key("user").Uint(requests[i].user);
+    w.Key("k").Uint(requests[i].k);
+    w.Key("items").BeginArray();
+    for (const TopKEntry& e : results[i]) w.Uint(e.item);
+    w.EndArray();
+    w.Key("scores").BeginArray();
+    for (const TopKEntry& e : results[i]) w.Double(e.score);
+    w.EndArray();
+    w.EndObject();
+    out << w.TakeString() << "\n";
+  }
+  return Status::OK();
+}
+
+int Main(int argc, const char* const* argv) {
+  FlagSet flags;
+  flags.DefineString("data", "", "dataset TSV path");
+  flags.DefineString("model", "TaxoRec",
+                     "model to train before serving (ignored with "
+                     "--checkpoint)");
+  flags.DefineString("checkpoint", "",
+                     "TaxoRec checkpoint to restore instead of training");
+  flags.DefineString("requests", "",
+                     "JSONL request stream: {\"user\": 7, \"k\": 10} per "
+                     "line");
+  flags.DefineInt("random-requests", 0,
+                  "generate this many uniform-random requests instead of "
+                  "--requests");
+  flags.DefineInt("k", 10, "default list length");
+  flags.DefineInt("batch", 64, "requests per ServeBatch call");
+  flags.DefineInt("cache", 0, "LRU result-cache capacity (0 = off)");
+  flags.DefineInt("dim", 64, "embedding dimension (training path)");
+  flags.DefineInt("tag-dim", 12, "tag-channel dimension (training path)");
+  flags.DefineInt("epochs", 25, "training epochs (training path)");
+  flags.DefineInt("seed", 13, "training / request-stream seed");
+  flags.DefineString("out", "", "write served lists as JSONL here");
+  flags.DefineString("metrics-out", "",
+                     "write the final metrics-registry snapshot JSON here");
+  DefineThreadsFlag(&flags);
+  DefineLogLevelFlag(&flags);
+  if (Status s = flags.Parse(argc, argv, 1); !s.ok()) return Fail(s);
+  if (Status s = ApplyThreadsFlag(flags); !s.ok()) return Fail(s);
+  if (Status s = ApplyLogLevelFlag(flags); !s.ok()) return Fail(s);
+
+  if (flags.GetString("data").empty()) {
+    return Fail(Status::InvalidArgument("--data is required"));
+  }
+  auto data = LoadDataset(flags.GetString("data"));
+  if (!data.ok()) return Fail(data.status());
+  const DataSplit split = TemporalSplit(*data);
+
+  ModelConfig cfg;
+  cfg.dim = static_cast<size_t>(flags.GetInt("dim"));
+  cfg.tag_dim = static_cast<size_t>(flags.GetInt("tag-dim"));
+  cfg.epochs = static_cast<int>(flags.GetInt("epochs"));
+  cfg.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  std::unique_ptr<Recommender> model;
+  if (!flags.GetString("checkpoint").empty()) {
+    auto taxo = std::make_unique<TaxoRecModel>(cfg, TaxoRecOptions{});
+    auto ckpt = Checkpoint::ReadFile(flags.GetString("checkpoint"));
+    if (!ckpt.ok()) return Fail(ckpt.status());
+    if (Status s = taxo->RestoreCheckpoint(*ckpt, split); !s.ok()) {
+      return Fail(s);
+    }
+    model = std::move(taxo);
+    std::printf("restored TaxoRec from %s\n",
+                flags.GetString("checkpoint").c_str());
+  } else {
+    model = MakeModel(flags.GetString("model"), cfg);
+    if (model == nullptr) {
+      return Fail(Status::InvalidArgument("unknown model: " +
+                                          flags.GetString("model")));
+    }
+    std::printf("training %s on %s ...\n", flags.GetString("model").c_str(),
+                data->name.c_str());
+    Rng rng(cfg.seed);
+    model->Fit(split, &rng);
+  }
+
+  std::vector<ServeRequest> requests;
+  if (!flags.GetString("requests").empty()) {
+    auto loaded = LoadRequests(flags.GetString("requests"),
+                               static_cast<size_t>(flags.GetInt("k")),
+                               split.num_users);
+    if (!loaded.ok()) return Fail(loaded.status());
+    requests = std::move(*loaded);
+  } else if (flags.GetInt("random-requests") > 0) {
+    requests = RandomRequests(
+        static_cast<size_t>(flags.GetInt("random-requests")),
+        static_cast<size_t>(flags.GetInt("k")), split.num_users,
+        cfg.seed ^ 0x5e5e5e5eULL);
+  } else {
+    return Fail(Status::InvalidArgument(
+        "one of --requests or --random-requests is required"));
+  }
+
+  ServeOptions serve_opts;
+  serve_opts.cache_capacity = static_cast<size_t>(flags.GetInt("cache"));
+  BatchServer server(*model, split, serve_opts);
+  std::printf("serving %zu requests (batch %lld, cache %lld, kernel %s)\n",
+              requests.size(), static_cast<long long>(flags.GetInt("batch")),
+              static_cast<long long>(flags.GetInt("cache")),
+              server.model().native() ? "native" : "virtual");
+
+  const size_t batch = std::max<size_t>(
+      1, static_cast<size_t>(flags.GetInt("batch")));
+  std::vector<std::vector<TopKEntry>> results;
+  results.reserve(requests.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t b0 = 0; b0 < requests.size(); b0 += batch) {
+    const size_t b1 = std::min(b0 + batch, requests.size());
+    auto lists = server.ServeBatch(std::span<const ServeRequest>(
+        requests.data() + b0, b1 - b0));
+    for (auto& list : lists) results.push_back(std::move(list));
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // Latency percentiles come from the serving layer's own histogram, the
+  // same numbers a long-running process would export to its dashboard.
+  const Histogram* lat = MetricsRegistry::Instance().GetHistogram(
+      "taxorec.serve.request_seconds",
+      {1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.1, 0.5, 1.0, 5.0});
+  const uint64_t hits = server.cache() != nullptr ? server.cache()->hits() : 0;
+  std::printf("served %zu requests in %.3fs  (%.0f req/s)\n", requests.size(),
+              wall, static_cast<double>(requests.size()) / wall);
+  std::printf("latency p50 %.3fms  p95 %.3fms  p99 %.3fms\n",
+              lat->Percentile(0.50) * 1e3, lat->Percentile(0.95) * 1e3,
+              lat->Percentile(0.99) * 1e3);
+  if (server.cache() != nullptr) {
+    std::printf("cache: %llu hits / %zu requests (%.1f%%)\n",
+                static_cast<unsigned long long>(hits), requests.size(),
+                100.0 * static_cast<double>(hits) /
+                    static_cast<double>(requests.size()));
+  }
+
+  if (!flags.GetString("out").empty()) {
+    if (Status s = WriteResults(flags.GetString("out"), requests, results);
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("wrote %s\n", flags.GetString("out").c_str());
+  }
+  if (!flags.GetString("metrics-out").empty()) {
+    std::ofstream out(flags.GetString("metrics-out"), std::ios::trunc);
+    if (!out) {
+      return Fail(Status::IOError("cannot write " +
+                                  flags.GetString("metrics-out")));
+    }
+    out << MetricsRegistry::Instance().SnapshotJson() << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace taxorec::serve_tool
+
+int main(int argc, char** argv) {
+  return taxorec::serve_tool::Main(argc, argv);
+}
