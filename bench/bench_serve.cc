@@ -23,6 +23,7 @@
 #include "hyperbolic/lorentz.h"
 #include "math/rng.h"
 #include "math/vec_ops.h"
+#include "serve/kernels_f32.h"
 #include "serve/server.h"
 
 namespace taxorec {
@@ -202,6 +203,113 @@ CacheReplay RunCacheReplay(const Recommender& model, const DataSplit& split,
   return replay;
 }
 
+struct TierReport {
+  double items_per_second = 0.0;
+  double speedup_vs_double = 1.0;
+  double topk_overlap_vs_double = 1.0;
+  size_t snapshot_bytes = 0;
+};
+
+/// Single-thread block-sweep scoring throughput of one precision tier:
+/// every user in `users` scores the full catalogue through ScoreBlock in
+/// kServeItemBlock strides (the serving hot loop without the heap).
+double ScoreSweepSeconds(const FrozenModel& model,
+                         std::span<const uint32_t> users, int reps) {
+  const size_t n = model.num_items();
+  std::vector<double> scratch(std::min(n, kServeItemBlock));
+  return bench::TimeBestSeconds(reps, [&] {
+    for (uint32_t u : users) {
+      for (size_t begin = 0; begin < n; begin += kServeItemBlock) {
+        const size_t end = std::min(begin + kServeItemBlock, n);
+        model.ScoreBlock(u, begin, end,
+                         std::span<double>(scratch.data(), end - begin));
+      }
+    }
+  });
+}
+
+double MeanTopKOverlap(const FrozenModel& reference, const FrozenModel& tier,
+                       std::span<const uint32_t> users, size_t k) {
+  TopKHeap heap;
+  std::vector<double> scratch;
+  std::vector<TopKEntry> want, got;
+  double total = 0.0;
+  for (uint32_t u : users) {
+    BlockedTopK(reference, u, k, {}, &heap, &scratch, &want);
+    BlockedTopK(tier, u, k, {}, &heap, &scratch, &got);
+    size_t hits = 0;
+    for (const TopKEntry& w : want) {
+      for (const TopKEntry& g : got) {
+        if (g.item == w.item) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    total += static_cast<double>(hits) / static_cast<double>(want.size());
+  }
+  return total / static_cast<double>(users.size());
+}
+
+/// Times the three precision tiers over a large dot-kernel catalogue
+/// (dim-32 float32 rows are the serving layout the SIMD kernels target)
+/// and checks the documented rank-stability tolerances. The reduced-tier
+/// results[] share index order with kTierNames.
+constexpr const char* kTierNames[] = {"double", "float32", "int8"};
+
+std::vector<TierReport> RunTierBench(size_t num_items, int reps,
+                                     bool assert_speedup) {
+  constexpr size_t kDim = 32;
+  constexpr size_t kSweepUsers = 8;
+  constexpr size_t kOverlapK = 100;
+  Rng rng(1234);
+  ScoringSnapshot snap;
+  snap.kernel = ScoreKernel::kDot;
+  snap.num_users = kSweepUsers;
+  snap.num_items = num_items;
+  snap.users = Matrix(kSweepUsers, kDim);
+  snap.items = Matrix(num_items, kDim);
+  snap.users.FillGaussian(&rng, 0.1);
+  snap.items.FillGaussian(&rng, 0.1);
+
+  std::vector<uint32_t> users(kSweepUsers);
+  std::iota(users.begin(), users.end(), 0u);
+
+  const PrecisionTier tiers[] = {PrecisionTier::kDouble,
+                                 PrecisionTier::kFloat32,
+                                 PrecisionTier::kInt8};
+  std::vector<TierReport> reports;
+  const FrozenModel reference(ScoringSnapshot(snap), PrecisionTier::kDouble);
+  for (PrecisionTier tier : tiers) {
+    const FrozenModel model(ScoringSnapshot(snap), tier);
+    TierReport r;
+    const double secs = ScoreSweepSeconds(model, users, reps);
+    r.items_per_second =
+        static_cast<double>(kSweepUsers * num_items) / secs;
+    r.snapshot_bytes = model.snapshot_bytes();
+    if (tier != PrecisionTier::kDouble) {
+      r.speedup_vs_double =
+          r.items_per_second / reports[0].items_per_second;
+      r.topk_overlap_vs_double =
+          MeanTopKOverlap(reference, model, users, kOverlapK);
+    }
+    reports.push_back(r);
+  }
+  // The documented rank-stability contract, asserted here as in the tests.
+  TAXOREC_CHECK_MSG(reports[1].topk_overlap_vs_double >= kFloat32TopKOverlap,
+                    "float32 tier violated its top-K overlap tolerance");
+  TAXOREC_CHECK_MSG(reports[2].topk_overlap_vs_double >= kInt8TopKOverlap,
+                    "int8 tier violated its top-K overlap tolerance");
+  if (assert_speedup) {
+    // Tentpole target: >= 4x single-thread scoring throughput over the
+    // double path on the large catalogue (full mode only — quick-mode
+    // catalogues fit in cache and jitter too much for a hard gate).
+    TAXOREC_CHECK_MSG(reports[1].speedup_vs_double >= 4.0,
+                      "float32 tier fell below the 4x throughput target");
+  }
+  return reports;
+}
+
 int Main(int argc, const char* const* argv) {
   const auto start = std::chrono::steady_clock::now();
   const bool quick = bench::HasArg(argc, argv, "quick");
@@ -252,6 +360,23 @@ int Main(int argc, const char* const* argv) {
       replay.qps, 100.0 * replay.hit_rate, replay.p50_ms, replay.p95_ms,
       replay.p99_ms);
 
+  // Precision tiers: single-thread scoring throughput over a large
+  // catalogue (1M items in full mode), per-tier snapshot footprint and
+  // top-K rank stability vs the double path.
+  const size_t tier_items = quick ? 20000 : 1000000;
+  std::printf("  precision tiers (%zu items, f32 backend %s):\n", tier_items,
+              f32::ActiveBackend());
+  const std::vector<TierReport> tiers =
+      RunTierBench(tier_items, reps, /*assert_speedup=*/!quick);
+  for (size_t i = 0; i < tiers.size(); ++i) {
+    std::printf(
+        "    %-7s %8.1fM items/s  %6.1f MiB  speedup %5.2fx  "
+        "top-%d overlap %.3f\n",
+        kTierNames[i], tiers[i].items_per_second / 1e6,
+        static_cast<double>(tiers[i].snapshot_bytes) / (1024.0 * 1024.0),
+        tiers[i].speedup_vs_double, 100, tiers[i].topk_overlap_vs_double);
+  }
+
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -268,6 +393,16 @@ int Main(int argc, const char* const* argv) {
       "\"speedup\": %.3f},\n"
       " \"cache_replay\": {\"qps\": %.0f, \"hit_rate\": %.4f, "
       "\"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f},\n"
+      " \"tier_items\": %zu, \"f32_backend\": \"%s\",\n"
+      " \"tiers\": {\n"
+      "  \"double\": {\"items_scored_per_second\": %.0f, "
+      "\"snapshot_bytes\": %zu},\n"
+      "  \"float32\": {\"items_scored_per_second\": %.0f, "
+      "\"snapshot_bytes\": %zu, \"speedup_vs_double\": %.3f, "
+      "\"topk_overlap_vs_double\": %.4f},\n"
+      "  \"int8\": {\"items_scored_per_second\": %.0f, "
+      "\"snapshot_bytes\": %zu, \"speedup_vs_double\": %.3f, "
+      "\"topk_overlap_vs_double\": %.4f}},\n"
       " \"wall_seconds\": %.3f, \"peak_rss_bytes\": %llu,\n"
       " \"rusage\": %s,\n \"profile\": %s,\n \"metrics\": %s}\n",
       threads, HardwareThreads(), quick ? "true" : "false",
@@ -276,7 +411,13 @@ int Main(int argc, const char* const* argv) {
       dot_t.serve_seconds, dot_t.seed_seconds / dot_t.serve_seconds,
       lor_t.seed_seconds, lor_t.serve_seconds,
       lor_t.seed_seconds / lor_t.serve_seconds, replay.qps, replay.hit_rate,
-      replay.p50_ms, replay.p95_ms, replay.p99_ms, wall,
+      replay.p50_ms, replay.p95_ms, replay.p99_ms, tier_items,
+      f32::ActiveBackend(), tiers[0].items_per_second,
+      tiers[0].snapshot_bytes, tiers[1].items_per_second,
+      tiers[1].snapshot_bytes, tiers[1].speedup_vs_double,
+      tiers[1].topk_overlap_vs_double, tiers[2].items_per_second,
+      tiers[2].snapshot_bytes, tiers[2].speedup_vs_double,
+      tiers[2].topk_overlap_vs_double, wall,
       static_cast<unsigned long long>(PeakRssBytes()),
       RusageJsonObject(SelfRusage()).c_str(), ProfileJsonArray().c_str(),
       MetricsRegistry::Instance().SnapshotJson().c_str());

@@ -1,0 +1,67 @@
+// Cache-line-aligned heap buffer for SIMD row blocks.
+//
+// The serving layer's compact snapshots (serve/compact_snapshot.h) store
+// float32/int8 embedding rows padded to a SIMD-width multiple and aligned
+// to 64 bytes, so vector loads can use the aligned forms and no row ever
+// straddles a cache line boundary it did not have to. std::vector cannot
+// guarantee that alignment, hence this minimal owning buffer on top of
+// C++17 aligned operator new.
+#ifndef TAXOREC_MATH_ALIGNED_H_
+#define TAXOREC_MATH_ALIGNED_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace taxorec {
+
+/// Byte alignment of every AlignedBuffer allocation (one x86 cache line,
+/// two AVX2 vectors).
+inline constexpr size_t kAlignedBufferAlignment = 64;
+
+/// Owning, 64-byte-aligned, zero-initialized array of trivially copyable
+/// T. Copyable (deep) and movable; empty buffers hold no allocation.
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(size_t size) : size_(size) {
+    if (size_ > 0) {
+      data_ = static_cast<T*>(::operator new(
+          size_ * sizeof(T), std::align_val_t(kAlignedBufferAlignment)));
+      std::fill(data_, data_ + size_, T{});
+    }
+  }
+  AlignedBuffer(const AlignedBuffer& other) : AlignedBuffer(other.size_) {
+    if (size_ > 0) std::copy(other.data_, other.data_ + size_, data_);
+  }
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : size_(std::exchange(other.size_, 0)),
+        data_(std::exchange(other.data_, nullptr)) {}
+  AlignedBuffer& operator=(AlignedBuffer other) noexcept {
+    std::swap(size_, other.size_);
+    std::swap(data_, other.data_);
+    return *this;
+  }
+  ~AlignedBuffer() {
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t(kAlignedBufferAlignment));
+    }
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+
+ private:
+  size_t size_ = 0;
+  T* data_ = nullptr;
+};
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_MATH_ALIGNED_H_

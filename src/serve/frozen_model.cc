@@ -2,8 +2,10 @@
 
 #include "baselines/recommender.h"
 #include "common/check.h"
+#include "common/log.h"
 #include "hyperbolic/lorentz.h"
 #include "math/vec_ops.h"
+#include "serve/kernels_f32.h"
 
 namespace taxorec {
 namespace {
@@ -12,7 +14,10 @@ namespace {
 /// dispatched once and the user's rows hoisted out of the item loop — the
 /// exact per-pair arithmetic of the exporting model's ScoreItems (identical
 /// distance/dot calls on copies of the same parameters), so the results are
-/// bit-for-bit equal to the live model.
+/// bit-for-bit equal to the live model. The two-channel kernels dispatch
+/// the per-user `alpha > 0` test once, to a with-tag or a without-tag item
+/// loop — the per-pair expression is unchanged, only the dead branch left
+/// the loop.
 void ScoreRowRange(const ScoringSnapshot& s, uint32_t user, size_t begin,
                    size_t end, double* dst) {
   switch (s.kernel) {
@@ -39,27 +44,33 @@ void ScoreRowRange(const ScoringSnapshot& s, uint32_t user, size_t begin,
     }
     case ScoreKernel::kTwoChannelLorentz: {
       const auto u = s.users.row(user);
-      const auto u_tg = s.users_tg.row(user);
       const double a = s.alpha[user];
-      for (size_t v = begin; v < end; ++v) {
-        double g = lorentz::SqDistance(u, s.items.row(v));
-        if (a > 0.0) {
-          g += a * lorentz::SqDistance(u_tg, s.items_tg.row(v));
+      if (a > 0.0) {
+        const auto u_tg = s.users_tg.row(user);
+        for (size_t v = begin; v < end; ++v) {
+          dst[v - begin] = -(lorentz::SqDistance(u, s.items.row(v)) +
+                             a * lorentz::SqDistance(u_tg, s.items_tg.row(v)));
         }
-        dst[v - begin] = -g;
+      } else {
+        for (size_t v = begin; v < end; ++v) {
+          dst[v - begin] = -lorentz::SqDistance(u, s.items.row(v));
+        }
       }
       return;
     }
     case ScoreKernel::kTwoChannelEuclid: {
       const auto u = s.users.row(user);
-      const auto u_tg = s.users_tg.row(user);
       const double a = s.alpha[user];
-      for (size_t v = begin; v < end; ++v) {
-        double g = vec::SqDist(u, s.items.row(v));
-        if (a > 0.0) {
-          g += a * vec::SqDist(u_tg, s.items_tg.row(v));
+      if (a > 0.0) {
+        const auto u_tg = s.users_tg.row(user);
+        for (size_t v = begin; v < end; ++v) {
+          dst[v - begin] = -(vec::SqDist(u, s.items.row(v)) +
+                             a * vec::SqDist(u_tg, s.items_tg.row(v)));
         }
-        dst[v - begin] = -g;
+      } else {
+        for (size_t v = begin; v < end; ++v) {
+          dst[v - begin] = -vec::SqDist(u, s.items.row(v));
+        }
       }
       return;
     }
@@ -83,20 +94,37 @@ void ValidateNative(const ScoringSnapshot& s) {
   }
 }
 
+size_t DoubleTierBytes(const ScoringSnapshot& s) {
+  return (s.users.rows() * s.users.cols() + s.items.rows() * s.items.cols() +
+          s.users_tg.rows() * s.users_tg.cols() +
+          s.items_tg.rows() * s.items_tg.cols() + s.alpha.size()) *
+         sizeof(double);
+}
+
 }  // namespace
 
-FrozenModel::FrozenModel(ScoringSnapshot snapshot)
-    : snap_(std::move(snapshot)) {
+FrozenModel::FrozenModel(ScoringSnapshot snapshot, PrecisionTier tier)
+    : snap_(std::move(snapshot)), tier_(tier) {
   TAXOREC_CHECK(snap_.num_users > 0 && snap_.num_items > 0);
   if (snap_.kernel == ScoreKernel::kVirtual) {
     TAXOREC_CHECK(snap_.live != nullptr);
-  } else {
-    ValidateNative(snap_);
+    if (tier_ != PrecisionTier::kDouble) {
+      TAXOREC_LOG(WARN) << "kVirtual snapshot cannot serve tier "
+                        << PrecisionTierName(tier_)
+                        << "; falling back to double";
+      tier_ = PrecisionTier::kDouble;
+    }
+    return;
+  }
+  ValidateNative(snap_);
+  if (tier_ != PrecisionTier::kDouble) {
+    compact_ = std::make_unique<CompactSnapshot>(CompactSnapshot::Build(
+        snap_, /*with_int8=*/tier_ == PrecisionTier::kInt8));
   }
 }
 
 FrozenModel FrozenModel::Freeze(const Recommender& model,
-                                const DataSplit& split) {
+                                const DataSplit& split, PrecisionTier tier) {
   ScoringSnapshot snap = model.ExportScoringSnapshot();
   if (snap.kernel == ScoreKernel::kVirtual) {
     snap.num_users = split.num_users;
@@ -106,7 +134,19 @@ FrozenModel FrozenModel::Freeze(const Recommender& model,
                           snap.num_items == split.num_items,
                       "scoring snapshot shape does not match the split");
   }
-  return FrozenModel(std::move(snap));
+  return FrozenModel(std::move(snap), tier);
+}
+
+size_t FrozenModel::snapshot_bytes() const {
+  switch (tier_) {
+    case PrecisionTier::kDouble:
+      return DoubleTierBytes(snap_);
+    case PrecisionTier::kFloat32:
+      return compact_->float32_bytes();
+    case PrecisionTier::kInt8:
+      return compact_->int8_bytes() + compact_->float32_bytes();
+  }
+  return 0;
 }
 
 void FrozenModel::ScoreAll(uint32_t user, std::span<double> out) const {
@@ -125,7 +165,17 @@ void FrozenModel::ScoreBlock(uint32_t user, size_t begin, size_t end,
   TAXOREC_DCHECK(user < snap_.num_users);
   TAXOREC_DCHECK(begin <= end && end <= snap_.num_items);
   TAXOREC_DCHECK(out.size() == end - begin);
-  ScoreRowRange(snap_, user, begin, end, out.data());
+  switch (tier_) {
+    case PrecisionTier::kDouble:
+      ScoreRowRange(snap_, user, begin, end, out.data());
+      return;
+    case PrecisionTier::kFloat32:
+      f32::ScoreRowRangeF32(*compact_, user, begin, end, out.data());
+      return;
+    case PrecisionTier::kInt8:
+      f32::ScoreRowRangeInt8(*compact_, user, begin, end, out.data());
+      return;
+  }
 }
 
 void FrozenModel::ScoreBlockBatch(std::span<const uint32_t> users,
@@ -141,8 +191,19 @@ void FrozenModel::ScoreBlockBatch(std::span<const uint32_t> users,
   // amortizes the DRAM traffic that dominates the one-full-row-per-user
   // seed path on large catalogues.
   for (size_t i = 0; i < users.size(); ++i) {
-    ScoreRowRange(snap_, users[i], begin, end, out.data() + i * width);
+    ScoreBlock(users[i], begin, end,
+               std::span<double>(out.data() + i * width, width));
   }
+}
+
+void FrozenModel::RescoreItemsF32(uint32_t user,
+                                  std::span<const uint32_t> items,
+                                  std::span<double> out) const {
+  TAXOREC_CHECK_MSG(compact_ != nullptr,
+                    "RescoreItemsF32 requires a reduced-precision tier");
+  TAXOREC_DCHECK(user < snap_.num_users);
+  TAXOREC_DCHECK(out.size() == items.size());
+  f32::ScoreItemsF32(*compact_, user, items, out.data());
 }
 
 }  // namespace taxorec

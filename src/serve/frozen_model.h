@@ -11,16 +11,27 @@
 // once per batch instead of once per user (the dominant memory-traffic
 // saving for dot/metric kernels).
 //
-// Scores are bit-identical to the live model's ScoreItems: every kernel
-// evaluates the same per-pair arithmetic on copies of the same parameters
-// (only the loop order over pairs changes, never the math within a pair).
+// Precision tiers (serve/compact_snapshot.h). The default kDouble tier is
+// bit-identical to the live model's ScoreItems: every kernel evaluates the
+// same per-pair arithmetic on copies of the same parameters (only the loop
+// order over pairs changes, never the math within a pair). The kFloat32
+// tier scores through the vectorized float32 kernels (serve/kernels_f32.h)
+// over a padded, 64-byte-aligned CompactSnapshot — deterministic across
+// backends (AVX2 vs portable) and within a documented top-K rank-stability
+// tolerance of the double path. The kInt8 tier scores coarse int8
+// surrogates; the top-K layer exact-rescores its head candidates in
+// float32 (RescoreItemsF32), so served scores are always float32-exact.
+// Non-native (kVirtual) snapshots always serve in double; requesting a
+// reduced tier for them degrades to kDouble with a warning.
 #ifndef TAXOREC_SERVE_FROZEN_MODEL_H_
 #define TAXOREC_SERVE_FROZEN_MODEL_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 
 #include "data/dataset.h"
+#include "serve/compact_snapshot.h"
 #include "serve/snapshot.h"
 
 namespace taxorec {
@@ -29,13 +40,16 @@ class Recommender;
 
 class FrozenModel {
  public:
-  /// Exports `model` for serving. The split supplies/validates the
-  /// user/item counts (kVirtual snapshots have no intrinsic shape).
-  /// For kVirtual snapshots `model` must outlive the FrozenModel.
-  static FrozenModel Freeze(const Recommender& model, const DataSplit& split);
+  /// Exports `model` for serving at the given precision tier. The split
+  /// supplies/validates the user/item counts (kVirtual snapshots have no
+  /// intrinsic shape). For kVirtual snapshots `model` must outlive the
+  /// FrozenModel.
+  static FrozenModel Freeze(const Recommender& model, const DataSplit& split,
+                            PrecisionTier tier = PrecisionTier::kDouble);
 
   /// Wraps a hand-built snapshot (tests, pre-serialized blocks).
-  explicit FrozenModel(ScoringSnapshot snapshot);
+  explicit FrozenModel(ScoringSnapshot snapshot,
+                       PrecisionTier tier = PrecisionTier::kDouble);
 
   size_t num_users() const { return snap_.num_users; }
   size_t num_items() const { return snap_.num_items; }
@@ -43,6 +57,16 @@ class FrozenModel {
   /// True when ScoreBlock/ScoreBlockBatch are available (non-kVirtual).
   bool native() const { return snap_.kernel != ScoreKernel::kVirtual; }
   const ScoringSnapshot& snapshot() const { return snap_; }
+
+  /// The tier this model actually scores with (may be kDouble even if a
+  /// reduced tier was requested, for kVirtual snapshots).
+  PrecisionTier tier() const { return tier_; }
+  /// Compact encoding backing the reduced tiers; null in kDouble.
+  const CompactSnapshot* compact() const { return compact_.get(); }
+  /// Bytes of the scoring payload the active tier reads (embedding blocks
+  /// + per-user alpha; the int8 tier counts both the quantized and the
+  /// float32 channels, since the re-rank reads the latter).
+  size_t snapshot_bytes() const;
 
   /// Scores every item for `user`; out.size() == num_items(). Works for
   /// every kernel (kVirtual delegates to the live model).
@@ -59,8 +83,17 @@ class FrozenModel {
   void ScoreBlockBatch(std::span<const uint32_t> users, size_t begin,
                        size_t end, std::span<double> out) const;
 
+  /// Float32-exact scores for an explicit item list (the int8 tier's
+  /// re-rank; also valid in kFloat32, where it is bit-identical to
+  /// ScoreBlock). Requires a compact snapshot (checked).
+  void RescoreItemsF32(uint32_t user, std::span<const uint32_t> items,
+                       std::span<double> out) const;
+
  private:
   ScoringSnapshot snap_;
+  PrecisionTier tier_ = PrecisionTier::kDouble;
+  // unique_ptr keeps FrozenModel cheaply movable; null in kDouble.
+  std::unique_ptr<CompactSnapshot> compact_;
 };
 
 }  // namespace taxorec

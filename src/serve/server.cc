@@ -50,7 +50,7 @@ struct WorkerScratch {
 
 BatchServer::BatchServer(const Recommender& model, const DataSplit& split,
                          ServeOptions options)
-    : BatchServer(FrozenModel::Freeze(model, split), split,
+    : BatchServer(FrozenModel::Freeze(model, split, options.precision), split,
                   std::move(options)) {}
 
 BatchServer::BatchServer(FrozenModel model, const DataSplit& split,

@@ -56,6 +56,10 @@ struct ServeOptions {
   size_t user_batch = 8;
   /// Requests per thread-pool chunk in the miss fan-out.
   size_t grain = 16;
+  /// Scoring precision tier (serve/compact_snapshot.h). Only consulted by
+  /// the freezing constructor; the pre-frozen constructor keeps the tier
+  /// the FrozenModel was built with.
+  PrecisionTier precision = PrecisionTier::kDouble;
 };
 
 class BatchServer {

@@ -28,6 +28,48 @@ void MaskExcludedInBlock(std::span<const uint32_t> exclude, size_t* cursor,
   }
 }
 
+/// Coarse heap bound for one request: the int8 tier over-fetches
+/// kInt8RerankFactor * k coarse candidates for the float32 re-rank; every
+/// other tier keeps exactly k.
+bool Int8Rerank(const FrozenModel& model) {
+  return model.tier() == PrecisionTier::kInt8 && model.native();
+}
+
+size_t CoarseK(const FrozenModel& model, size_t k) {
+  const size_t n = model.num_items();
+  if (!Int8Rerank(model)) return std::min(k, n);
+  return std::min(k * kInt8RerankFactor, n);
+}
+
+/// int8-tier second stage: exact-rescores the coarse candidates in float32
+/// and keeps the best k. Masked candidates (coarse score -Inf) stay at
+/// -Inf — the coarse stage already applied the exclusion semantics — so
+/// they only survive when k exceeds the remaining catalogue, exactly as in
+/// the single-stage tiers.
+void RerankTopKF32(const FrozenModel& model, uint32_t user, size_t k,
+                   std::vector<TopKEntry>* entries) {
+  std::vector<uint32_t> ids;
+  ids.reserve(entries->size());
+  for (const TopKEntry& e : *entries) {
+    if (e.score != kNegInf) ids.push_back(e.item);
+  }
+  std::vector<double> rescored(ids.size());
+  model.RescoreItemsF32(user, ids, std::span<double>(rescored));
+  std::vector<TopKEntry> out;
+  out.reserve(entries->size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    out.push_back({ids[i], SanitizeScore(rescored[i])});
+  }
+  for (const TopKEntry& e : *entries) {
+    if (e.score == kNegInf) out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(), [](const TopKEntry& a, const TopKEntry& b) {
+    return RanksBefore(a.score, a.item, b.score, b.item);
+  });
+  if (out.size() > k) out.resize(k);
+  *entries = std::move(out);
+}
+
 }  // namespace
 
 void TopKHeap::Reset(size_t k) {
@@ -76,7 +118,8 @@ void BlockedTopK(const FrozenModel& model, uint32_t user, size_t k,
                  size_t block) {
   TAXOREC_CHECK(block > 0);
   const size_t n = model.num_items();
-  heap->Reset(std::min(k, n));
+  const size_t coarse_k = CoarseK(model, k);
+  heap->Reset(coarse_k);
   size_t cursor = 0;
   if (!model.native()) {
     // Fallback: one full score row (the live model's ScoreItems contract),
@@ -101,6 +144,7 @@ void BlockedTopK(const FrozenModel& model, uint32_t user, size_t k,
     }
   }
   heap->Finish(out);
+  if (Int8Rerank(model)) RerankTopKF32(model, user, k, out);
 }
 
 void BlockedTopKBatch(
@@ -125,7 +169,7 @@ void BlockedTopKBatch(
   if (heaps->size() < users.size()) heaps->resize(users.size());
   std::vector<size_t> cursors(users.size(), 0);
   for (size_t i = 0; i < users.size(); ++i) {
-    (*heaps)[i].Reset(std::min(ks[i], n));
+    (*heaps)[i].Reset(CoarseK(model, ks[i]));
   }
   const size_t width = std::min(block, n);
   scratch->resize(users.size() * width);
@@ -148,6 +192,7 @@ void BlockedTopKBatch(
   }
   for (size_t i = 0; i < users.size(); ++i) {
     (*heaps)[i].Finish(&(*out)[i]);
+    if (Int8Rerank(model)) RerankTopKF32(model, users[i], ks[i], &(*out)[i]);
   }
 }
 

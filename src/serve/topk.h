@@ -13,6 +13,12 @@
 // mapped to -Inf before ranking — NaN would otherwise break the strict
 // weak ordering (UB in std::partial_sort, and an incoherent heap here) —
 // so defective scores always rank last, identically in both paths.
+//
+// Precision tiers: on an int8-tier model the block sweep keeps a coarse
+// head of kInt8RerankFactor * K candidates, then exact-rescores them in
+// float32 (FrozenModel::RescoreItemsF32) and keeps the best K — served
+// scores from the int8 tier are therefore always float32-exact. The
+// double and float32 tiers rank directly on their block scores.
 #ifndef TAXOREC_SERVE_TOPK_H_
 #define TAXOREC_SERVE_TOPK_H_
 

@@ -1,0 +1,481 @@
+// Tests for the serving precision tiers (DESIGN.md §11): the compact
+// float32/int8 snapshot layout (padding, alignment, zero tails), bit
+// identity of the float32 dot kernel against an independently written
+// scalar float reference, bit identity between the AVX2 and portable
+// backends, top-K rank stability of the reduced tiers against the double
+// path, and the int8 tier's float32-exact re-ranked scores.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "baselines/bprmf.h"
+#include "common/parallel.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "math/rng.h"
+#include "serve/compact_snapshot.h"
+#include "serve/kernels_f32.h"
+#include "serve/server.h"
+
+namespace taxorec {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(GetNumThreads()) {}
+  ~ThreadCountGuard() { SetNumThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+class PortableBackendGuard {
+ public:
+  explicit PortableBackendGuard(bool force) { f32::ForcePortableForTest(force); }
+  ~PortableBackendGuard() { f32::ForcePortableForTest(false); }
+};
+
+const ScoreKernel kNativeKernels[] = {
+    ScoreKernel::kDot,           ScoreKernel::kNegSqDist,
+    ScoreKernel::kNegLorentzSqDist, ScoreKernel::kTwoChannelLorentz,
+    ScoreKernel::kTwoChannelEuclid,
+};
+
+bool IsLorentz(ScoreKernel k) {
+  return k == ScoreKernel::kNegLorentzSqDist ||
+         k == ScoreKernel::kTwoChannelLorentz;
+}
+
+bool IsTwoChannel(ScoreKernel k) {
+  return k == ScoreKernel::kTwoChannelLorentz ||
+         k == ScoreKernel::kTwoChannelEuclid;
+}
+
+/// Fills `m` with Gaussian rows; Lorentz channels get spatial Gaussians
+/// lifted onto the hyperboloid (x0 = sqrt(1 + ||spatial||^2)), matching
+/// how trained Lorentz embeddings look.
+void FillRows(Matrix* m, bool lorentz, double spread, Rng* rng) {
+  for (size_t r = 0; r < m->rows(); ++r) {
+    auto row = m->row(r);
+    double sq = 0.0;
+    for (size_t c = lorentz ? 1 : 0; c < row.size(); ++c) {
+      row[c] = spread * rng->NextGaussian();
+      sq += row[c] * row[c];
+    }
+    if (lorentz) row[0] = std::sqrt(1.0 + sq);
+  }
+}
+
+/// A native snapshot with realistic geometry for every kernel family.
+/// Two-channel kernels get a tag channel and a per-user alpha that is 0
+/// for every third user (exercising the hoisted alpha branch both ways).
+ScoringSnapshot MakeSnapshot(ScoreKernel kernel, size_t users, size_t items,
+                             size_t dim, size_t tag_dim, uint64_t seed) {
+  Rng rng(seed);
+  ScoringSnapshot snap;
+  snap.kernel = kernel;
+  snap.num_users = users;
+  snap.num_items = items;
+  snap.users = Matrix(users, dim);
+  snap.items = Matrix(items, dim);
+  const bool lorentz = IsLorentz(kernel);
+  FillRows(&snap.users, lorentz, 0.6, &rng);
+  FillRows(&snap.items, lorentz, 0.6, &rng);
+  if (IsTwoChannel(kernel)) {
+    snap.users_tg = Matrix(users, tag_dim);
+    snap.items_tg = Matrix(items, tag_dim);
+    FillRows(&snap.users_tg, lorentz, 0.4, &rng);
+    FillRows(&snap.items_tg, lorentz, 0.4, &rng);
+    snap.alpha.resize(users);
+    for (size_t u = 0; u < users; ++u) {
+      snap.alpha[u] = (u % 3 == 0) ? 0.0 : rng.UniformReal(0.2, 1.0);
+    }
+  }
+  return snap;
+}
+
+/// Independent re-statement of the canonical float32 reduction from
+/// serve/kernels_f32.h, written from the documented algorithm (not by
+/// calling the library): 16 strided fmaf lanes over the zero-padded row,
+/// then m[j] = l[j] + l[j+8] and the tree ((m0+m4)+(m2+m6)) +
+/// ((m1+m5)+(m3+m7)).
+float CanonicalDot(const std::vector<float>& x, const std::vector<float>& y) {
+  EXPECT_EQ(x.size(), y.size());
+  EXPECT_EQ(x.size() % 16, 0u);
+  float l[16] = {};
+  for (size_t i = 0; i < x.size(); i += 16) {
+    for (size_t j = 0; j < 16; ++j) l[j] = std::fmaf(x[i + j], y[i + j], l[j]);
+  }
+  float m[8];
+  for (size_t j = 0; j < 8; ++j) m[j] = l[j] + l[j + 8];
+  const float t0 = m[0] + m[4], t1 = m[1] + m[5];
+  const float t2 = m[2] + m[6], t3 = m[3] + m[7];
+  return (t0 + t2) + (t1 + t3);
+}
+
+/// Narrows a double row to float and zero-pads to a multiple of 16.
+std::vector<float> PaddedFloatRow(std::span<const double> row) {
+  std::vector<float> out(((row.size() + 15) / 16) * 16, 0.0f);
+  for (size_t i = 0; i < row.size(); ++i) {
+    out[i] = static_cast<float>(row[i]);
+  }
+  return out;
+}
+
+/// Fraction of `want`'s items that also appear in `got` (top-K overlap).
+double Overlap(const std::vector<TopKEntry>& want,
+               const std::vector<TopKEntry>& got) {
+  if (want.empty()) return 1.0;
+  size_t hits = 0;
+  for (const TopKEntry& w : want) {
+    for (const TopKEntry& g : got) {
+      if (g.item == w.item) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(want.size());
+}
+
+std::vector<TopKEntry> TopKOf(const FrozenModel& model, uint32_t user,
+                              size_t k) {
+  TopKHeap heap;
+  std::vector<double> scratch;
+  std::vector<TopKEntry> out;
+  BlockedTopK(model, user, k, {}, &heap, &scratch, &out, /*block=*/64);
+  return out;
+}
+
+TEST(PrecisionTierTest, ParseAndNames) {
+  PrecisionTier tier = PrecisionTier::kDouble;
+  EXPECT_TRUE(ParsePrecisionTier("float32", &tier));
+  EXPECT_EQ(tier, PrecisionTier::kFloat32);
+  EXPECT_TRUE(ParsePrecisionTier("int8", &tier));
+  EXPECT_EQ(tier, PrecisionTier::kInt8);
+  EXPECT_TRUE(ParsePrecisionTier("double", &tier));
+  EXPECT_EQ(tier, PrecisionTier::kDouble);
+  EXPECT_FALSE(ParsePrecisionTier("fp16", &tier));
+  EXPECT_STREQ(PrecisionTierName(PrecisionTier::kFloat32), "float32");
+  EXPECT_STREQ(PrecisionTierName(PrecisionTier::kInt8), "int8");
+  EXPECT_STREQ(PrecisionTierName(PrecisionTier::kDouble), "double");
+}
+
+TEST(CompactSnapshotTest, LayoutPaddingAlignmentAndZeroTails) {
+  // dim 9 pads to 16; tag dim 17 pads to 32.
+  const ScoringSnapshot snap = MakeSnapshot(ScoreKernel::kTwoChannelEuclid,
+                                            /*users=*/7, /*items=*/13,
+                                            /*dim=*/9, /*tag_dim=*/17, 42);
+  const CompactSnapshot c = CompactSnapshot::Build(snap, /*with_int8=*/true);
+  EXPECT_EQ(c.users.dim, 9u);
+  EXPECT_EQ(c.users.stride, 16u);
+  EXPECT_EQ(c.items_tg.dim, 17u);
+  EXPECT_EQ(c.items_tg.stride, 32u);
+  for (const CompactChannel* ch : {&c.users, &c.items, &c.users_tg,
+                                   &c.items_tg}) {
+    ASSERT_FALSE(ch->empty());
+    EXPECT_EQ(ch->stride % kCompactRowPad, 0u);
+    for (size_t r = 0; r < ch->rows; ++r) {
+      // Every row start is 64-byte aligned (aligned vector loads).
+      EXPECT_EQ(reinterpret_cast<uintptr_t>(ch->row(r)) % 64, 0u);
+      for (size_t i = ch->dim; i < ch->stride; ++i) {
+        EXPECT_EQ(ch->row(r)[i], 0.0f) << "nonzero padded tail";
+      }
+    }
+  }
+  // Narrowed values round-trip from the double source.
+  for (size_t r = 0; r < snap.users.rows(); ++r) {
+    for (size_t i = 0; i < snap.users.cols(); ++i) {
+      EXPECT_EQ(c.users.row(r)[i], static_cast<float>(snap.users.at(r, i)));
+    }
+  }
+  ASSERT_EQ(c.alpha.size(), snap.alpha.size());
+  for (size_t u = 0; u < snap.alpha.size(); ++u) {
+    EXPECT_EQ(c.alpha[u], static_cast<float>(snap.alpha[u]));
+  }
+  // int8 channels: same padded geometry, q = round(x / scale) in [-127,127],
+  // zero tails, shared scale = max|x| / 127 over the channel pair.
+  ASSERT_TRUE(c.has_int8);
+  double max_abs = 0.0;
+  for (const Matrix* m : {&snap.users, &snap.items}) {
+    for (size_t r = 0; r < m->rows(); ++r) {
+      for (double x : m->row(r)) max_abs = std::max(max_abs, std::fabs(x));
+    }
+  }
+  EXPECT_NEAR(c.int8_scale_ir, static_cast<float>(max_abs) / 127.0f, 1e-12);
+  // int8 rows are stride bytes wide (1-byte lanes), so only the buffer
+  // base carries the 64-byte guarantee; the scalar int8 kernels need no
+  // per-row alignment.
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(c.users_q.data.data()) % 64, 0u);
+  for (size_t r = 0; r < c.users_q.rows; ++r) {
+    for (size_t i = 0; i < c.users_q.dim; ++i) {
+      const double q = std::nearbyint(snap.users.at(r, i) / c.int8_scale_ir);
+      EXPECT_EQ(c.users_q.row(r)[i],
+                static_cast<int8_t>(std::clamp(q, -127.0, 127.0)));
+    }
+    for (size_t i = c.users_q.dim; i < c.users_q.stride; ++i) {
+      EXPECT_EQ(c.users_q.row(r)[i], 0);
+    }
+  }
+}
+
+TEST(CompactSnapshotTest, SnapshotBytesShrinkPerTier) {
+  const ScoringSnapshot snap = MakeSnapshot(ScoreKernel::kTwoChannelLorentz,
+                                            16, 64, 32, 16, 3);
+  const FrozenModel d(ScoringSnapshot(snap), PrecisionTier::kDouble);
+  const FrozenModel f(ScoringSnapshot(snap), PrecisionTier::kFloat32);
+  const FrozenModel q(ScoringSnapshot(snap), PrecisionTier::kInt8);
+  EXPECT_LT(f.snapshot_bytes(), d.snapshot_bytes());
+  // int8 reports coarse + re-rank payload (both are read while serving).
+  EXPECT_EQ(q.snapshot_bytes(),
+            f.snapshot_bytes() + q.compact()->int8_bytes());
+  EXPECT_EQ(d.compact(), nullptr);
+  ASSERT_NE(f.compact(), nullptr);
+  EXPECT_FALSE(f.compact()->has_int8);
+  ASSERT_NE(q.compact(), nullptr);
+  EXPECT_TRUE(q.compact()->has_int8);
+}
+
+// Satellite 3a: the float32 dot kernel is bit-identical to the scalar
+// float reference — both the full score rows and the served top-K.
+TEST(Float32KernelTest, DotBitIdenticalToScalarFloatReference) {
+  const size_t kUsers = 12, kItems = 157, kDim = 24;
+  const ScoringSnapshot snap =
+      MakeSnapshot(ScoreKernel::kDot, kUsers, kItems, kDim, 0, 91);
+  const FrozenModel f32model(ScoringSnapshot(snap), PrecisionTier::kFloat32);
+  std::vector<double> got(kItems);
+  for (uint32_t u = 0; u < kUsers; ++u) {
+    f32model.ScoreAll(u, std::span<double>(got));
+    const std::vector<float> uu = PaddedFloatRow(snap.users.row(u));
+    for (size_t v = 0; v < kItems; ++v) {
+      const float want = CanonicalDot(uu, PaddedFloatRow(snap.items.row(v)));
+      ASSERT_EQ(got[v], static_cast<double>(want))
+          << "user " << u << " item " << v;
+    }
+    // Library reference entry points agree bit-for-bit too.
+    const std::vector<float> v0 = PaddedFloatRow(snap.items.row(0));
+    ASSERT_EQ(f32::DotRef(uu.data(), v0.data(), uu.size()),
+              CanonicalDot(uu, v0));
+  }
+}
+
+// The AVX2 and portable backends produce identical bits for every kernel
+// family (runtime dispatch never changes served results). Vacuous on
+// non-AVX2 hardware or portable-only builds.
+TEST(Float32KernelTest, Avx2AndPortableBackendsBitIdentical) {
+  if (!f32::Avx2Supported()) {
+    GTEST_SKIP() << "no AVX2 kernels in this build/CPU";
+  }
+  for (ScoreKernel kernel : kNativeKernels) {
+    const ScoringSnapshot snap = MakeSnapshot(kernel, 9, 211, 24, 12, 7);
+    const FrozenModel model(ScoringSnapshot(snap), PrecisionTier::kFloat32);
+    std::vector<double> avx(snap.num_items), portable(snap.num_items);
+    for (uint32_t u = 0; u < snap.num_users; ++u) {
+      {
+        PortableBackendGuard guard(false);
+        ASSERT_STREQ(f32::ActiveBackend(), "avx2");
+        model.ScoreAll(u, std::span<double>(avx));
+      }
+      {
+        PortableBackendGuard guard(true);
+        ASSERT_STREQ(f32::ActiveBackend(), "portable");
+        model.ScoreAll(u, std::span<double>(portable));
+      }
+      for (size_t v = 0; v < snap.num_items; ++v) {
+        ASSERT_EQ(avx[v], portable[v])
+            << PrecisionTierName(PrecisionTier::kFloat32) << " kernel "
+            << static_cast<int>(kernel) << " user " << u << " item " << v;
+      }
+    }
+  }
+}
+
+// Satellite 3c: padded tails behave exactly like explicit zero columns —
+// a dim-24 snapshot (8-float pad) scores bit-identically to a dim-32
+// snapshot whose last 8 columns are zero.
+TEST(Float32KernelTest, PaddedTailsNeverPerturbScores) {
+  for (ScoreKernel kernel : kNativeKernels) {
+    const ScoringSnapshot snap = MakeSnapshot(kernel, 6, 90, 24, 20, 13);
+    ScoringSnapshot wide = snap;
+    wide.users = Matrix(snap.users.rows(), 32);
+    wide.items = Matrix(snap.items.rows(), 32);
+    for (size_t r = 0; r < snap.users.rows(); ++r) {
+      for (size_t c = 0; c < 24; ++c) {
+        wide.users.at(r, c) = snap.users.at(r, c);
+      }
+    }
+    for (size_t r = 0; r < snap.items.rows(); ++r) {
+      for (size_t c = 0; c < 24; ++c) {
+        wide.items.at(r, c) = snap.items.at(r, c);
+      }
+    }
+    const FrozenModel narrow(ScoringSnapshot(snap), PrecisionTier::kFloat32);
+    const FrozenModel padded(std::move(wide), PrecisionTier::kFloat32);
+    std::vector<double> a(snap.num_items), b(snap.num_items);
+    for (uint32_t u = 0; u < snap.num_users; ++u) {
+      narrow.ScoreAll(u, std::span<double>(a));
+      padded.ScoreAll(u, std::span<double>(b));
+      for (size_t v = 0; v < snap.num_items; ++v) {
+        ASSERT_EQ(a[v], b[v]) << "kernel " << static_cast<int>(kernel);
+      }
+    }
+  }
+}
+
+// Satellite 3b: top-K rank stability of the reduced tiers vs the double
+// path, for every kernel family across seeds, at the documented
+// tolerances (kFloat32TopKOverlap / kInt8TopKOverlap).
+TEST(RankStabilityTest, ReducedTiersMeetDocumentedOverlapTolerances) {
+  const size_t kUsers = 24, kItems = 400, kK = 20;
+  for (ScoreKernel kernel : kNativeKernels) {
+    for (uint64_t seed : {101u, 202u, 303u}) {
+      const ScoringSnapshot snap =
+          MakeSnapshot(kernel, kUsers, kItems, 24, 12, seed);
+      const FrozenModel dmodel(ScoringSnapshot(snap), PrecisionTier::kDouble);
+      const FrozenModel fmodel(ScoringSnapshot(snap),
+                               PrecisionTier::kFloat32);
+      const FrozenModel qmodel(ScoringSnapshot(snap), PrecisionTier::kInt8);
+      double f32_overlap = 0.0, int8_overlap = 0.0;
+      for (uint32_t u = 0; u < kUsers; ++u) {
+        const std::vector<TopKEntry> want = TopKOf(dmodel, u, kK);
+        f32_overlap += Overlap(want, TopKOf(fmodel, u, kK));
+        int8_overlap += Overlap(want, TopKOf(qmodel, u, kK));
+      }
+      f32_overlap /= static_cast<double>(kUsers);
+      int8_overlap /= static_cast<double>(kUsers);
+      EXPECT_GE(f32_overlap, kFloat32TopKOverlap)
+          << "kernel " << static_cast<int>(kernel) << " seed " << seed;
+      EXPECT_GE(int8_overlap, kInt8TopKOverlap)
+          << "kernel " << static_cast<int>(kernel) << " seed " << seed;
+    }
+  }
+}
+
+// The int8 tier's served scores are float32-exact: every entry matches
+// RescoreItemsF32 bit-for-bit, even when K exceeds the coarse head.
+TEST(Int8RerankTest, ServedScoresAreFloat32Exact) {
+  const ScoringSnapshot snap =
+      MakeSnapshot(ScoreKernel::kTwoChannelLorentz, 10, 120, 24, 12, 55);
+  const FrozenModel model(ScoringSnapshot(snap), PrecisionTier::kInt8);
+  for (size_t k : {7u, 40u, 200u}) {
+    for (uint32_t u = 0; u < snap.num_users; ++u) {
+      const std::vector<TopKEntry> got = TopKOf(model, u, k);
+      EXPECT_EQ(got.size(), std::min(k, snap.num_items));
+      for (const TopKEntry& e : got) {
+        if (e.score == kNegInf) continue;
+        double exact = 0.0;
+        model.RescoreItemsF32(u, std::span<const uint32_t>(&e.item, 1),
+                              std::span<double>(&exact, 1));
+        ASSERT_EQ(e.score, exact) << "user " << u << " item " << e.item;
+      }
+      // Entries arrive in the deterministic ranking order.
+      for (size_t i = 1; i < got.size(); ++i) {
+        ASSERT_TRUE(RanksBefore(got[i - 1].score, got[i - 1].item,
+                                got[i].score, got[i].item));
+      }
+    }
+  }
+}
+
+TEST(ServerTierTest, BatchServerIsThreadCountInvariantOnEveryTier) {
+  ThreadCountGuard guard;
+  SyntheticConfig cfg;
+  cfg.seed = 17;
+  cfg.num_users = 40;
+  cfg.num_items = 120;
+  cfg.num_tags = 10;
+  cfg.num_roots = 3;
+  const DataSplit split = TemporalSplit(GenerateSynthetic(cfg));
+  ScoringSnapshot snap =
+      MakeSnapshot(ScoreKernel::kTwoChannelEuclid, split.num_users,
+                   split.num_items, 24, 12, 23);
+  std::vector<ServeRequest> requests;
+  for (uint32_t u = 0; u < split.num_users; ++u) {
+    requests.push_back({u, 10 + u % 7});
+  }
+  for (PrecisionTier tier :
+       {PrecisionTier::kDouble, PrecisionTier::kFloat32,
+        PrecisionTier::kInt8}) {
+    ServeOptions options;
+    options.user_batch = 4;
+    options.grain = 8;
+    SetNumThreads(1);
+    BatchServer single(FrozenModel(ScoringSnapshot(snap), tier), split,
+                       options);
+    const auto want = single.ServeBatch(requests);
+    SetNumThreads(4);
+    BatchServer pooled(FrozenModel(ScoringSnapshot(snap), tier), split,
+                       options);
+    const auto got = pooled.ServeBatch(requests);
+    ASSERT_EQ(want.size(), got.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(want[i], got[i])
+          << PrecisionTierName(tier) << " request " << i;
+    }
+    EXPECT_EQ(pooled.model().tier(), tier);
+  }
+}
+
+// The freezing constructor consumes ServeOptions::precision; a trained
+// native baseline serves finite float32 scores end to end.
+TEST(ServerTierTest, FreezeWithPrecisionOptionServesReducedTier) {
+  SyntheticConfig scfg;
+  scfg.seed = 11;
+  scfg.num_users = 30;
+  scfg.num_items = 60;
+  scfg.num_tags = 8;
+  scfg.num_roots = 2;
+  const DataSplit split = TemporalSplit(GenerateSynthetic(scfg));
+  ModelConfig cfg;
+  cfg.dim = 16;
+  cfg.epochs = 2;
+  cfg.batches_per_epoch = 4;
+  cfg.batch_size = 64;
+  BprMf model(cfg);
+  Rng rng(9);
+  model.Fit(split, &rng);
+  ServeOptions options;
+  options.precision = PrecisionTier::kFloat32;
+  BatchServer server(model, split, options);
+  EXPECT_EQ(server.model().tier(), PrecisionTier::kFloat32);
+  EXPECT_GT(server.model().snapshot_bytes(), 0u);
+  const auto result = server.ServeOne({3, 10});
+  ASSERT_EQ(result.size(), 10u);
+  for (const TopKEntry& e : result) EXPECT_TRUE(std::isfinite(e.score));
+}
+
+// Requesting a reduced tier for a kVirtual snapshot degrades to double.
+TEST(ServerTierTest, VirtualSnapshotFallsBackToDouble) {
+  class HashModel : public Recommender {
+   public:
+    std::string name() const override { return "Hash"; }
+    void Fit(const DataSplit&, Rng*) override {}
+    void ScoreItems(uint32_t user, std::span<double> out) const override {
+      for (size_t v = 0; v < out.size(); ++v) {
+        out[v] = std::sin(static_cast<double>(user * 131 + v * 17));
+      }
+    }
+  };
+  SyntheticConfig cfg;
+  cfg.seed = 5;
+  cfg.num_users = 12;
+  cfg.num_items = 30;
+  cfg.num_tags = 4;
+  cfg.num_roots = 2;
+  const DataSplit split = TemporalSplit(GenerateSynthetic(cfg));
+  HashModel model;
+  const FrozenModel frozen =
+      FrozenModel::Freeze(model, split, PrecisionTier::kInt8);
+  EXPECT_FALSE(frozen.native());
+  EXPECT_EQ(frozen.tier(), PrecisionTier::kDouble);
+  EXPECT_EQ(frozen.compact(), nullptr);
+}
+
+}  // namespace
+}  // namespace taxorec

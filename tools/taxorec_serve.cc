@@ -11,6 +11,10 @@
 //   taxorec_serve --data data.tsv --checkpoint model.ckpt \
 //       --requests reqs.jsonl --cache 4096 --out results.jsonl
 //
+//   # Serve from the vectorized float32 tier (or int8 coarse + float32
+//   # re-rank) instead of bit-exact double — see DESIGN.md §11:
+//   taxorec_serve --data data.tsv --random-requests 5000 --precision float32
+//
 // The request file is JSONL, one object per line: {"user": 7, "k": 10}
 // ("k" optional; defaults to --k). Results (--out) are JSONL lines of the
 // form {"user":7,"k":10,"items":[...],"scores":[...]}.
@@ -131,6 +135,9 @@ int Main(int argc, const char* const* argv) {
   flags.DefineInt("k", 10, "default list length");
   flags.DefineInt("batch", 64, "requests per ServeBatch call");
   flags.DefineInt("cache", 0, "LRU result-cache capacity (0 = off)");
+  flags.DefineString("precision", "double",
+                     "scoring tier: double (bit-exact), float32 (SIMD), or "
+                     "int8 (coarse rank + float32 re-rank)");
   flags.DefineInt("dim", 64, "embedding dimension (training path)");
   flags.DefineInt("tag-dim", 12, "tag-channel dimension (training path)");
   flags.DefineInt("epochs", 25, "training epochs (training path)");
@@ -199,11 +206,21 @@ int Main(int argc, const char* const* argv) {
 
   ServeOptions serve_opts;
   serve_opts.cache_capacity = static_cast<size_t>(flags.GetInt("cache"));
+  if (!ParsePrecisionTier(flags.GetString("precision"),
+                          &serve_opts.precision)) {
+    return Fail(Status::InvalidArgument(
+        "--precision must be double, float32 or int8 (got \"" +
+        flags.GetString("precision") + "\")"));
+  }
   BatchServer server(*model, split, serve_opts);
-  std::printf("serving %zu requests (batch %lld, cache %lld, kernel %s)\n",
-              requests.size(), static_cast<long long>(flags.GetInt("batch")),
-              static_cast<long long>(flags.GetInt("cache")),
-              server.model().native() ? "native" : "virtual");
+  std::printf(
+      "serving %zu requests (batch %lld, cache %lld, kernel %s, "
+      "precision %s, snapshot %.1f MiB)\n",
+      requests.size(), static_cast<long long>(flags.GetInt("batch")),
+      static_cast<long long>(flags.GetInt("cache")),
+      server.model().native() ? "native" : "virtual",
+      PrecisionTierName(server.model().tier()),
+      static_cast<double>(server.model().snapshot_bytes()) / (1024.0 * 1024.0));
 
   const size_t batch = std::max<size_t>(
       1, static_cast<size_t>(flags.GetInt("batch")));
