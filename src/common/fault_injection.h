@@ -33,6 +33,18 @@ namespace faults {
 inline constexpr char kGradNan[] = "grad-nan";
 /// Fails Checkpoint::WriteFile with IOError before any byte is written.
 inline constexpr char kCheckpointWrite[] = "ckpt-write";
+/// Stalls one serving sub-batch for kServeSlowKernelStallMs inside the
+/// BatchServer fan-out (simulates a slow scoring kernel; drives deadline
+/// sheds and late completions in the robustness drills).
+inline constexpr char kServeSlowKernel[] = "serve-slow-kernel";
+/// Fails a CompactSnapshot build inside the FrozenModel constructor; the
+/// model falls back to the double tier instead of crashing.
+inline constexpr char kServeSnapshotLoad[] = "serve-snapshot-load";
+/// Forces one AdmissionController::Offer to report a full queue.
+inline constexpr char kServeQueueFull[] = "serve-queue-full";
+
+/// Stall injected per tripped serving sub-batch by kServeSlowKernel.
+inline constexpr int kServeSlowKernelStallMs = 25;
 }  // namespace faults
 
 /// Process-wide fault registry (singleton). Thread-safe.

@@ -2,7 +2,9 @@
 
 #include "baselines/recommender.h"
 #include "common/check.h"
+#include "common/fault_injection.h"
 #include "common/log.h"
+#include "common/metrics.h"
 #include "hyperbolic/lorentz.h"
 #include "math/vec_ops.h"
 #include "serve/kernels_f32.h"
@@ -118,6 +120,20 @@ FrozenModel::FrozenModel(ScoringSnapshot snapshot, PrecisionTier tier)
   }
   ValidateNative(snap_);
   if (tier_ != PrecisionTier::kDouble) {
+    // A failed compact-snapshot build (serve-snapshot-load fault site) is
+    // not fatal: the double-precision snapshot is always present, so the
+    // model degrades to the bit-exact tier instead of taking the serving
+    // path down.
+    if (TAXOREC_FAULT(faults::kServeSnapshotLoad, -1)) {
+      static Counter* failures = MetricsRegistry::Instance().GetCounter(
+          "taxorec.serve.snapshot_load_failures");
+      failures->Increment();
+      TAXOREC_LOG(ERROR) << "compact snapshot build failed; falling back to "
+                            "the double tier"
+                         << Kv("requested_tier", PrecisionTierName(tier_));
+      tier_ = PrecisionTier::kDouble;
+      return;
+    }
     compact_ = std::make_unique<CompactSnapshot>(CompactSnapshot::Build(
         snap_, /*with_int8=*/tier_ == PrecisionTier::kInt8));
   }

@@ -1,0 +1,74 @@
+// Serving request/result types, shared by the BatchServer and the
+// AdmissionController (which must not depend on the server).
+//
+// Deadlines are absolute steady-clock points rather than relative budgets:
+// a request's budget starts burning when the deadline is stamped (arrival /
+// submit time + budget), so time spent queued counts against it — exactly
+// the semantics an overloaded server needs, where queue wait is the
+// dominant latency term. A default-constructed (epoch-zero) deadline means
+// "no deadline" and costs nothing to check.
+#ifndef TAXOREC_SERVE_REQUEST_H_
+#define TAXOREC_SERVE_REQUEST_H_
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "serve/compact_snapshot.h"
+#include "serve/topk.h"
+
+namespace taxorec {
+
+/// Clock stamping request deadlines (monotonic).
+using ServeClock = std::chrono::steady_clock;
+
+/// One top-K query.
+struct ServeRequest {
+  uint32_t user = 0;
+  size_t k = 10;
+  /// Absolute deadline; epoch-zero (the default) = no deadline.
+  ServeClock::time_point deadline{};
+};
+
+/// True when `request` carries a deadline.
+inline bool HasDeadline(const ServeRequest& request) {
+  return request.deadline.time_since_epoch().count() != 0;
+}
+
+/// Stamps a deadline `budget_ms` from `now`.
+inline ServeClock::time_point DeadlineAfterMs(double budget_ms,
+                                              ServeClock::time_point now) {
+  return now + std::chrono::duration_cast<ServeClock::duration>(
+                   std::chrono::duration<double, std::milli>(budget_ms));
+}
+
+/// Per-request serving outcome.
+enum class ServeStatus : uint8_t {
+  kOk,            // served within deadline (or no deadline)
+  kLate,          // served completely, but past its deadline
+  kShedQueueFull, // rejected at admission: queue full
+  kShedCost,      // rejected at admission: cost budget exhausted
+  kShedDeadline,  // deadline expired before/while scoring; never ranked
+  kShedDraining,  // rejected: server draining
+};
+
+const char* ServeStatusName(ServeStatus status);
+
+/// True when `status` means the request was never served.
+inline bool IsShed(ServeStatus status) {
+  return status != ServeStatus::kOk && status != ServeStatus::kLate;
+}
+
+/// One answered (or shed) request. `items` is empty whenever IsShed().
+struct ServeResult {
+  ServeRequest request;
+  ServeStatus status = ServeStatus::kOk;
+  /// Tier the request was actually scored at (the configured tier unless
+  /// the degradation ladder stepped down). Meaningless when IsShed().
+  PrecisionTier tier = PrecisionTier::kDouble;
+  std::vector<TopKEntry> items;
+};
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_SERVE_REQUEST_H_

@@ -1,0 +1,98 @@
+#include "serve/request_io.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+
+#include "common/json.h"
+#include "common/log.h"
+#include "common/metrics.h"
+
+namespace taxorec {
+namespace {
+
+/// Strict full-consumption unsigned parse ("12" yes; "", "12x", "-3" no).
+bool ParseUint(const std::string& text, uint64_t* out) {
+  if (text.empty() || text[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+}  // namespace
+
+StatusOr<std::vector<ServeRequest>> LoadRequestsJsonl(
+    const std::string& path, size_t default_k, size_t num_users,
+    RequestLogStats* stats) {
+  static Counter* bad_requests =
+      MetricsRegistry::Instance().GetCounter("taxorec.serve.bad_requests");
+
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot read " + path);
+
+  std::vector<ServeRequest> requests;
+  RequestLogStats local;
+  std::string line;
+  size_t line_no = 0;
+  const auto skip = [&](const std::string& reason) {
+    ++local.bad_lines;
+    bad_requests->Increment();
+    TAXOREC_LOG(WARN) << "skipping malformed request line"
+                      << Kv("path", path) << Kv("line", line_no)
+                      << Kv("reason", reason);
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF
+    if (line.empty()) continue;
+    ++local.total_lines;
+    std::map<std::string, std::string> obj;
+    std::string error;
+    if (!ParseFlatJsonObject(line, &obj, &error)) {
+      skip(error);
+      continue;
+    }
+    const auto user_it = obj.find("user");
+    if (user_it == obj.end()) {
+      skip("missing \"user\"");
+      continue;
+    }
+    uint64_t user = 0;
+    if (!ParseUint(user_it->second, &user)) {
+      skip("non-numeric \"user\": " + user_it->second);
+      continue;
+    }
+    if (user >= num_users) {
+      skip("user id out of range: " + user_it->second);
+      continue;
+    }
+    ServeRequest req;
+    req.user = static_cast<uint32_t>(user);
+    req.k = default_k;
+    if (const auto k_it = obj.find("k"); k_it != obj.end()) {
+      uint64_t k = 0;
+      if (!ParseUint(k_it->second, &k) || k == 0) {
+        skip("bad \"k\": " + k_it->second);
+        continue;
+      }
+      req.k = static_cast<size_t>(k);
+    }
+    requests.push_back(req);
+  }
+  if (stats != nullptr) *stats = local;
+  if (requests.empty()) {
+    if (local.bad_lines > 0) {
+      return Status::InvalidArgument(
+          path + ": all " + std::to_string(local.bad_lines) +
+          " request lines malformed");
+    }
+    return Status::InvalidArgument(path + ": no requests");
+  }
+  return requests;
+}
+
+}  // namespace taxorec

@@ -1,0 +1,39 @@
+// JSONL request-stream loading for the serving harness.
+//
+// A replayed request log is operator input, not trusted data: one mangled
+// line must not take the whole replay down. LoadRequestsJsonl therefore
+// skips malformed lines — bad JSON, a missing/non-numeric "user" or "k",
+// a user id out of range — with a WARN log naming path:line and the
+// reason, and counts them in the taxorec.serve.bad_requests counter and
+// in RequestLogStats. The load only fails outright when it produces no
+// usable request at all (unreadable file, empty stream, or every line
+// bad).
+#ifndef TAXOREC_SERVE_REQUEST_IO_H_
+#define TAXOREC_SERVE_REQUEST_IO_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/request.h"
+
+namespace taxorec {
+
+struct RequestLogStats {
+  size_t total_lines = 0;  // non-empty lines seen
+  size_t bad_lines = 0;    // skipped with a WARN
+};
+
+/// Loads a JSONL request stream ({"user": 7, "k": 10} per line; "k"
+/// optional, defaulting to `default_k`). Malformed lines are skipped (see
+/// header comment); `stats` (optional) reports how many. Returns
+/// InvalidArgument when no line yields a valid request and IOError when
+/// the file cannot be read.
+StatusOr<std::vector<ServeRequest>> LoadRequestsJsonl(
+    const std::string& path, size_t default_k, size_t num_users,
+    RequestLogStats* stats = nullptr);
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_SERVE_REQUEST_IO_H_

@@ -10,8 +10,8 @@ ResultCache::ResultCache(size_t capacity) : capacity_(capacity) {
 
 bool ResultCache::Get(uint32_t user, size_t k, uint64_t version,
                       std::vector<TopKEntry>* out) {
-  const Key key{user, k, version};
   std::lock_guard<std::mutex> lock(mu_);
+  const Key key{user, k, version, generation_};
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
@@ -25,8 +25,8 @@ bool ResultCache::Get(uint32_t user, size_t k, uint64_t version,
 
 void ResultCache::Put(uint32_t user, size_t k, uint64_t version,
                       const std::vector<TopKEntry>& list) {
-  const Key key{user, k, version};
   std::lock_guard<std::mutex> lock(mu_);
+  const Key key{user, k, version, generation_};
   auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->second = list;
@@ -45,6 +45,16 @@ void ResultCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
+}
+
+void ResultCache::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++generation_;
+}
+
+uint64_t ResultCache::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
 }
 
 size_t ResultCache::size() const {

@@ -8,6 +8,15 @@
 // ranked lists, so a hit is a lock, a hash probe, and one copy; correctness
 // never depends on it — a hit returns exactly what recomputation would.
 //
+// Invalidation is also available explicitly: Invalidate() bumps an internal
+// generation that is part of every key, so all current entries stop
+// matching at once without the caller owning a version — the lever drain
+// (BatchServer::Drain) and hot snapshot swap pull. Invalidated entries are
+// evicted lazily like version-stale ones: they keep their LRU positions
+// and fall out under insertion pressure oldest-first, which keeps
+// Invalidate O(1) and the LRU state a pure function of the request stream.
+// Clear() remains the eager variant.
+//
 // Thread-safe: one mutex around the map + recency list. The serving fan-out
 // only touches the cache once per request (miss) or once total (hit), far
 // from the scoring inner loop, so contention is negligible.
@@ -46,25 +55,35 @@ class ResultCache {
   /// Drops every entry (hit/miss counters are preserved).
   void Clear();
 
+  /// Deterministically invalidates every current entry by bumping the
+  /// cache generation (O(1); stale entries are evicted lazily by LRU
+  /// pressure, oldest first). Subsequent Gets for any key miss until the
+  /// list is Put again.
+  void Invalidate();
+
   size_t size() const;
   size_t capacity() const { return capacity_; }
   uint64_t hits() const;
   uint64_t misses() const;
+  /// Invalidate() calls so far (the current generation).
+  uint64_t generation() const;
 
  private:
   struct Key {
     uint32_t user;
     uint64_t k;
     uint64_t version;
+    uint64_t generation;
     bool operator==(const Key&) const = default;
   };
   struct KeyHash {
     size_t operator()(const Key& key) const {
-      // splitmix64-style mix of the three fields.
+      // splitmix64-style mix of the four fields.
       uint64_t h = key.user;
       h = (h ^ (key.k + 0x9E3779B97F4A7C15ULL)) * 0xBF58476D1CE4E5B9ULL;
       h = (h ^ (h >> 31) ^ key.version) * 0x94D049BB133111EBULL;
-      return static_cast<size_t>(h ^ (h >> 29));
+      h = (h ^ (h >> 29) ^ key.generation) * 0xBF58476D1CE4E5B9ULL;
+      return static_cast<size_t>(h ^ (h >> 32));
     }
   };
   using Entry = std::pair<Key, std::vector<TopKEntry>>;
@@ -75,6 +94,7 @@ class ResultCache {
   std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace taxorec

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
+#include "common/log.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/trace.h"
@@ -18,6 +21,14 @@ struct ServeMetrics {
   Counter* batches;
   Histogram* batch_seconds;
   Histogram* request_seconds;
+  Counter* shed;
+  Counter* shed_queue_full;
+  Counter* shed_cost;
+  Counter* shed_deadline;
+  Counter* shed_draining;
+  Counter* deadline_missed;
+  Counter* degraded;
+  Counter* tier_requests[3];  // indexed by tier rung (double/float32/int8)
 
   static ServeMetrics& Instance() {
     static ServeMetrics m{
@@ -31,8 +42,40 @@ struct ServeMetrics {
         MetricsRegistry::Instance().GetHistogram(
             "taxorec.serve.request_seconds",
             {1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.1, 0.5, 1.0, 5.0}),
+        MetricsRegistry::Instance().GetCounter("taxorec.serve.shed"),
+        MetricsRegistry::Instance().GetCounter(
+            "taxorec.serve.shed.queue_full"),
+        MetricsRegistry::Instance().GetCounter("taxorec.serve.shed.cost"),
+        MetricsRegistry::Instance().GetCounter("taxorec.serve.shed.deadline"),
+        MetricsRegistry::Instance().GetCounter("taxorec.serve.shed.draining"),
+        MetricsRegistry::Instance().GetCounter(
+            "taxorec.serve.deadline_missed"),
+        MetricsRegistry::Instance().GetCounter("taxorec.serve.degraded"),
+        {MetricsRegistry::Instance().GetCounter("taxorec.serve.tier.double"),
+         MetricsRegistry::Instance().GetCounter("taxorec.serve.tier.float32"),
+         MetricsRegistry::Instance().GetCounter("taxorec.serve.tier.int8")},
     };
     return m;
+  }
+
+  void CountShed(ServeStatus status, uint64_t n = 1) {
+    shed->Increment(n);
+    switch (status) {
+      case ServeStatus::kShedQueueFull:
+        shed_queue_full->Increment(n);
+        break;
+      case ServeStatus::kShedCost:
+        shed_cost->Increment(n);
+        break;
+      case ServeStatus::kShedDeadline:
+        shed_deadline->Increment(n);
+        break;
+      case ServeStatus::kShedDraining:
+        shed_draining->Increment(n);
+        break;
+      default:
+        break;
+    }
   }
 };
 
@@ -45,6 +88,29 @@ struct WorkerScratch {
   std::vector<size_t> batch_slots;  // miss indices the sub-batch fills
   std::vector<std::vector<TopKEntry>> batch_results;
 };
+
+int TierIndex(PrecisionTier tier) {
+  switch (tier) {
+    case PrecisionTier::kDouble:
+      return 0;
+    case PrecisionTier::kFloat32:
+      return 1;
+    case PrecisionTier::kInt8:
+      return 2;
+  }
+  return 0;
+}
+
+PrecisionTier TierFromIndex(int index) {
+  switch (index) {
+    case 1:
+      return PrecisionTier::kFloat32;
+    case 2:
+      return PrecisionTier::kInt8;
+    default:
+      return PrecisionTier::kDouble;
+  }
+}
 
 }  // namespace
 
@@ -64,11 +130,46 @@ BatchServer::BatchServer(FrozenModel model, const DataSplit& split,
   if (options_.cache_capacity > 0) {
     cache_ = std::make_unique<ResultCache>(options_.cache_capacity);
   }
+  admission_ = std::make_unique<AdmissionController>(options_.admission);
+  if (options_.admission.degrade) {
+    if (!model_.native()) {
+      TAXOREC_LOG(WARN)
+          << "degradation ladder unavailable for kVirtual snapshots; "
+             "serving the configured tier only";
+    } else {
+      // Build every rung below the configured tier up front, so the first
+      // step-down never pays a snapshot re-encode on the serving path. A
+      // rung whose compact build fails (serve-snapshot-load fault) falls
+      // back to kDouble inside FrozenModel; the mismatched tier drops it
+      // from the ladder and serving continues at the rungs that exist.
+      for (int t = TierIndex(model_.tier()) + 1; t <= 2; ++t) {
+        auto rung = std::make_unique<FrozenModel>(
+            ScoringSnapshot(model_.snapshot()), TierFromIndex(t));
+        if (TierIndex(rung->tier()) != t) {
+          TAXOREC_LOG(WARN) << "degradation rung unavailable"
+                            << Kv("tier", PrecisionTierName(TierFromIndex(t)));
+          continue;
+        }
+        degraded_[t] = std::move(rung);
+      }
+    }
+  }
 }
 
 std::span<const uint32_t> BatchServer::ExclusionsFor(uint32_t user) const {
   if (!options_.exclude_train) return {};
   return split_->train.RowCols(user);
+}
+
+const FrozenModel* BatchServer::ModelForSteps(int steps) const {
+  const int base = TierIndex(model_.tier());
+  int eff = std::min(2, base + std::max(0, steps));
+  while (eff > base && degraded_[eff] == nullptr) --eff;
+  return eff == base ? &model_ : degraded_[eff].get();
+}
+
+PrecisionTier BatchServer::effective_tier() const {
+  return ModelForSteps(admission_->degrade_steps())->tier();
 }
 
 std::vector<TopKEntry> BatchServer::ServeOne(const ServeRequest& request) {
@@ -77,34 +178,133 @@ std::vector<TopKEntry> BatchServer::ServeOne(const ServeRequest& request) {
 
 std::vector<std::vector<TopKEntry>> BatchServer::ServeBatch(
     std::span<const ServeRequest> requests) {
+  std::vector<ServeResult> served = ServeBatchEx(requests);
+  std::vector<std::vector<TopKEntry>> lists(served.size());
+  for (size_t i = 0; i < served.size(); ++i) {
+    lists[i] = std::move(served[i].items);
+  }
+  return lists;
+}
+
+std::vector<ServeResult> BatchServer::ServeBatchEx(
+    std::span<const ServeRequest> requests) {
+  if (admission_->draining()) {
+    ServeMetrics& metrics = ServeMetrics::Instance();
+    std::vector<ServeResult> results(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      results[i].request = requests[i];
+      results[i].status = ServeStatus::kShedDraining;
+    }
+    metrics.CountShed(ServeStatus::kShedDraining, requests.size());
+    return results;
+  }
+  return ServeInternal(requests);
+}
+
+AdmitResult BatchServer::Submit(const ServeRequest& request) {
+  const AdmitResult verdict = admission_->Offer(request);
+  ServeMetrics& metrics = ServeMetrics::Instance();
+  switch (verdict) {
+    case AdmitResult::kAdmitted:
+      break;
+    case AdmitResult::kShedQueueFull:
+      metrics.CountShed(ServeStatus::kShedQueueFull);
+      break;
+    case AdmitResult::kShedCost:
+      metrics.CountShed(ServeStatus::kShedCost);
+      break;
+    case AdmitResult::kShedDraining:
+      metrics.CountShed(ServeStatus::kShedDraining);
+      break;
+  }
+  return verdict;
+}
+
+std::vector<ServeResult> BatchServer::ServeQueued(size_t max_requests) {
+  std::vector<ServeRequest> batch;
+  batch.reserve(std::min(max_requests, admission_->queue_depth()));
+  admission_->Take(max_requests, &batch);
+  if (batch.empty()) return {};
+  return ServeInternal(batch);
+}
+
+std::vector<ServeResult> BatchServer::Drain() {
+  admission_->BeginDrain();
+  std::vector<ServeResult> out;
+  constexpr size_t kDrainBatch = 64;
+  while (true) {
+    std::vector<ServeResult> batch = ServeQueued(kDrainBatch);
+    if (batch.empty()) break;
+    for (ServeResult& r : batch) out.push_back(std::move(r));
+  }
+  if (cache_ != nullptr) cache_->Invalidate();
+  if (!drained_logged_.exchange(true)) {
+    ServeMetrics& metrics = ServeMetrics::Instance();
+    TAXOREC_LOG(INFO) << "batch server drained"
+                      << Kv("drained_requests", out.size())
+                      << Kv("served_total", metrics.requests->value())
+                      << Kv("shed_total", metrics.shed->value())
+                      << Kv("cache_invalidated", cache_ != nullptr);
+  }
+  return out;
+}
+
+std::vector<ServeResult> BatchServer::ServeInternal(
+    std::span<const ServeRequest> requests) {
   TraceSpan span("serve_batch");
   const auto start = std::chrono::steady_clock::now();
   ServeMetrics& metrics = ServeMetrics::Instance();
   const uint64_t version = exclusion_version();
 
-  std::vector<std::vector<TopKEntry>> results(requests.size());
-  // Phase 1: cache probes in request order on the caller thread.
-  std::vector<size_t> misses;
-  if (cache_ != nullptr) {
+  // The scoring tier is chosen once per batch from the ladder position —
+  // never mid-batch, so one batch's lists come from one model. Degraded
+  // batches bypass the result cache entirely: cached lists always reflect
+  // the configured tier.
+  const FrozenModel* active = ModelForSteps(admission_->degrade_steps());
+  const bool degraded = active != &model_;
+  const bool use_cache = cache_ != nullptr && !degraded;
+
+  std::vector<ServeResult> results(requests.size());
+  bool any_deadline = false;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    TAXOREC_CHECK(requests[i].user < model_.num_users());
+    results[i].request = requests[i];
+    results[i].tier = active->tier();
+    any_deadline = any_deadline || HasDeadline(requests[i]);
+  }
+
+  // Phase 0: shed-before-score. A request whose budget is already spent
+  // never reaches the cache or a kernel.
+  if (any_deadline) {
+    const auto now = ServeClock::now();
     for (size_t i = 0; i < requests.size(); ++i) {
-      TAXOREC_CHECK(requests[i].user < model_.num_users());
-      if (!cache_->Get(requests[i].user, requests[i].k, version,
-                       &results[i])) {
-        misses.push_back(i);
+      if (HasDeadline(requests[i]) && requests[i].deadline <= now) {
+        results[i].status = ServeStatus::kShedDeadline;
+        metrics.CountShed(ServeStatus::kShedDeadline);
       }
     }
-  } else {
-    misses.resize(requests.size());
-    for (size_t i = 0; i < requests.size(); ++i) {
-      TAXOREC_CHECK(requests[i].user < model_.num_users());
-      misses[i] = i;
+  }
+
+  // Phase 1: cache probes in request order on the caller thread.
+  std::vector<size_t> misses;
+  size_t hits = 0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (results[i].status != ServeStatus::kOk) continue;
+    if (use_cache && cache_->Get(requests[i].user, requests[i].k, version,
+                                 &results[i].items)) {
+      ++hits;
+    } else {
+      misses.push_back(i);
     }
   }
 
   // Phase 2: rank the misses across the pool. Each worker consumes whole
   // chunks of the miss list in user_batch-sized sub-batches; every result
   // lands in its own slot, so the fan-out is race-free and the lists are
-  // bit-identical at any thread count.
+  // bit-identical at any thread count. Before each sub-batch the worker
+  // re-reads the clock (only when some request carries a deadline):
+  // requests that died while earlier sub-batches ran are shed without
+  // touching a kernel — the mid-batch deadline stop.
   ThreadLocalAccumulator<WorkerScratch> scratch;
   const auto exclude_of = [this](uint32_t user) {
     return ExclusionsFor(user);
@@ -118,43 +318,82 @@ std::vector<std::vector<TopKEntry>> BatchServer::ServeBatch(
           s.batch_users.clear();
           s.batch_ks.clear();
           s.batch_slots.clear();
+          const auto now =
+              any_deadline ? ServeClock::now() : ServeClock::time_point{};
           for (size_t m = b0; m < b1; ++m) {
-            const ServeRequest& req = requests[misses[m]];
+            const size_t slot = misses[m];
+            const ServeRequest& req = requests[slot];
+            if (any_deadline && HasDeadline(req) && req.deadline <= now) {
+              results[slot].status = ServeStatus::kShedDeadline;
+              metrics.CountShed(ServeStatus::kShedDeadline);
+              continue;
+            }
             s.batch_users.push_back(req.user);
             s.batch_ks.push_back(req.k);
-            s.batch_slots.push_back(misses[m]);
+            s.batch_slots.push_back(slot);
           }
-          BlockedTopKBatch(model_, s.batch_users, s.batch_ks, exclude_of,
+          if (s.batch_users.empty()) continue;
+          if (TAXOREC_FAULT(faults::kServeSlowKernel, -1)) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(faults::kServeSlowKernelStallMs));
+          }
+          BlockedTopKBatch(*active, s.batch_users, s.batch_ks, exclude_of,
                            &s.heaps, &s.scores, &s.batch_results,
                            options_.item_block);
           for (size_t j = 0; j < s.batch_slots.size(); ++j) {
-            results[s.batch_slots[j]] = std::move(s.batch_results[j]);
+            results[s.batch_slots[j]].items = std::move(s.batch_results[j]);
           }
         }
       });
 
-  // Phase 3: cache fills in request order on the caller thread, so the
-  // LRU state never depends on worker scheduling.
-  if (cache_ != nullptr) {
+  // Late completions: the list is full quality, only tardy. Counted
+  // separately from sheds — callers may still use it.
+  size_t computed = 0;
+  if (any_deadline) {
+    const auto end = ServeClock::now();
     for (size_t i : misses) {
-      cache_->Put(requests[i].user, requests[i].k, version, results[i]);
+      if (results[i].status != ServeStatus::kOk) continue;
+      ++computed;
+      if (HasDeadline(requests[i]) && requests[i].deadline < end) {
+        results[i].status = ServeStatus::kLate;
+        metrics.deadline_missed->Increment();
+      }
+    }
+  } else {
+    computed = misses.size();
+  }
+
+  // Phase 3: cache fills in request order on the caller thread, so the
+  // LRU state never depends on worker scheduling. Degraded batches skip
+  // this — see above.
+  if (use_cache) {
+    for (size_t i : misses) {
+      if (IsShed(results[i].status)) continue;
+      cache_->Put(requests[i].user, requests[i].k, version, results[i].items);
     }
   }
 
   const double secs = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - start)
                           .count();
-  metrics.requests->Increment(requests.size());
-  metrics.cache_hits->Increment(requests.size() - misses.size());
-  metrics.computed->Increment(misses.size());
+  const size_t served = hits + computed;
+  metrics.requests->Increment(served);
+  metrics.cache_hits->Increment(hits);
+  metrics.computed->Increment(computed);
   metrics.batches->Increment();
   metrics.batch_seconds->Observe(secs);
-  if (!requests.empty()) {
-    const double per_request = secs / static_cast<double>(requests.size());
-    for (size_t i = 0; i < requests.size(); ++i) {
+  metrics.tier_requests[TierIndex(active->tier())]->Increment(computed);
+  if (degraded) metrics.degraded->Increment(computed);
+  if (served > 0) {
+    const double per_request = secs / static_cast<double>(served);
+    for (size_t i = 0; i < served; ++i) {
       metrics.request_seconds->Observe(per_request);
     }
   }
+  // Feed the pressure signal: outstanding depth is what is still queued
+  // plus the batch that just ran.
+  admission_->ObserveBatch(secs, requests.size(),
+                           admission_->queue_depth() + requests.size());
   return results;
 }
 

@@ -8,21 +8,29 @@
 //   taxorec_serve --data data.tsv --model TaxoRec --random-requests 5000
 //
 //   # Restore a TaxoRec checkpoint and replay a recorded JSONL stream:
-//   taxorec_serve --data data.tsv --checkpoint model.ckpt \
+//   taxorec_serve --data data.tsv --checkpoint model.ckpt
 //       --requests reqs.jsonl --cache 4096 --out results.jsonl
 //
 //   # Serve from the vectorized float32 tier (or int8 coarse + float32
 //   # re-rank) instead of bit-exact double — see DESIGN.md §11:
 //   taxorec_serve --data data.tsv --random-requests 5000 --precision float32
 //
+//   # Overload-robust replay (DESIGN.md §12): bounded admission queue,
+//   # 50 ms deadline budgets, adaptive precision degradation; finishes
+//   # with a graceful drain:
+//   taxorec_serve --data data.tsv --random-requests 5000
+//       --max-queue 256 --deadline-ms 50 --degrade
+//
 // The request file is JSONL, one object per line: {"user": 7, "k": 10}
-// ("k" optional; defaults to --k). Results (--out) are JSONL lines of the
-// form {"user":7,"k":10,"items":[...],"scores":[...]}.
+// ("k" optional; defaults to --k). Malformed lines are skipped with a
+// WARN (taxorec.serve.bad_requests counts them); the run only fails when
+// every line is bad. Results (--out) are JSONL lines of the form
+// {"user":7,"k":10,"items":[...],"scores":[...]}, with an extra
+// "status" field on requests that were shed or finished late.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -36,6 +44,7 @@
 #include "data/io.h"
 #include "data/split.h"
 #include "math/rng.h"
+#include "serve/request_io.h"
 #include "serve/server.h"
 
 namespace taxorec::serve_tool {
@@ -44,45 +53,6 @@ namespace {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
-}
-
-StatusOr<std::vector<ServeRequest>> LoadRequests(const std::string& path,
-                                                 size_t default_k,
-                                                 size_t num_users) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot read " + path);
-  std::vector<ServeRequest> requests;
-  std::string line;
-  size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty()) continue;
-    std::map<std::string, std::string> obj;
-    std::string error;
-    if (!ParseFlatJsonObject(line, &obj, &error)) {
-      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
-                                     ": " + error);
-    }
-    const auto user_it = obj.find("user");
-    if (user_it == obj.end()) {
-      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
-                                     ": missing \"user\"");
-    }
-    ServeRequest req;
-    req.user = static_cast<uint32_t>(std::stoul(user_it->second));
-    if (req.user >= num_users) {
-      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
-                                     ": user id out of range");
-    }
-    const auto k_it = obj.find("k");
-    req.k = k_it != obj.end() ? static_cast<size_t>(std::stoul(k_it->second))
-                              : default_k;
-    requests.push_back(req);
-  }
-  if (requests.empty()) {
-    return Status::InvalidArgument(path + ": no requests");
-  }
-  return requests;
 }
 
 std::vector<ServeRequest> RandomRequests(size_t n, size_t default_k,
@@ -97,25 +67,31 @@ std::vector<ServeRequest> RandomRequests(size_t n, size_t default_k,
 }
 
 Status WriteResults(const std::string& path,
-                    const std::vector<ServeRequest>& requests,
-                    const std::vector<std::vector<TopKEntry>>& results) {
+                    const std::vector<ServeResult>& results) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) return Status::IOError("cannot write " + path);
   JsonWriter w;
-  for (size_t i = 0; i < requests.size(); ++i) {
+  for (const ServeResult& r : results) {
     w.BeginObject();
-    w.Key("user").Uint(requests[i].user);
-    w.Key("k").Uint(requests[i].k);
+    w.Key("user").Uint(r.request.user);
+    w.Key("k").Uint(r.request.k);
+    if (r.status != ServeStatus::kOk) {
+      w.Key("status").String(ServeStatusName(r.status));
+    }
     w.Key("items").BeginArray();
-    for (const TopKEntry& e : results[i]) w.Uint(e.item);
+    for (const TopKEntry& e : r.items) w.Uint(e.item);
     w.EndArray();
     w.Key("scores").BeginArray();
-    for (const TopKEntry& e : results[i]) w.Double(e.score);
+    for (const TopKEntry& e : r.items) w.Double(e.score);
     w.EndArray();
     w.EndObject();
     out << w.TakeString() << "\n";
   }
   return Status::OK();
+}
+
+uint64_t CounterValue(const char* name) {
+  return MetricsRegistry::Instance().GetCounter(name)->value();
 }
 
 int Main(int argc, const char* const* argv) {
@@ -138,6 +114,15 @@ int Main(int argc, const char* const* argv) {
   flags.DefineString("precision", "double",
                      "scoring tier: double (bit-exact), float32 (SIMD), or "
                      "int8 (coarse rank + float32 re-rank)");
+  flags.DefineDouble("deadline-ms", 0.0,
+                     "per-request deadline budget in ms, measured from "
+                     "submit; expired requests are shed (0 = no deadline)");
+  flags.DefineInt("max-queue", 0,
+                  "bounded admission queue capacity; overflow is shed "
+                  "(0 = direct batch replay without a queue)");
+  flags.DefineBool("degrade", false,
+                   "step the scoring tier down (double->float32->int8) "
+                   "under queue pressure, back up when it clears");
   flags.DefineInt("dim", 64, "embedding dimension (training path)");
   flags.DefineInt("tag-dim", 12, "tag-channel dimension (training path)");
   flags.DefineInt("epochs", 25, "training epochs (training path)");
@@ -188,12 +173,17 @@ int Main(int argc, const char* const* argv) {
   }
 
   std::vector<ServeRequest> requests;
+  RequestLogStats log_stats;
   if (!flags.GetString("requests").empty()) {
-    auto loaded = LoadRequests(flags.GetString("requests"),
-                               static_cast<size_t>(flags.GetInt("k")),
-                               split.num_users);
+    auto loaded = LoadRequestsJsonl(flags.GetString("requests"),
+                                    static_cast<size_t>(flags.GetInt("k")),
+                                    split.num_users, &log_stats);
     if (!loaded.ok()) return Fail(loaded.status());
     requests = std::move(*loaded);
+    if (log_stats.bad_lines > 0) {
+      std::printf("skipped %zu malformed request line(s) of %zu\n",
+                  log_stats.bad_lines, log_stats.total_lines);
+    }
   } else if (flags.GetInt("random-requests") > 0) {
     requests = RandomRequests(
         static_cast<size_t>(flags.GetInt("random-requests")),
@@ -204,6 +194,10 @@ int Main(int argc, const char* const* argv) {
         "one of --requests or --random-requests is required"));
   }
 
+  const double deadline_ms = flags.GetDouble("deadline-ms");
+  if (deadline_ms < 0.0) {
+    return Fail(Status::InvalidArgument("--deadline-ms must be >= 0"));
+  }
   ServeOptions serve_opts;
   serve_opts.cache_capacity = static_cast<size_t>(flags.GetInt("cache"));
   if (!ParsePrecisionTier(flags.GetString("precision"),
@@ -212,26 +206,74 @@ int Main(int argc, const char* const* argv) {
         "--precision must be double, float32 or int8 (got \"" +
         flags.GetString("precision") + "\")"));
   }
+  serve_opts.admission.max_queue =
+      static_cast<size_t>(flags.GetInt("max-queue"));
+  serve_opts.admission.degrade = flags.GetBool("degrade");
+  if (serve_opts.admission.degrade && deadline_ms > 0.0) {
+    // Tie the ladder to the latency target: degrade when the estimated
+    // queue wait eats half the deadline budget, recover below 5% of it.
+    serve_opts.admission.pressure_step_down = 0.5 * deadline_ms / 1000.0;
+    serve_opts.admission.pressure_step_up = 0.05 * deadline_ms / 1000.0;
+  }
+  const bool queued_mode = serve_opts.admission.max_queue > 0;
+
   BatchServer server(*model, split, serve_opts);
   std::printf(
       "serving %zu requests (batch %lld, cache %lld, kernel %s, "
-      "precision %s, snapshot %.1f MiB)\n",
+      "precision %s, snapshot %.1f MiB%s%s)\n",
       requests.size(), static_cast<long long>(flags.GetInt("batch")),
       static_cast<long long>(flags.GetInt("cache")),
       server.model().native() ? "native" : "virtual",
       PrecisionTierName(server.model().tier()),
-      static_cast<double>(server.model().snapshot_bytes()) / (1024.0 * 1024.0));
+      static_cast<double>(server.model().snapshot_bytes()) / (1024.0 * 1024.0),
+      queued_mode ? ", bounded queue" : "",
+      serve_opts.admission.degrade ? ", degrade" : "");
 
   const size_t batch = std::max<size_t>(
       1, static_cast<size_t>(flags.GetInt("batch")));
-  std::vector<std::vector<TopKEntry>> results;
+  std::vector<ServeResult> results;
   results.reserve(requests.size());
   const auto t0 = std::chrono::steady_clock::now();
-  for (size_t b0 = 0; b0 < requests.size(); b0 += batch) {
-    const size_t b1 = std::min(b0 + batch, requests.size());
-    auto lists = server.ServeBatch(std::span<const ServeRequest>(
-        requests.data() + b0, b1 - b0));
-    for (auto& list : lists) results.push_back(std::move(list));
+  if (queued_mode) {
+    // Bounded-admission replay: submit each chunk through the front door
+    // (sheds surface as explicit statuses), serve what was admitted, and
+    // finish with a graceful drain.
+    for (size_t b0 = 0; b0 < requests.size(); b0 += batch) {
+      const size_t b1 = std::min(b0 + batch, requests.size());
+      const auto now = ServeClock::now();
+      for (size_t i = b0; i < b1; ++i) {
+        ServeRequest req = requests[i];
+        if (deadline_ms > 0.0) req.deadline = DeadlineAfterMs(deadline_ms, now);
+        const AdmitResult verdict = server.Submit(req);
+        if (verdict != AdmitResult::kAdmitted) {
+          ServeResult shed;
+          shed.request = req;
+          shed.status = verdict == AdmitResult::kShedCost
+                            ? ServeStatus::kShedCost
+                            : verdict == AdmitResult::kShedDraining
+                                  ? ServeStatus::kShedDraining
+                                  : ServeStatus::kShedQueueFull;
+          results.push_back(std::move(shed));
+        }
+      }
+      auto served = server.ServeQueued(batch);
+      for (auto& r : served) results.push_back(std::move(r));
+    }
+    auto drained = server.Drain();
+    for (auto& r : drained) results.push_back(std::move(r));
+  } else {
+    for (size_t b0 = 0; b0 < requests.size(); b0 += batch) {
+      const size_t b1 = std::min(b0 + batch, requests.size());
+      if (deadline_ms > 0.0) {
+        const auto now = ServeClock::now();
+        for (size_t i = b0; i < b1; ++i) {
+          requests[i].deadline = DeadlineAfterMs(deadline_ms, now);
+        }
+      }
+      auto served = server.ServeBatchEx(std::span<const ServeRequest>(
+          requests.data() + b0, b1 - b0));
+      for (auto& r : served) results.push_back(std::move(r));
+    }
   }
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -254,10 +296,27 @@ int Main(int argc, const char* const* argv) {
                 100.0 * static_cast<double>(hits) /
                     static_cast<double>(requests.size()));
   }
+  const uint64_t shed = CounterValue("taxorec.serve.shed");
+  if (shed > 0 || queued_mode || deadline_ms > 0.0 ||
+      serve_opts.admission.degrade) {
+    std::printf(
+        "overload: shed %llu (queue_full %llu, deadline %llu, draining "
+        "%llu)  deadline_missed %llu  degraded %llu\n",
+        static_cast<unsigned long long>(shed),
+        static_cast<unsigned long long>(
+            CounterValue("taxorec.serve.shed.queue_full")),
+        static_cast<unsigned long long>(
+            CounterValue("taxorec.serve.shed.deadline")),
+        static_cast<unsigned long long>(
+            CounterValue("taxorec.serve.shed.draining")),
+        static_cast<unsigned long long>(
+            CounterValue("taxorec.serve.deadline_missed")),
+        static_cast<unsigned long long>(
+            CounterValue("taxorec.serve.degraded")));
+  }
 
   if (!flags.GetString("out").empty()) {
-    if (Status s = WriteResults(flags.GetString("out"), requests, results);
-        !s.ok()) {
+    if (Status s = WriteResults(flags.GetString("out"), results); !s.ok()) {
       return Fail(s);
     }
     std::printf("wrote %s\n", flags.GetString("out").c_str());
