@@ -17,7 +17,11 @@
 // robust configuration (bounded queue + deadlines + degradation ladder)
 // sheds the excess explicitly and keeps served-request p99 within a small
 // factor of the unloaded p99, while the pre-overload path (unbounded
-// queueing, full precision) lets latency grow without bound.
+// queueing, full precision) lets latency grow without bound. A final
+// timeline run replays the overload episode with a TimeseriesRecorder
+// attached, writing BENCH_serve.stats.jsonl — the window-by-window view of
+// the ladder stepping down under saturation and recovering after
+// (telemetry_report --stats renders it; the max windowed p99 is gated).
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -29,6 +33,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/timeseries.h"
 #include "data/synthetic.h"
 #include "eval/recommend.h"
 #include "hyperbolic/lorentz.h"
@@ -454,6 +459,127 @@ OverloadPoint RunOpenLoop(const Recommender& model, const DataSplit& split,
   return point;
 }
 
+/// Windowed time-series of one overload episode (DESIGN.md §13): phase A
+/// drives open-loop arrivals at 2x the measured service rate, phase B
+/// drops to 0.3x and runs until the degradation ladder steps back to full
+/// precision (bounded by a hard cap). A TimeseriesRecorder ticks on a
+/// ~120 ms cadence; the stats_window lines land in `stats_path`
+/// (renderable with telemetry_report --stats) and show the ladder stepping
+/// down and recovering window by window.
+struct OverloadTimeline {
+  size_t windows = 0;           // total windows written
+  size_t overload_windows = 0;  // windows overlapping phase A
+  double max_steps = 0.0;       // peak degrade_steps gauge during phase A
+  double final_steps = 0.0;
+  double windowed_p99_ms = 0.0;  // max windowed request p99 across phase A
+  double max_window_shed_rate = 0.0;
+  bool recovered = false;
+};
+
+OverloadTimeline RunOverloadTimeline(const Recommender& model,
+                                     const DataSplit& split, size_t k,
+                                     double service_rate, bool quick,
+                                     const char* stats_path) {
+  ServeOptions opts;
+  opts.admission.max_queue = kOverloadMaxQueue;
+  opts.admission.degrade = true;
+  // Same scale-relative ladder thresholds as RunOpenLoop.
+  const double full_queue_wait =
+      static_cast<double>(kOverloadMaxQueue) / service_rate;
+  opts.admission.pressure_step_down = 0.5 * full_queue_wait;
+  opts.admission.pressure_step_up = 0.05 * full_queue_wait;
+  BatchServer server(model, split, opts);
+
+  std::FILE* f = std::fopen(stats_path, "w");
+  TAXOREC_CHECK_MSG(f != nullptr, "cannot write the overload stats stream");
+  constexpr double kTick = 0.12;
+  TimeseriesOptions topts;
+  topts.prefix = "taxorec.serve.";
+  topts.interval_seconds = kTick;
+  TimeseriesRecorder recorder(topts, 0.0);
+
+  const double phase_a = quick ? 0.6 : 0.9;
+  const double hard_cap = phase_a + (quick ? 4.0 : 6.0);
+  const auto deadline_budget =
+      std::chrono::duration_cast<ServeClock::duration>(
+          std::chrono::duration<double, std::milli>(kOverloadDeadlineMs));
+  constexpr size_t kBatch = 64;
+
+  Rng rng(123);
+  OverloadTimeline tl;
+  const auto t0 = ServeClock::now();
+  const auto now_s = [&] {
+    return std::chrono::duration<double>(ServeClock::now() - t0).count();
+  };
+  double next_arrival = 0.0;
+  double next_tick = kTick;
+  while (true) {
+    const double now = now_s();
+    const bool in_a = now < phase_a;
+    const double rate = (in_a ? 2.0 : 0.3) * service_rate;
+    while (next_arrival <= now) {
+      ServeRequest req;
+      req.user = static_cast<uint32_t>(rng.Uniform(split.num_users));
+      req.k = k;
+      req.deadline = t0 +
+                     std::chrono::duration_cast<ServeClock::duration>(
+                         std::chrono::duration<double>(next_arrival)) +
+                     deadline_budget;
+      server.Submit(req);
+      next_arrival += 1.0 / rate;
+    }
+    server.ServeQueued(kBatch);
+    if (now >= next_tick) {
+      const TimeseriesWindow w = recorder.Tick(now);
+      std::fprintf(f, "%s\n", StatsWindowJsonl(w).c_str());
+      ++tl.windows;
+      if (w.t0 < phase_a) {
+        ++tl.overload_windows;
+        const auto steps_it = w.gauges.find("taxorec.serve.degrade_steps");
+        if (steps_it != w.gauges.end()) {
+          tl.max_steps = std::max(tl.max_steps, steps_it->second);
+        }
+        const auto hist = w.histograms.find("taxorec.serve.request_seconds");
+        if (hist != w.histograms.end() && hist->second.count > 0) {
+          tl.windowed_p99_ms =
+              std::max(tl.windowed_p99_ms, hist->second.p99 * 1e3);
+        }
+        const auto shed_it = w.counters.find("taxorec.serve.shed");
+        const auto req_it = w.counters.find("taxorec.serve.requests");
+        const double shed_d = shed_it != w.counters.end()
+                                  ? static_cast<double>(shed_it->second)
+                                  : 0.0;
+        const double req_d = req_it != w.counters.end()
+                                 ? static_cast<double>(req_it->second)
+                                 : 0.0;
+        if (shed_d + req_d > 0.0) {
+          tl.max_window_shed_rate =
+              std::max(tl.max_window_shed_rate, shed_d / (shed_d + req_d));
+        }
+      }
+      next_tick = now + kTick;
+    }
+    if (!in_a && server.admission()->degrade_steps() == 0 &&
+        server.admission()->queue_depth() == 0) {
+      break;
+    }
+    if (now > hard_cap) break;
+  }
+  // Close the stream with the recovered steady state so the last window
+  // shows the ladder back at full precision.
+  const double end = now_s();
+  if (tl.windows == 0 || end > next_tick - kTick) {
+    const TimeseriesWindow w = recorder.Tick(end);
+    std::fprintf(f, "%s\n", StatsWindowJsonl(w).c_str());
+    ++tl.windows;
+  }
+  std::fclose(f);
+  tl.final_steps =
+      static_cast<double>(server.admission()->degrade_steps());
+  tl.recovered = tl.final_steps == 0.0;
+  return tl;
+}
+
 /// Times the three precision tiers over a large dot-kernel catalogue
 /// (dim-32 float32 rows are the serving layout the SIMD kernels target)
 /// and checks the documented rank-stability tolerances. The reduced-tier
@@ -624,6 +750,26 @@ int Main(int argc, const char* const* argv) {
                       "2x overload p99 exceeded 3x the unloaded p99");
   }
 
+  // Overload timeline (DESIGN.md §13): the same episode as a windowed
+  // time-series, written as a stats JSONL stream next to the bench JSON.
+  const char* kTimelineStats = "BENCH_serve.stats.jsonl";
+  const OverloadTimeline timeline = RunOverloadTimeline(
+      dot, split, kTopK, service_rate, quick, kTimelineStats);
+  std::printf(
+      "    timeline: %zu windows (%zu overloaded)  max steps %.0f  "
+      "windowed p99 %.3fms  max window shed %.1f%%  recovered %s  "
+      "-> %s\n",
+      timeline.windows, timeline.overload_windows, timeline.max_steps,
+      timeline.windowed_p99_ms, 100.0 * timeline.max_window_shed_rate,
+      timeline.recovered ? "yes" : "no", kTimelineStats);
+  // Acceptance: the window-by-window view must show the ladder stepping
+  // down under 2x saturation and back to full precision once the load
+  // recedes — not just the episode-total counters above.
+  TAXOREC_CHECK_MSG(timeline.max_steps >= 1.0,
+                    "overload timeline never stepped the ladder down");
+  TAXOREC_CHECK_MSG(timeline.recovered,
+                    "ladder failed to recover after the load receded");
+
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -659,7 +805,11 @@ int Main(int argc, const char* const* argv) {
       "\"degraded\": %llu, \"deadline_missed\": %llu},\n"
       "  \"no_admission2x\": {\"p99_ms\": %.4f, \"mean_ms\": %.4f, "
       "\"served\": %zu},\n"
-      "  \"p99_over_unloaded\": %.4f},\n"
+      "  \"p99_over_unloaded\": %.4f,\n"
+      "  \"timeline\": {\"windows\": %zu, \"overload_windows\": %zu, "
+      "\"max_steps\": %.0f, \"final_steps\": %.0f, "
+      "\"windowed_p99_ms\": %.4f, \"max_window_shed_rate\": %.4f, "
+      "\"recovered\": %s, \"stats_path\": \"%s\"}},\n"
       " \"wall_seconds\": %.3f, \"peak_rss_bytes\": %llu,\n"
       " \"rusage\": %s,\n \"profile\": %s,\n \"metrics\": %s}\n",
       threads, HardwareThreads(), quick ? "true" : "false",
@@ -681,7 +831,10 @@ int Main(int argc, const char* const* argv) {
       static_cast<unsigned long long>(over2x.degraded),
       static_cast<unsigned long long>(over2x.deadline_missed),
       naive2x.p99_ms, naive2x.mean_ms, naive2x.served, p99_over_unloaded,
-      wall,
+      timeline.windows, timeline.overload_windows, timeline.max_steps,
+      timeline.final_steps, timeline.windowed_p99_ms,
+      timeline.max_window_shed_rate, timeline.recovered ? "true" : "false",
+      kTimelineStats, wall,
       static_cast<unsigned long long>(PeakRssBytes()),
       RusageJsonObject(SelfRusage()).c_str(), ProfileJsonArray().c_str(),
       MetricsRegistry::Instance().SnapshotJson().c_str());

@@ -59,6 +59,25 @@ std::atomic<int>& LogThreshold() {
   return threshold;
 }
 
+bool LogRateLimited(std::atomic<uint64_t>* last_us, double interval_seconds) {
+  // +1 keeps 0 free as the "never logged" sentinel.
+  const uint64_t now_us =
+      static_cast<uint64_t>(UptimeSeconds() * 1e6) + 1;
+  const uint64_t interval_us =
+      interval_seconds > 0.0 ? static_cast<uint64_t>(interval_seconds * 1e6)
+                             : 0;
+  uint64_t last = last_us->load(std::memory_order_relaxed);
+  while (last == 0 || now_us - last >= interval_us) {
+    // CAS claims this interval; a losing thread re-checks against the
+    // winner's timestamp and stays quiet.
+    if (last_us->compare_exchange_weak(last, now_us,
+                                       std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void EnsureLogLevelInitialized() {
   static const bool initialized = [] {
     if (const char* env = std::getenv("TAXOREC_LOG_LEVEL")) {

@@ -54,6 +54,17 @@ namespace internal {
 /// through EnsureLogLevelInitialized the first time.
 std::atomic<int>& LogThreshold();
 void EnsureLogLevelInitialized();
+
+/// True on the 1st, (n+1)th, (2n+1)th, ... call with the same counter
+/// (one relaxed RMW). Backs TAXOREC_LOG_EVERY_N.
+inline bool LogEveryN(std::atomic<uint64_t>* counter, uint64_t n) {
+  if (n <= 1) return true;
+  return counter->fetch_add(1, std::memory_order_relaxed) % n == 0;
+}
+
+/// True at most once per `interval_seconds` across all threads sharing
+/// `last_us` (CAS claims the slot). Backs TAXOREC_LOG_RATELIMITED.
+bool LogRateLimited(std::atomic<uint64_t>* last_us, double interval_seconds);
 }  // namespace internal
 
 /// True when a message of `level` would be emitted.
@@ -126,6 +137,37 @@ inline constexpr LogLevel kERROR = LogLevel::kError;
   if (!::taxorec::LogEnabled(::taxorec::k##severity))       \
     ;                                                       \
   else                                                      \
+    ::taxorec::LogMessage(::taxorec::k##severity, __FILE__, __LINE__)
+
+// Rate-limited variants for per-event messages on paths that can fire
+// thousands of times per second under load (admission ladder stepping,
+// trace-ring overwrites). Each macro expansion owns its own counter /
+// timestamp, so the limit is per call site but shared across threads.
+// Suppressed calls still short-circuit on the level check first, so fully
+// disabled logging stays one relaxed load.
+//
+// TAXOREC_LOG_EVERY_N(WARN, 100) << ...;   // 1st, 101st, 201st, ... call
+#define TAXOREC_LOG_EVERY_N(severity, n)                                    \
+  if (!::taxorec::LogEnabled(::taxorec::k##severity) ||                     \
+      ![] {                                                                 \
+        static ::std::atomic<uint64_t> taxorec_every_n_counter{0};          \
+        return ::taxorec::internal::LogEveryN(&taxorec_every_n_counter,     \
+                                              (n));                         \
+      }())                                                                  \
+    ;                                                                       \
+  else                                                                      \
+    ::taxorec::LogMessage(::taxorec::k##severity, __FILE__, __LINE__)
+
+// TAXOREC_LOG_RATELIMITED(WARN, 5.0) << ...;  // at most once per 5 s
+#define TAXOREC_LOG_RATELIMITED(severity, interval_seconds)                 \
+  if (!::taxorec::LogEnabled(::taxorec::k##severity) ||                     \
+      ![] {                                                                 \
+        static ::std::atomic<uint64_t> taxorec_ratelimit_last_us{0};        \
+        return ::taxorec::internal::LogRateLimited(                         \
+            &taxorec_ratelimit_last_us, (interval_seconds));                \
+      }())                                                                  \
+    ;                                                                       \
+  else                                                                      \
     ::taxorec::LogMessage(::taxorec::k##severity, __FILE__, __LINE__)
 
 }  // namespace taxorec

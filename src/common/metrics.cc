@@ -42,16 +42,21 @@ void Histogram::Observe(double v) {
   AtomicAdd(&sum_, v);
 }
 
-double Histogram::Percentile(double q) const {
+double PercentileFromBuckets(const std::vector<double>& bounds,
+                             const std::vector<uint64_t>& bucket_counts,
+                             double q) {
   TAXOREC_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
-  const uint64_t total = count();
+  TAXOREC_CHECK_MSG(bucket_counts.size() == bounds.size() + 1,
+                    "bucket_counts must be bounds plus an overflow bucket");
+  uint64_t total = 0;
+  for (const uint64_t c : bucket_counts) total += c;
   if (total == 0) return 0.0;
   // Rank of the q-th observation (1-based, ceil — q=0 hits the first).
   const uint64_t rank = std::max<uint64_t>(
       1, static_cast<uint64_t>(q * static_cast<double>(total) + 0.9999999));
   uint64_t seen = 0;
-  for (size_t i = 0; i <= bounds_.size(); ++i) {
-    const uint64_t in_bucket = bucket_count(i);
+  for (size_t i = 0; i <= bounds.size(); ++i) {
+    const uint64_t in_bucket = bucket_counts[i];
     if (in_bucket == 0) continue;
     if (seen + in_bucket < rank) {
       seen += in_bucket;
@@ -59,14 +64,20 @@ double Histogram::Percentile(double q) const {
     }
     // Overflow bucket has no upper bound; the last bound is the best
     // defensible answer (documented clamp).
-    if (i == bounds_.size()) return bounds_.back();
-    // Interpolate linearly inside [lo, bounds_[i]] by rank position.
-    const double lo = i == 0 ? std::min(0.0, bounds_[0]) : bounds_[i - 1];
+    if (i == bounds.size()) return bounds.back();
+    // Interpolate linearly inside [lo, bounds[i]] by rank position.
+    const double lo = i == 0 ? std::min(0.0, bounds[0]) : bounds[i - 1];
     const double frac = static_cast<double>(rank - seen) /
                         static_cast<double>(in_bucket);
-    return lo + (bounds_[i] - lo) * frac;
+    return lo + (bounds[i] - lo) * frac;
   }
-  return bounds_.back();  // unreachable when counts are consistent
+  return bounds.back();  // unreachable when counts are consistent
+}
+
+double Histogram::Percentile(double q) const {
+  std::vector<uint64_t> counts(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts[i] = bucket_count(i);
+  return PercentileFromBuckets(bounds_, counts, q);
 }
 
 void Histogram::Reset() {
@@ -160,6 +171,33 @@ std::string MetricsRegistry::SnapshotJson() const {
   w.EndObject();
   w.EndObject();
   return w.TakeString();
+}
+
+MetricsState MetricsRegistry::State(const std::string& prefix) const {
+  const auto matches = [&prefix](const std::string& name) {
+    return prefix.empty() || name.rfind(prefix, 0) == 0;
+  };
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsState out;
+  for (const auto& [name, c] : counters_) {
+    if (matches(name)) out.counters[name] = c->value();
+  }
+  for (const auto& [name, g] : gauges_) {
+    if (matches(name)) out.gauges[name] = g->value();
+  }
+  for (const auto& [name, h] : histograms_) {
+    if (!matches(name)) continue;
+    HistogramState s;
+    s.bounds = h->bounds();
+    s.bucket_counts.resize(s.bounds.size() + 1);
+    for (size_t i = 0; i <= s.bounds.size(); ++i) {
+      s.bucket_counts[i] = h->bucket_count(i);
+    }
+    s.count = h->count();
+    s.sum = h->sum();
+    out.histograms[name] = std::move(s);
+  }
+  return out;
 }
 
 void MetricsRegistry::ResetAll() {

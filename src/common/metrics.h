@@ -84,6 +84,35 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+/// Estimated q-quantile of a bucketed distribution (`bucket_counts` has
+/// one entry per bound plus a trailing overflow bucket). Shared between
+/// Histogram::Percentile (cumulative counts) and TimeseriesRecorder
+/// (per-window bucket deltas): exact at bucket edges, linearly
+/// interpolated within, clamped to bounds.back() for overflow
+/// observations, 0 with no observations.
+double PercentileFromBuckets(const std::vector<double>& bounds,
+                             const std::vector<uint64_t>& bucket_counts,
+                             double q);
+
+/// Point-in-time value of one histogram (bucket counts are a consistent
+/// enough snapshot for windowed deltas; individual loads are relaxed).
+struct HistogramState {
+  std::vector<double> bounds;
+  std::vector<uint64_t> bucket_counts;  // bounds.size() + 1, overflow last
+  uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Point-in-time values of every registered instrument, keyed by name.
+/// This is the delta-friendly complement to SnapshotJson: two States taken
+/// an interval apart subtract into per-window rates and windowed
+/// percentiles (common/timeseries.h).
+struct MetricsState {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramState> histograms;
+};
+
 /// Process-wide instrument registry (leaky singleton — safe to update from
 /// any thread for the whole process lifetime). Instrument pointers remain
 /// valid forever; ResetAll zeroes values but never invalidates pointers.
@@ -102,6 +131,10 @@ class MetricsRegistry {
   /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with keys
   /// sorted by instrument name.
   std::string SnapshotJson() const;
+
+  /// Current value of every instrument whose name starts with `prefix`
+  /// ("" selects everything).
+  MetricsState State(const std::string& prefix = "") const;
 
   /// Zeroes every registered instrument (test isolation / per-run scoping).
   void ResetAll();

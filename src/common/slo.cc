@@ -1,0 +1,151 @@
+#include "common/slo.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/json.h"
+#include "common/log.h"
+#include "common/metrics.h"
+
+namespace taxorec {
+
+SloObjective LatencySloP99(std::string name, std::string histogram,
+                           double max_seconds, double target) {
+  SloObjective o;
+  o.name = std::move(name);
+  o.kind = SloObjective::Kind::kLatencyQuantile;
+  o.metric = std::move(histogram);
+  o.quantile = 0.99;
+  o.max_value = max_seconds;
+  o.target = target;
+  return o;
+}
+
+SloObjective ShedRateSlo(double max_fraction, double target) {
+  SloObjective o;
+  o.name = "shed_rate";
+  o.kind = SloObjective::Kind::kRatio;
+  o.metric = "taxorec.serve.shed";
+  o.denominators = {"taxorec.serve.requests", "taxorec.serve.shed"};
+  o.max_value = max_fraction;
+  o.target = target;
+  return o;
+}
+
+SloTracker::SloTracker(std::vector<SloObjective> objectives) {
+  states_.reserve(objectives.size());
+  auto& reg = MetricsRegistry::Instance();
+  for (auto& o : objectives) {
+    TAXOREC_CHECK_MSG(!o.name.empty(), "SLO objective needs a name");
+    TAXOREC_CHECK_MSG(o.target > 0.0 && o.target < 1.0,
+                      "SLO target must be in (0, 1)");
+    TAXOREC_CHECK_MSG(
+        o.kind != SloObjective::Kind::kRatio || !o.denominators.empty(),
+        "ratio SLO needs at least one denominator counter");
+    const std::string base = "taxorec.slo." + o.name;
+    State s{std::move(o), 0, 0, reg.GetCounter(base + ".windows"),
+            reg.GetCounter(base + ".violations"),
+            reg.GetGauge(base + ".burn_rate")};
+    states_.push_back(std::move(s));
+  }
+}
+
+std::vector<SloWindowVerdict> SloTracker::Evaluate(const TimeseriesWindow& w) {
+  std::vector<SloWindowVerdict> verdicts;
+  verdicts.reserve(states_.size());
+  for (State& s : states_) {
+    SloWindowVerdict v;
+    v.name = s.objective.name;
+    switch (s.objective.kind) {
+      case SloObjective::Kind::kLatencyQuantile: {
+        const auto it = w.histograms.find(s.objective.metric);
+        if (it != w.histograms.end() && it->second.count > 0) {
+          v.evaluated = true;
+          v.value = PercentileFromBuckets(it->second.bounds,
+                                          it->second.bucket_deltas,
+                                          s.objective.quantile);
+        }
+        break;
+      }
+      case SloObjective::Kind::kRatio: {
+        const auto num = w.counters.find(s.objective.metric);
+        const uint64_t numerator =
+            num == w.counters.end() ? 0 : num->second;
+        uint64_t denominator = 0;
+        for (const std::string& name : s.objective.denominators) {
+          const auto den = w.counters.find(name);
+          if (den != w.counters.end()) denominator += den->second;
+        }
+        if (denominator > 0) {
+          v.evaluated = true;
+          v.value = static_cast<double>(numerator) /
+                    static_cast<double>(denominator);
+        }
+        break;
+      }
+    }
+    if (v.evaluated) {
+      v.violated = v.value > s.objective.max_value;
+      ++s.windows;
+      s.windows_metric->Increment();
+      if (v.violated) {
+        ++s.violations;
+        s.violations_metric->Increment();
+      }
+      const double budget = 1.0 - s.objective.target;
+      const double bad = static_cast<double>(s.violations) /
+                         static_cast<double>(s.windows);
+      const double burn = bad / budget;
+      s.burn_metric->Set(burn);
+      if (v.violated && burn >= 1.0) {
+        // Windows are coarse (>= ~100 ms), so per-violation WARNs are
+        // already bounded; the rate limit guards pathological sub-second
+        // tick loops.
+        TAXOREC_LOG_RATELIMITED(WARN, 1.0)
+            << "SLO error budget burning" << Kv("slo", s.objective.name)
+            << Kv("window", w.index) << Kv("value", v.value)
+            << Kv("max", s.objective.max_value) << Kv("burn_rate", burn)
+            << Kv("violations", s.violations) << Kv("windows", s.windows);
+      }
+    }
+    verdicts.push_back(std::move(v));
+  }
+  return verdicts;
+}
+
+std::vector<SloTracker::Summary> SloTracker::Summaries() const {
+  std::vector<Summary> out;
+  out.reserve(states_.size());
+  for (const State& s : states_) {
+    Summary sum;
+    sum.name = s.objective.name;
+    sum.target = s.objective.target;
+    sum.windows = s.windows;
+    sum.violations = s.violations;
+    if (s.windows > 0) {
+      const double budget = 1.0 - s.objective.target;
+      const double bad = static_cast<double>(s.violations) /
+                         static_cast<double>(s.windows);
+      sum.burn_rate = bad / budget;
+    }
+    sum.budget_remaining = 1.0 - sum.burn_rate;
+    out.push_back(std::move(sum));
+  }
+  return out;
+}
+
+std::string SloTracker::SummaryJsonl(const Summary& s) {
+  JsonWriter j;
+  j.BeginObject();
+  j.Key("event").String("slo_summary");
+  j.Key("slo").String(s.name);
+  j.Key("target").Double(s.target);
+  j.Key("windows").Uint(s.windows);
+  j.Key("violations").Uint(s.violations);
+  j.Key("burn_rate").Double(s.burn_rate);
+  j.Key("budget_remaining").Double(s.budget_remaining);
+  j.EndObject();
+  return j.TakeString();
+}
+
+}  // namespace taxorec

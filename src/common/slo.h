@@ -1,0 +1,119 @@
+// Declarative service-level objectives evaluated over stats windows.
+//
+// An SloObjective states what "good" looks like for one window —
+//   - kLatencyQuantile: the windowed q-quantile of a histogram must stay
+//     at or below `max_value` (e.g. p99 of taxorec.serve.request_seconds
+//     <= 0.050 s), or
+//   - kRatio: a numerator counter delta divided by the summed denominator
+//     deltas must stay at or below `max_value` (e.g. shed rate =
+//     taxorec.serve.shed / (requests + shed) <= 0.01)
+// — plus a `target` compliance fraction: the objective is met while at
+// least `target` of evaluated windows were good.
+//
+// SloTracker::Evaluate() classifies each TimeseriesWindow, accumulates
+// violation counts, and tracks error-budget burn:
+//
+//   error budget   = 1 - target          (allowed bad-window fraction)
+//   bad fraction   = violations / windows
+//   burn rate      = bad fraction / error budget
+//
+// burn < 1 means the service would meet the objective if the mix so far
+// continued forever; burn >= 1 means the budget is being spent faster
+// than it accrues (WARN-logged per violating window). Every objective
+// also exports taxorec.slo.<name>.{windows,violations} counters and a
+// taxorec.slo.<name>.burn_rate gauge so SLO state flows through
+// --metrics-out and the stats stream like any other instrument.
+//
+// Windows with no traffic (zero histogram observations / zero
+// denominator) are skipped, not counted as good: an idle service neither
+// burns nor earns budget.
+#ifndef TAXOREC_COMMON_SLO_H_
+#define TAXOREC_COMMON_SLO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/timeseries.h"
+
+namespace taxorec {
+
+class Counter;
+class Gauge;
+
+struct SloObjective {
+  enum class Kind {
+    kLatencyQuantile,  // windowed quantile of `metric` <= max_value
+    kRatio,            // delta(metric) / sum(delta(denominators)) <= max_value
+  };
+
+  /// Metric slug: instruments are registered as taxorec.slo.<name>.*.
+  std::string name;
+  Kind kind = Kind::kLatencyQuantile;
+  /// Histogram name (kLatencyQuantile) or numerator counter (kRatio).
+  std::string metric;
+  /// Quantile evaluated for kLatencyQuantile (in [0, 1]).
+  double quantile = 0.99;
+  /// Per-window ceiling: seconds for latency, a fraction for ratios.
+  double max_value = 0.0;
+  /// Counters whose deltas sum to the ratio denominator (kRatio only).
+  std::vector<std::string> denominators;
+  /// Required fraction of evaluated windows that must comply.
+  double target = 0.99;
+};
+
+/// Convenience constructors for the two serve-path objectives tools offer
+/// as flags (`taxorec_serve --slo-p99-ms / --slo-shed-rate`).
+SloObjective LatencySloP99(std::string name, std::string histogram,
+                           double max_seconds, double target = 0.99);
+SloObjective ShedRateSlo(double max_fraction, double target = 0.99);
+
+/// One objective's verdict for one window.
+struct SloWindowVerdict {
+  std::string name;
+  bool evaluated = false;  // false: no traffic in this window
+  bool violated = false;
+  double value = 0.0;  // measured quantile or ratio when evaluated
+};
+
+class SloTracker {
+ public:
+  explicit SloTracker(std::vector<SloObjective> objectives);
+
+  /// Classifies `w` against every objective, updates burn accounting and
+  /// the taxorec.slo.* instruments, and WARNs on budget-burning
+  /// violations. Returns one verdict per objective, in objective order.
+  std::vector<SloWindowVerdict> Evaluate(const TimeseriesWindow& w);
+
+  struct Summary {
+    std::string name;
+    double target = 0.0;
+    uint64_t windows = 0;     // evaluated windows
+    uint64_t violations = 0;  // violating windows
+    double burn_rate = 0.0;   // (violations/windows) / (1 - target)
+    /// Fraction of the error budget left; negative once overspent.
+    double budget_remaining = 1.0;
+  };
+  std::vector<Summary> Summaries() const;
+
+  /// One flat JSON line for the stats stream:
+  ///   {"event":"slo_summary","slo":"p99_latency","target":0.99,
+  ///    "windows":120,"violations":3,"burn_rate":2.5,
+  ///    "budget_remaining":-1.5}
+  static std::string SummaryJsonl(const Summary& s);
+
+ private:
+  struct State {
+    SloObjective objective;
+    uint64_t windows = 0;
+    uint64_t violations = 0;
+    Counter* windows_metric;
+    Counter* violations_metric;
+    Gauge* burn_metric;
+  };
+  std::vector<State> states_;
+};
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_COMMON_SLO_H_

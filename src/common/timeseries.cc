@@ -1,0 +1,102 @@
+#include "common/timeseries.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/json.h"
+
+namespace taxorec {
+
+TimeseriesRecorder::TimeseriesRecorder(TimeseriesOptions options,
+                                       double start_seconds)
+    : options_(std::move(options)),
+      prev_(MetricsRegistry::Instance().State(options_.prefix)),
+      prev_t_(start_seconds) {
+  TAXOREC_CHECK_MSG(options_.interval_seconds > 0.0,
+                    "stats interval must be positive");
+}
+
+TimeseriesWindow TimeseriesRecorder::Tick(double now_seconds) {
+  TAXOREC_CHECK_MSG(now_seconds > prev_t_,
+                    "timeseries tick must move the clock forward");
+  MetricsState cur = MetricsRegistry::Instance().State(options_.prefix);
+
+  TimeseriesWindow w;
+  w.index = index_++;
+  w.t0 = prev_t_;
+  w.t1 = now_seconds;
+  const double dt = w.t1 - w.t0;
+
+  for (const auto& [name, value] : cur.counters) {
+    const auto it = prev_.counters.find(name);
+    // A counter registered mid-window started at 0, so its full value is
+    // this window's delta.
+    const uint64_t before = it == prev_.counters.end() ? 0 : it->second;
+    const uint64_t delta = value >= before ? value - before : 0;
+    w.counters[name] = delta;
+    w.rates[name] = static_cast<double>(delta) / dt;
+  }
+  w.gauges = cur.gauges;
+  for (const auto& [name, state] : cur.histograms) {
+    HistogramWindow hw;
+    hw.bounds = state.bounds;
+    hw.bucket_deltas.resize(state.bucket_counts.size());
+    const auto it = prev_.histograms.find(name);
+    for (size_t i = 0; i < state.bucket_counts.size(); ++i) {
+      const uint64_t before =
+          it == prev_.histograms.end() || i >= it->second.bucket_counts.size()
+              ? 0
+              : it->second.bucket_counts[i];
+      hw.bucket_deltas[i] =
+          state.bucket_counts[i] >= before ? state.bucket_counts[i] - before
+                                           : 0;
+    }
+    const uint64_t count_before =
+        it == prev_.histograms.end() ? 0 : it->second.count;
+    const double sum_before =
+        it == prev_.histograms.end() ? 0.0 : it->second.sum;
+    hw.count = state.count >= count_before ? state.count - count_before : 0;
+    hw.sum = state.sum - sum_before;
+    if (hw.count > 0) {
+      hw.p50 = PercentileFromBuckets(hw.bounds, hw.bucket_deltas, 0.50);
+      hw.p95 = PercentileFromBuckets(hw.bounds, hw.bucket_deltas, 0.95);
+      hw.p99 = PercentileFromBuckets(hw.bounds, hw.bucket_deltas, 0.99);
+    }
+    w.histograms[name] = std::move(hw);
+  }
+
+  prev_ = std::move(cur);
+  prev_t_ = now_seconds;
+  return w;
+}
+
+std::string StatsWindowJsonl(const TimeseriesWindow& w) {
+  JsonWriter j;
+  j.BeginObject();
+  j.Key("event").String("stats_window");
+  j.Key("window").Uint(w.index);
+  j.Key("t0").Double(w.t0);
+  j.Key("t1").Double(w.t1);
+  j.Key("dt").Double(w.t1 - w.t0);
+  for (const auto& [name, delta] : w.counters) {
+    j.Key(name).Uint(delta);
+    const auto rate = w.rates.find(name);
+    if (rate != w.rates.end()) {
+      j.Key(name + ".rate").Double(rate->second);
+    }
+  }
+  for (const auto& [name, value] : w.gauges) {
+    j.Key(name).Double(value);
+  }
+  for (const auto& [name, hw] : w.histograms) {
+    j.Key(name + ".count").Uint(hw.count);
+    j.Key(name + ".sum").Double(hw.sum);
+    j.Key(name + ".p50").Double(hw.p50);
+    j.Key(name + ".p95").Double(hw.p95);
+    j.Key(name + ".p99").Double(hw.p99);
+  }
+  j.EndObject();
+  return j.TakeString();
+}
+
+}  // namespace taxorec

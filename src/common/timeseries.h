@@ -1,0 +1,105 @@
+// Windowed time-series view of the MetricsRegistry.
+//
+// Every instrument in the registry is cumulative-since-process-start,
+// which answers "what happened over this run" but not "what is happening
+// *now*". TimeseriesRecorder turns the cumulative instruments into
+// fixed-interval windows: each Tick() diffs the current registry state
+// against the previous tick and emits one TimeseriesWindow holding
+//   - counter deltas and rates (delta / window length),
+//   - instantaneous gauge values,
+//   - per-histogram window stats (observation delta, sum delta, and
+//     windowed p50/p95/p99 interpolated from the *bucket-count deltas*,
+//     i.e. the latency distribution of this window only — a rolling p99
+//     rather than the lifetime percentile SnapshotJson reports).
+//
+// The recorder is clock-agnostic: callers drive Tick(now_seconds) from a
+// wall clock in tools (`taxorec_serve --stats-out/--stats-interval-ms`)
+// or from a virtual clock in tests, so window semantics are deterministic
+// under test. Ticks are cheap (one registry mutex acquisition + a map
+// diff) and intended for ~100 ms..minutes intervals, not per-request use.
+//
+// StatsWindowJsonl serializes a window as one flat JSON line
+// ({"event":"stats_window",...}, parseable by ParseFlatJsonObject) for
+// the stats JSONL stream rendered by `telemetry_report --stats`.
+#ifndef TAXOREC_COMMON_TIMESERIES_H_
+#define TAXOREC_COMMON_TIMESERIES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace taxorec {
+
+struct TimeseriesOptions {
+  /// Only instruments whose name starts with this prefix are tracked
+  /// ("" tracks everything). Narrowing the prefix keeps window lines and
+  /// diff cost proportional to the subsystem being watched.
+  std::string prefix = "taxorec.";
+  /// Nominal window length in seconds. Metadata only: the actual window
+  /// edges come from the now_seconds values passed to Tick(), so tools
+  /// tick on this cadence while tests tick a virtual clock.
+  double interval_seconds = 1.0;
+};
+
+/// One histogram's activity within a single window.
+struct HistogramWindow {
+  uint64_t count = 0;  // observations in this window
+  double sum = 0.0;    // sum of observations in this window
+  double p50 = 0.0;    // windowed percentiles (0 when count == 0)
+  double p95 = 0.0;
+  double p99 = 0.0;
+  /// Raw per-window bucket deltas (bounds.size() + 1, overflow last) so
+  /// consumers (SloTracker) can evaluate arbitrary quantiles.
+  std::vector<double> bounds;
+  std::vector<uint64_t> bucket_deltas;
+};
+
+/// Everything that happened between two consecutive ticks.
+struct TimeseriesWindow {
+  uint64_t index = 0;  // 0-based window number
+  double t0 = 0.0;     // window start (caller clock, seconds)
+  double t1 = 0.0;     // window end
+  std::map<std::string, uint64_t> counters;  // deltas over the window
+  std::map<std::string, double> rates;       // delta / (t1 - t0), per second
+  std::map<std::string, double> gauges;      // instantaneous at t1
+  std::map<std::string, HistogramWindow> histograms;
+};
+
+class TimeseriesRecorder {
+ public:
+  /// Baselines the registry at `start_seconds`; the first Tick() produces
+  /// window 0 covering [start_seconds, now_seconds).
+  explicit TimeseriesRecorder(TimeseriesOptions options,
+                              double start_seconds = 0.0);
+
+  /// Closes the current window at `now_seconds` (must be > the previous
+  /// tick, checked) and returns it. Counters that first appear mid-run
+  /// report their full value as the first window's delta.
+  TimeseriesWindow Tick(double now_seconds);
+
+  uint64_t windows() const { return index_; }
+  const TimeseriesOptions& options() const { return options_; }
+
+ private:
+  TimeseriesOptions options_;
+  MetricsState prev_;
+  double prev_t_;
+  uint64_t index_ = 0;
+};
+
+/// `w` as one flat JSON object line (no trailing newline):
+///   {"event":"stats_window","window":3,"t0":3.0,"t1":4.0,"dt":1.0,
+///    "<counter>":<delta>,"<counter>.rate":<per-sec>,
+///    "<gauge>":<value>,
+///    "<hist>.count":<delta>,"<hist>.p50":...,"<hist>.p95":...,
+///    "<hist>.p99":...}
+/// Keys are sorted within each instrument class; zero-delta counters are
+/// kept so downstream tables have stable columns.
+std::string StatsWindowJsonl(const TimeseriesWindow& w);
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_COMMON_TIMESERIES_H_

@@ -44,6 +44,13 @@ struct TraceBuffer {
       events[next] = e;
       next = (next + 1) % kRingCapacity;
       ++dropped;
+      // Overwrites can happen at span rate under load; surface the first
+      // and then one per ring's worth so long runs don't flood stderr
+      // (the export still reports the exact total).
+      TAXOREC_LOG_EVERY_N(WARN, kRingCapacity)
+          << "trace ring overwriting oldest events"
+          << Kv("tid", tid) << Kv("dropped", dropped)
+          << Kv("ring_capacity", kRingCapacity);
     }
   }
 
@@ -92,6 +99,11 @@ void RecordSpan(const char* name, uint64_t start_us, uint64_t dur_us) {
 }
 
 }  // namespace internal
+
+void RecordManualSpan(const char* name, uint64_t start_us, uint64_t dur_us) {
+  if (!TracingEnabled()) return;
+  internal::RecordSpan(name, start_us, dur_us);
+}
 
 void StartTracing() {
   internal::TraceNowMicros();  // pin the epoch before the first span

@@ -75,6 +75,14 @@ uint64_t TraceDroppedCount();
 /// Fixed per-thread ring capacity (oldest events overwritten past this).
 size_t TraceRingCapacity();
 
+/// Records an externally-timed span into the calling thread's ring when
+/// tracing is armed (no-op otherwise — one relaxed load). Used for spans
+/// whose endpoints are captured as raw internal::TraceNowMicros() stamps
+/// and assembled after the fact, e.g. per-request serve timelines
+/// (queue wait / score / re-rank) that only become known at batch end.
+/// `name` must be a string literal (or otherwise outlive the drain).
+void RecordManualSpan(const char* name, uint64_t start_us, uint64_t dur_us);
+
 /// Writes all buffered spans as a Chrome trace_event JSON object
 /// ({"traceEvents": [...]}) to `path`.
 Status WriteChromeTrace(const std::string& path);

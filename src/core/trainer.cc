@@ -11,12 +11,21 @@
 #include "common/trace.h"
 #include "core/taxorec_model.h"
 #include "core/telemetry.h"
+#include "serve/request_log.h"
 
 namespace taxorec {
 namespace {
 
 bool FileExists(const std::string& path) {
   return std::ifstream(path).good();
+}
+
+/// Health failure is a flight-recorder trigger (serve/request_log.h): when
+/// a process both serves and trains (hot retrain), the last N request
+/// lifecycles are exactly the post-incident question. No-op unless request
+/// observability is armed with a dump path.
+void DumpFlightRecorderOnHealthFail() {
+  RequestObservability::Instance().TriggerDump("health_fail");
 }
 
 void Emit(const TrainLoopOptions& opts, TrainLoopEvent event) {
@@ -139,6 +148,7 @@ StatusOr<TrainLoopResult> RunTrainLoop(Recommender* model,
       if (opts.telemetry != nullptr) {
         opts.telemetry->EmitHealthFail(0, monitor.report());
       }
+      DumpFlightRecorderOnHealthFail();
       return Status::Internal(model->name() + " training diverged: " +
                               monitor.report().ToString() +
                               FirstDefectClause(monitor.report()));
@@ -220,6 +230,7 @@ StatusOr<TrainLoopResult> RunTrainLoop(Recommender* model,
       if (opts.telemetry != nullptr) {
         opts.telemetry->EmitHealthFail(epoch, monitor.report());
       }
+      DumpFlightRecorderOnHealthFail();
       if (rollbacks >= opts.max_divergence_retries) {
         return Status::Internal(
             model->name() + " diverged at epoch " + std::to_string(epoch) +
@@ -285,6 +296,7 @@ StatusOr<TrainLoopResult> RunTrainLoop(Recommender* model,
     if (opts.telemetry != nullptr) {
       opts.telemetry->EmitHealthFail(total_epochs, final_monitor.report());
     }
+    DumpFlightRecorderOnHealthFail();
     return Status::Internal(model->name() + " finished unhealthy: " +
                             final_monitor.report().ToString() +
                             FirstDefectClause(final_monitor.report()));

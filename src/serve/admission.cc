@@ -186,17 +186,23 @@ void AdmissionController::ObserveBatch(double batch_seconds,
     rate_at_step_down_ = offered_rate_ewma_;
     ResetLadderWindowLocked();
     degrade_steps_.store(steps, std::memory_order_relaxed);
-    TAXOREC_LOG(INFO) << "serve pressure high; stepping precision down"
-                      << Kv("pressure", pressure) << Kv("steps", steps)
-                      << Kv("offered_rate", offered_rate_ewma_);
+    // Rate-limited: a saturated sweep can step (and re-step after window
+    // resets) many times per second; one line per second keeps the signal
+    // without flooding stderr. Exact step history stays in the
+    // degrade_steps gauge / stats windows.
+    TAXOREC_LOG_RATELIMITED(INFO, 1.0)
+        << "serve pressure high; stepping precision down"
+        << Kv("pressure", pressure) << Kv("steps", steps)
+        << Kv("offered_rate", offered_rate_ewma_);
   } else if (low_run_ >= options_.hysteresis_batches && steps > 0 &&
              load_receded) {
     --steps;
     ResetLadderWindowLocked();
     degrade_steps_.store(steps, std::memory_order_relaxed);
-    TAXOREC_LOG(INFO) << "serve pressure cleared; stepping precision up"
-                      << Kv("pressure", pressure) << Kv("steps", steps)
-                      << Kv("offered_rate", offered_rate_ewma_);
+    TAXOREC_LOG_RATELIMITED(INFO, 1.0)
+        << "serve pressure cleared; stepping precision up"
+        << Kv("pressure", pressure) << Kv("steps", steps)
+        << Kv("offered_rate", offered_rate_ewma_);
   }
   steps_gauge->Set(
       static_cast<double>(degrade_steps_.load(std::memory_order_relaxed)));

@@ -28,6 +28,13 @@ struct ServeRequest {
   size_t k = 10;
   /// Absolute deadline; epoch-zero (the default) = no deadline.
   ServeClock::time_point deadline{};
+  /// Request-observability identity (serve/request_log.h): a process-wide
+  /// monotonic id and the arrival timestamp (trace-epoch microseconds).
+  /// Stamped by BatchServer::Submit only while observability is armed —
+  /// 0/0 otherwise, and never consulted by scoring, so the fields ride
+  /// through the admission queue without affecting served lists.
+  uint64_t id = 0;
+  uint64_t submit_us = 0;
 };
 
 /// True when `request` carries a deadline.

@@ -1,0 +1,237 @@
+#include "serve/request_log.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/json.h"
+#include "common/log.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace taxorec {
+namespace internal {
+
+std::atomic<uint32_t> g_request_obs_armed{0};
+
+}  // namespace internal
+
+namespace {
+
+struct ObsMetrics {
+  Counter* recorded;
+  Counter* ring_dropped;
+  Counter* flight_dumps;
+
+  static ObsMetrics& Instance() {
+    static ObsMetrics m{
+        MetricsRegistry::Instance().GetCounter("taxorec.serve.obs.recorded"),
+        MetricsRegistry::Instance().GetCounter(
+            "taxorec.serve.obs.ring_dropped"),
+        MetricsRegistry::Instance().GetCounter("taxorec.serve.flight.dumps"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+std::string RequestLogJsonl(const RequestLog& log) {
+  JsonWriter j;
+  j.BeginObject();
+  j.Key("event").String("request");
+  j.Key("id").Uint(log.id);
+  j.Key("user").Uint(log.user);
+  j.Key("k").Uint(log.k);
+  j.Key("status").String(ServeStatusName(log.status));
+  j.Key("tier").String(PrecisionTierName(log.tier));
+  j.Key("cache_hit").Bool(log.cache_hit);
+  j.Key("cache_bypass").Bool(log.cache_bypass);
+  j.Key("fault").Bool(log.fault);
+  j.Key("had_deadline").Bool(log.had_deadline);
+  j.Key("deadline_slack_ms").Double(log.deadline_slack_ms);
+  j.Key("submit_us").Uint(log.submit_us);
+  j.Key("queue_us").Uint(log.queue_us);
+  j.Key("score_us").Uint(log.score_us);
+  j.Key("rerank_us").Uint(log.rerank_us);
+  j.Key("emit_us").Uint(log.emit_us);
+  j.Key("total_us").Uint(log.total_us);
+  j.EndObject();
+  return j.TakeString();
+}
+
+RequestObservability& RequestObservability::Instance() {
+  // Leaked like the other observability singletons: worker threads may
+  // record during static destruction at process exit.
+  static RequestObservability* instance = new RequestObservability();
+  return *instance;
+}
+
+Status RequestObservability::Arm(RequestObservabilityOptions options) {
+  if (options.flight_capacity == 0) {
+    return Status::InvalidArgument("flight recorder capacity must be > 0");
+  }
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  if (sink_ != nullptr) {
+    std::fclose(static_cast<std::FILE*>(sink_));
+    sink_ = nullptr;
+  }
+  if (!options.request_log_path.empty()) {
+    std::FILE* f = std::fopen(options.request_log_path.c_str(), "w");
+    if (f == nullptr) {
+      return Status::IOError("cannot open request log: " +
+                             options.request_log_path);
+    }
+    sink_ = f;
+  }
+  request_log_path_ = options.request_log_path;
+  flight_dump_path_ = options.flight_dump_path;
+  ring_capacity_ = options.flight_capacity;
+  ring_ = std::make_unique<Slot[]>(ring_capacity_);
+  cursor_.store(0, std::memory_order_relaxed);
+  recorded_.store(0, std::memory_order_relaxed);
+  ring_dropped_.store(0, std::memory_order_relaxed);
+  // Pin the trace epoch (same as StartTracing): submit_us == 0 means "not
+  // stamped", so the first stamp must not land exactly on the epoch.
+  internal::TraceNowMicros();
+  internal::g_request_obs_armed.store(1, std::memory_order_release);
+  TAXOREC_LOG(INFO) << "request observability armed"
+                    << Kv("request_log",
+                          request_log_path_.empty() ? "(ring only)"
+                                                    : request_log_path_)
+                    << Kv("flight_dump",
+                          flight_dump_path_.empty() ? "(off)"
+                                                    : flight_dump_path_)
+                    << Kv("flight_capacity", ring_capacity_);
+  return Status::OK();
+}
+
+void RequestObservability::Disarm() {
+  internal::g_request_obs_armed.store(0, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  if (sink_ != nullptr) {
+    std::fclose(static_cast<std::FILE*>(sink_));
+    sink_ = nullptr;
+  }
+  request_log_path_.clear();
+  flight_dump_path_.clear();
+}
+
+void RequestObservability::Record(const RequestLog& log) {
+  if (!armed() || ring_ == nullptr) return;
+  // Flight ring first: claim the next slot with a non-blocking per-slot
+  // lock. Losing a claim (another writer mid-copy on the same slot after
+  // a full wrap) skips the record rather than stalling the serving path.
+  const uint64_t idx =
+      cursor_.fetch_add(1, std::memory_order_relaxed) % ring_capacity_;
+  Slot& slot = ring_[idx];
+  uint32_t expected = 0;
+  if (slot.busy.compare_exchange_strong(expected, 1,
+                                        std::memory_order_acquire)) {
+    slot.log = log;
+    slot.filled = true;
+    slot.busy.store(0, std::memory_order_release);
+  } else {
+    ring_dropped_.fetch_add(1, std::memory_order_relaxed);
+    ObsMetrics::Instance().ring_dropped->Increment();
+  }
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  ObsMetrics::Instance().recorded->Increment();
+
+  // Trace spans: the request timeline next to the kernel spans. Manual
+  // spans no-op unless tracing is armed too.
+  if (log.total_us > 0) {
+    RecordManualSpan("request", log.submit_us, log.total_us);
+  }
+  if (log.queue_us > 0) {
+    RecordManualSpan("request_queue", log.submit_us, log.queue_us);
+  }
+  if (log.score_us > 0) {
+    RecordManualSpan("request_score", log.score_start_us, log.score_us);
+  }
+
+  if (request_log_path_.empty()) return;
+  const std::string line = RequestLogJsonl(log);
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  if (sink_ == nullptr) return;
+  auto* f = static_cast<std::FILE*>(sink_);
+  std::fwrite(line.data(), 1, line.size(), f);
+  std::fputc('\n', f);
+}
+
+std::vector<RequestLog> RequestObservability::RingSnapshot() const {
+  std::vector<RequestLog> out;
+  if (ring_ == nullptr) return out;
+  out.reserve(ring_capacity_);
+  for (size_t i = 0; i < ring_capacity_; ++i) {
+    Slot& slot = const_cast<Slot&>(ring_[i]);
+    // Bounded spin: writers hold the slot only for one struct copy.
+    for (int spin = 0; spin < 1024; ++spin) {
+      uint32_t expected = 0;
+      if (slot.busy.compare_exchange_strong(expected, 1,
+                                            std::memory_order_acquire)) {
+        if (slot.filled) out.push_back(slot.log);
+        slot.busy.store(0, std::memory_order_release);
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RequestLog& a, const RequestLog& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+void RequestObservability::TriggerDump(const char* reason) {
+  if (!armed()) return;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(sink_mu_);
+    path = flight_dump_path_;
+  }
+  if (path.empty()) return;
+  const Status status = DumpTo(path, reason);
+  if (!status.ok()) {
+    TAXOREC_LOG(WARN) << "flight recorder dump failed"
+                      << Kv("reason", reason) << Kv("path", path)
+                      << Kv("error", status.message());
+  }
+}
+
+Status RequestObservability::DumpTo(const std::string& path,
+                                    const char* reason) {
+  const std::vector<RequestLog> records = RingSnapshot();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot write flight recorder dump: " + path);
+  }
+  JsonWriter header;
+  header.BeginObject();
+  header.Key("event").String("flight_recorder_dump");
+  header.Key("reason").String(reason);
+  header.Key("records").Uint(records.size());
+  header.Key("recorded_total").Uint(recorded());
+  header.Key("ring_dropped").Uint(ring_dropped());
+  header.Key("ring_capacity").Uint(ring_capacity_);
+  header.EndObject();
+  const std::string head = header.TakeString();
+  std::fwrite(head.data(), 1, head.size(), f);
+  std::fputc('\n', f);
+  for (const RequestLog& log : records) {
+    const std::string line = RequestLogJsonl(log);
+    std::fwrite(line.data(), 1, line.size(), f);
+    std::fputc('\n', f);
+  }
+  const bool write_ok = std::fflush(f) == 0;
+  std::fclose(f);
+  if (!write_ok) return Status::IOError("short write: " + path);
+  ObsMetrics::Instance().flight_dumps->Increment();
+  TAXOREC_LOG(INFO) << "flight recorder dumped"
+                    << Kv("reason", reason) << Kv("path", path)
+                    << Kv("records", records.size())
+                    << Kv("recorded_total", recorded());
+  return Status::OK();
+}
+
+}  // namespace taxorec

@@ -1,0 +1,160 @@
+// Request-scoped observability for the serving tier: lifecycle records,
+// per-request JSONL, request trace spans, and the flight recorder.
+//
+// A RequestLog is the compact story of one ServeRequest as it moves
+// through admission → queue → score → re-rank → emit: a process-wide
+// monotonic id, per-phase durations (queue wait, kernel share, float32
+// re-rank, post-score emit), the admission verdict folded into the final
+// ServeStatus, the precision tier actually served, whether the result
+// came from / bypassed the result cache, whether an armed serve fault
+// fired on its sub-batch, and the deadline slack at completion (negative
+// when late or shed).
+//
+// RequestObservability is the process-wide collector. Disarmed (the
+// default) it costs the serving hot path exactly one relaxed atomic load
+// per batch (plus one per Submit) — no ids are assigned, no clocks read,
+// no records built — so served lists stay bit-identical at any --threads
+// value. Armed (taxorec_serve --request-log / --flight-dump, or Arm() in
+// tests) every finished request is:
+//   - appended to the flight-recorder ring: a fixed-size lock-free ring
+//     of the last N RequestLogs (per-slot atomic claim; writers never
+//     block, a contended slot skips and counts as dropped),
+//   - optionally streamed as one flat JSON line to the request-log sink,
+//   - re-emitted as manual trace spans ("request", "request_queue",
+//     "request_score") when tracing is armed, so a Chrome export shows
+//     the request timeline alongside the kernel spans.
+//
+// The ring is the serving black box: TriggerDump writes it oldest-first
+// to the configured dump path on graceful drain, on a serve-path fault
+// injection firing mid-batch, and on trainer health failure — the three
+// moments where "what exactly was in flight" is the question.
+#ifndef TAXOREC_SERVE_REQUEST_LOG_H_
+#define TAXOREC_SERVE_REQUEST_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/request.h"
+
+namespace taxorec {
+
+/// Lifecycle record of one request (see header comment for semantics).
+struct RequestLog {
+  uint64_t id = 0;
+  uint32_t user = 0;
+  uint32_t k = 0;
+  ServeStatus status = ServeStatus::kOk;
+  PrecisionTier tier = PrecisionTier::kDouble;
+  bool cache_hit = false;
+  bool cache_bypass = false;  // degraded batch skipped the result cache
+  bool fault = false;         // an armed serve fault fired on its sub-batch
+  bool had_deadline = false;
+  double deadline_slack_ms = 0.0;  // deadline − completion; <0 = late/shed
+  uint64_t submit_us = 0;          // arrival, trace-epoch microseconds
+  uint64_t queue_us = 0;           // admission-queue wait
+  uint64_t score_start_us = 0;     // sub-batch kernel start
+  uint64_t score_us = 0;           // kernel share (includes re-rank)
+  uint64_t rerank_us = 0;          // int8 float32 re-rank share
+  uint64_t emit_us = 0;            // post-score bookkeeping (cache fill, ...)
+  uint64_t total_us = 0;           // submit → result ready
+};
+
+/// `log` as one flat JSON object line ({"event":"request",...}, no
+/// trailing newline) — the per-request JSONL schema (DESIGN.md §13).
+std::string RequestLogJsonl(const RequestLog& log);
+
+namespace internal {
+/// Armed flag for the hot path's single relaxed load.
+extern std::atomic<uint32_t> g_request_obs_armed;
+}  // namespace internal
+
+struct RequestObservabilityOptions {
+  /// Per-request JSONL sink; "" records to the ring only.
+  std::string request_log_path;
+  /// Automatic flight-recorder dump target; "" disables auto dumps
+  /// (DumpTo still works for explicit paths).
+  std::string flight_dump_path;
+  /// Flight-recorder ring capacity in records.
+  size_t flight_capacity = 256;
+};
+
+class RequestObservability {
+ public:
+  static RequestObservability& Instance();
+
+  /// True while lifecycle records are being collected — the only check on
+  /// the disarmed serving path.
+  static bool armed() {
+    return internal::g_request_obs_armed.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Starts collecting: resets the ring to `options.flight_capacity` and
+  /// opens the JSONL sink when configured (IOError when it cannot be).
+  /// Not safe concurrently with in-flight serving — arm before traffic.
+  Status Arm(RequestObservabilityOptions options);
+
+  /// Stops collecting and closes the sink. The ring keeps its contents
+  /// for inspection until the next Arm.
+  void Disarm();
+
+  /// Next process-wide monotonic request id (starts at 1).
+  uint64_t NextId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Records one finished request: ring + optional JSONL + trace spans.
+  /// Safe from any thread; no-op when disarmed.
+  void Record(const RequestLog& log);
+
+  /// Dumps the ring to options.flight_dump_path (no-op when disarmed or
+  /// unconfigured). `reason` lands in the dump header and the log line.
+  void TriggerDump(const char* reason);
+
+  /// Dumps the ring to an explicit path: one {"event":
+  /// "flight_recorder_dump",...} header line, then the records
+  /// oldest-first (ascending id) as request lines.
+  Status DumpTo(const std::string& path, const char* reason);
+
+  /// Ring contents oldest-first (ascending id).
+  std::vector<RequestLog> RingSnapshot() const;
+
+  uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  /// Records skipped because their ring slot was contended (never blocks
+  /// the serving path) — distinct from ring *overwrites*, which are the
+  /// normal black-box behavior.
+  uint64_t ring_dropped() const {
+    return ring_dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  RequestObservability() = default;
+
+  struct Slot {
+    std::atomic<uint32_t> busy{0};
+    bool filled = false;
+    RequestLog log;
+  };
+
+  std::atomic<uint64_t> next_id_{0};
+  std::atomic<uint64_t> cursor_{0};
+  std::atomic<uint64_t> recorded_{0};
+  std::atomic<uint64_t> ring_dropped_{0};
+  std::unique_ptr<Slot[]> ring_;
+  size_t ring_capacity_ = 0;
+
+  mutable std::mutex sink_mu_;
+  std::string request_log_path_;
+  std::string flight_dump_path_;
+  void* sink_ = nullptr;  // std::FILE*, opaque to keep <cstdio> out of here
+};
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_SERVE_REQUEST_LOG_H_

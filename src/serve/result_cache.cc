@@ -1,8 +1,28 @@
 #include "serve/result_cache.h"
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace taxorec {
+namespace {
+
+// Process-wide probe counters (every cache instance feeds the same pair;
+// taxorec.serve.cache.bypass is incremented by the server for degraded
+// batches that skip the probe entirely).
+struct CacheMetrics {
+  Counter* hits;
+  Counter* misses;
+
+  static CacheMetrics& Instance() {
+    static CacheMetrics m{
+        MetricsRegistry::Instance().GetCounter("taxorec.serve.cache.hits"),
+        MetricsRegistry::Instance().GetCounter("taxorec.serve.cache.misses"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 ResultCache::ResultCache(size_t capacity) : capacity_(capacity) {
   TAXOREC_CHECK(capacity_ > 0);
@@ -15,11 +35,13 @@ bool ResultCache::Get(uint32_t user, size_t k, uint64_t version,
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
+    CacheMetrics::Instance().misses->Increment();
     return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second);  // Refresh recency.
   *out = it->second->second;
   ++hits_;
+  CacheMetrics::Instance().hits->Increment();
   return true;
 }
 

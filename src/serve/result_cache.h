@@ -20,6 +20,11 @@
 // Thread-safe: one mutex around the map + recency list. The serving fan-out
 // only touches the cache once per request (miss) or once total (hit), far
 // from the scoring inner loop, so contention is negligible.
+//
+// Every probe also feeds the process-wide taxorec.serve.cache.{hits,misses}
+// counters; taxorec.serve.cache.bypass (incremented by the server) counts
+// requests that skipped the probe because their batch ran degraded — the
+// previously invisible third outcome.
 #ifndef TAXOREC_SERVE_RESULT_CACHE_H_
 #define TAXOREC_SERVE_RESULT_CACHE_H_
 

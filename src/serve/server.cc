@@ -10,6 +10,7 @@
 #include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/trace.h"
+#include "serve/request_log.h"
 
 namespace taxorec {
 namespace {
@@ -17,6 +18,7 @@ namespace {
 struct ServeMetrics {
   Counter* requests;
   Counter* cache_hits;
+  Counter* cache_bypass;
   Counter* computed;
   Counter* batches;
   Histogram* batch_seconds;
@@ -34,6 +36,7 @@ struct ServeMetrics {
     static ServeMetrics m{
         MetricsRegistry::Instance().GetCounter("taxorec.serve.requests"),
         MetricsRegistry::Instance().GetCounter("taxorec.serve.cache_hits"),
+        MetricsRegistry::Instance().GetCounter("taxorec.serve.cache.bypass"),
         MetricsRegistry::Instance().GetCounter("taxorec.serve.computed"),
         MetricsRegistry::Instance().GetCounter("taxorec.serve.batches"),
         MetricsRegistry::Instance().GetHistogram(
@@ -87,7 +90,36 @@ struct WorkerScratch {
   std::vector<size_t> batch_ks;
   std::vector<size_t> batch_slots;  // miss indices the sub-batch fills
   std::vector<std::vector<TopKEntry>> batch_results;
+  std::vector<uint64_t> batch_rerank_us;  // request observability only
 };
+
+/// Admission verdicts map onto the shed statuses one-to-one.
+ServeStatus StatusForVerdict(AdmitResult verdict) {
+  switch (verdict) {
+    case AdmitResult::kShedQueueFull:
+      return ServeStatus::kShedQueueFull;
+    case AdmitResult::kShedCost:
+      return ServeStatus::kShedCost;
+    case AdmitResult::kShedDraining:
+      return ServeStatus::kShedDraining;
+    case AdmitResult::kAdmitted:
+      break;
+  }
+  return ServeStatus::kOk;
+}
+
+/// Minimal lifecycle record for a request shed before reaching a batch
+/// (admission or draining): no phases ran, only identity and verdict.
+RequestLog ShedLog(const ServeRequest& request, ServeStatus status) {
+  RequestLog log;
+  log.id = request.id;
+  log.user = request.user;
+  log.k = static_cast<uint32_t>(request.k);
+  log.status = status;
+  log.had_deadline = HasDeadline(request);
+  log.submit_us = request.submit_us;
+  return log;
+}
 
 int TierIndex(PrecisionTier tier) {
   switch (tier) {
@@ -190,10 +222,17 @@ std::vector<ServeResult> BatchServer::ServeBatchEx(
     std::span<const ServeRequest> requests) {
   if (admission_->draining()) {
     ServeMetrics& metrics = ServeMetrics::Instance();
+    const bool obs = RequestObservability::armed();
     std::vector<ServeResult> results(requests.size());
     for (size_t i = 0; i < requests.size(); ++i) {
       results[i].request = requests[i];
       results[i].status = ServeStatus::kShedDraining;
+      if (obs) {
+        RequestObservability& req_obs = RequestObservability::Instance();
+        ServeRequest& req = results[i].request;
+        if (req.id == 0) req.id = req_obs.NextId();
+        req_obs.Record(ShedLog(req, ServeStatus::kShedDraining));
+      }
     }
     metrics.CountShed(ServeStatus::kShedDraining, requests.size());
     return results;
@@ -202,20 +241,22 @@ std::vector<ServeResult> BatchServer::ServeBatchEx(
 }
 
 AdmitResult BatchServer::Submit(const ServeRequest& request) {
-  const AdmitResult verdict = admission_->Offer(request);
+  // Armed observability stamps identity at arrival so queue wait is
+  // measured from here; the fields ride through the admission queue and
+  // never influence scoring. Disarmed: one relaxed load, untouched
+  // request.
+  ServeRequest req = request;
+  const bool obs = RequestObservability::armed();
+  if (obs && req.id == 0) {
+    req.id = RequestObservability::Instance().NextId();
+    req.submit_us = internal::TraceNowMicros();
+  }
+  const AdmitResult verdict = admission_->Offer(req);
   ServeMetrics& metrics = ServeMetrics::Instance();
-  switch (verdict) {
-    case AdmitResult::kAdmitted:
-      break;
-    case AdmitResult::kShedQueueFull:
-      metrics.CountShed(ServeStatus::kShedQueueFull);
-      break;
-    case AdmitResult::kShedCost:
-      metrics.CountShed(ServeStatus::kShedCost);
-      break;
-    case AdmitResult::kShedDraining:
-      metrics.CountShed(ServeStatus::kShedDraining);
-      break;
+  if (verdict != AdmitResult::kAdmitted) {
+    const ServeStatus status = StatusForVerdict(verdict);
+    metrics.CountShed(status);
+    if (obs) RequestObservability::Instance().Record(ShedLog(req, status));
   }
   return verdict;
 }
@@ -245,6 +286,9 @@ std::vector<ServeResult> BatchServer::Drain() {
                       << Kv("served_total", metrics.requests->value())
                       << Kv("shed_total", metrics.shed->value())
                       << Kv("cache_invalidated", cache_ != nullptr);
+    // Graceful drain is a flight-recorder trigger: preserve the last
+    // in-flight lifecycles as the shutdown black box.
+    RequestObservability::Instance().TriggerDump("drain");
   }
   return out;
 }
@@ -256,6 +300,18 @@ std::vector<ServeResult> BatchServer::ServeInternal(
   ServeMetrics& metrics = ServeMetrics::Instance();
   const uint64_t version = exclusion_version();
 
+  // Request observability (serve/request_log.h). Disarmed, this is the
+  // batch's single relaxed load: no clocks, no allocations, no ids.
+  // Armed, per-slot arrays collect phase timings; all writes land in
+  // distinct slots (same discipline as `results`), so the fan-out stays
+  // race-free and served lists stay bit-identical — the instrumentation
+  // never touches scoring inputs.
+  const bool obs = RequestObservability::armed();
+  const uint64_t batch_start_us = obs ? internal::TraceNowMicros() : 0;
+  std::vector<uint64_t> obs_score_start, obs_score_us, obs_rerank_us;
+  std::vector<uint8_t> obs_hit, obs_fault;
+  std::atomic<bool> obs_fault_fired{false};
+
   // The scoring tier is chosen once per batch from the ladder position —
   // never mid-batch, so one batch's lists come from one model. Degraded
   // batches bypass the result cache entirely: cached lists always reflect
@@ -263,6 +319,7 @@ std::vector<ServeResult> BatchServer::ServeInternal(
   const FrozenModel* active = ModelForSteps(admission_->degrade_steps());
   const bool degraded = active != &model_;
   const bool use_cache = cache_ != nullptr && !degraded;
+  const bool cache_bypassed = cache_ != nullptr && degraded;
 
   std::vector<ServeResult> results(requests.size());
   bool any_deadline = false;
@@ -271,6 +328,21 @@ std::vector<ServeResult> BatchServer::ServeInternal(
     results[i].request = requests[i];
     results[i].tier = active->tier();
     any_deadline = any_deadline || HasDeadline(requests[i]);
+  }
+  if (obs) {
+    RequestObservability& req_obs = RequestObservability::Instance();
+    obs_score_start.resize(requests.size(), 0);
+    obs_score_us.resize(requests.size(), 0);
+    obs_rerank_us.resize(requests.size(), 0);
+    obs_hit.assign(requests.size(), 0);
+    obs_fault.assign(requests.size(), 0);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      // Direct (unqueued) batches get their identity here; queued
+      // requests were stamped at Submit and keep their arrival time.
+      ServeRequest& req = results[i].request;
+      if (req.id == 0) req.id = req_obs.NextId();
+      if (req.submit_us == 0) req.submit_us = batch_start_us;
+    }
   }
 
   // Phase 0: shed-before-score. A request whose budget is already spent
@@ -293,6 +365,7 @@ std::vector<ServeResult> BatchServer::ServeInternal(
     if (use_cache && cache_->Get(requests[i].user, requests[i].k, version,
                                  &results[i].items)) {
       ++hits;
+      if (obs) obs_hit[i] = 1;
     } else {
       misses.push_back(i);
     }
@@ -333,18 +406,40 @@ std::vector<ServeResult> BatchServer::ServeInternal(
             s.batch_slots.push_back(slot);
           }
           if (s.batch_users.empty()) continue;
+          // Kernel time starts here so an injected stall is charged to the
+          // requests it actually delayed.
+          const uint64_t kernel_t0 = obs ? internal::TraceNowMicros() : 0;
           if (TAXOREC_FAULT(faults::kServeSlowKernel, -1)) {
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(faults::kServeSlowKernelStallMs));
+            if (obs) {
+              obs_fault_fired.store(true, std::memory_order_relaxed);
+              for (const size_t slot : s.batch_slots) obs_fault[slot] = 1;
+            }
           }
           BlockedTopKBatch(*active, s.batch_users, s.batch_ks, exclude_of,
                            &s.heaps, &s.scores, &s.batch_results,
-                           options_.item_block);
+                           options_.item_block,
+                           obs ? &s.batch_rerank_us : nullptr);
+          if (obs) {
+            // The kernel scores the sub-batch jointly; each request's
+            // share is the even split (re-rank is per-user exact).
+            const uint64_t kernel_us =
+                internal::TraceNowMicros() - kernel_t0;
+            const uint64_t share = kernel_us / s.batch_slots.size();
+            for (size_t j = 0; j < s.batch_slots.size(); ++j) {
+              const size_t slot = s.batch_slots[j];
+              obs_score_start[slot] = kernel_t0;
+              obs_score_us[slot] = share;
+              obs_rerank_us[slot] = s.batch_rerank_us[j];
+            }
+          }
           for (size_t j = 0; j < s.batch_slots.size(); ++j) {
             results[s.batch_slots[j]].items = std::move(s.batch_results[j]);
           }
         }
       });
+  const uint64_t score_end_us = obs ? internal::TraceNowMicros() : 0;
 
   // Late completions: the list is full quality, only tardy. Counted
   // separately from sheds — callers may still use it.
@@ -379,6 +474,7 @@ std::vector<ServeResult> BatchServer::ServeInternal(
   const size_t served = hits + computed;
   metrics.requests->Increment(served);
   metrics.cache_hits->Increment(hits);
+  if (cache_bypassed) metrics.cache_bypass->Increment(computed);
   metrics.computed->Increment(computed);
   metrics.batches->Increment();
   metrics.batch_seconds->Observe(secs);
@@ -394,6 +490,49 @@ std::vector<ServeResult> BatchServer::ServeInternal(
   // plus the batch that just ran.
   admission_->ObserveBatch(secs, requests.size(),
                            admission_->queue_depth() + requests.size());
+
+  // Lifecycle records: one per request, assembled on the caller thread
+  // once the batch's outcome is final. Recorded before any fault-triggered
+  // dump so the dump always contains the offending request.
+  if (obs) {
+    RequestObservability& req_obs = RequestObservability::Instance();
+    const uint64_t done_us = internal::TraceNowMicros();
+    const auto done = ServeClock::now();
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const ServeRequest& req = results[i].request;
+      RequestLog log;
+      log.id = req.id;
+      log.user = req.user;
+      log.k = static_cast<uint32_t>(req.k);
+      log.status = results[i].status;
+      log.tier = results[i].tier;
+      log.cache_hit = obs_hit[i] != 0;
+      log.cache_bypass = cache_bypassed && !IsShed(results[i].status);
+      log.fault = obs_fault[i] != 0;
+      log.had_deadline = HasDeadline(req);
+      if (log.had_deadline) {
+        log.deadline_slack_ms =
+            std::chrono::duration<double, std::milli>(req.deadline - done)
+                .count();
+      }
+      log.submit_us = req.submit_us;
+      log.queue_us =
+          batch_start_us > req.submit_us ? batch_start_us - req.submit_us : 0;
+      log.score_start_us = obs_score_start[i];
+      log.score_us = obs_score_us[i];
+      log.rerank_us = obs_rerank_us[i];
+      if (!IsShed(results[i].status) && obs_hit[i] == 0) {
+        log.emit_us = done_us - score_end_us;
+      }
+      log.total_us = done_us - req.submit_us;
+      req_obs.Record(log);
+    }
+    // A serve fault firing mid-batch is a flight-recorder trigger: dump
+    // the black box while the incident is still in the ring.
+    if (obs_fault_fired.load(std::memory_order_relaxed)) {
+      req_obs.TriggerDump("serve_fault");
+    }
+  }
   return results;
 }
 

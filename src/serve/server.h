@@ -33,6 +33,9 @@
 // Observability (common/metrics.h):
 //   taxorec.serve.requests           requests served (hits + computed)
 //   taxorec.serve.cache_hits         requests answered from the cache
+//   taxorec.serve.cache.{hits,misses} per-probe counters (result_cache.h)
+//   taxorec.serve.cache.bypass       requests that skipped the cache
+//                                    because their batch ran degraded
 //   taxorec.serve.computed           requests ranked by the kernel
 //   taxorec.serve.batches            ServeBatch calls
 //   taxorec.serve.batch_seconds      histogram of ServeBatch wall time

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/trace.h"
 
 namespace taxorec {
 namespace {
@@ -70,6 +71,20 @@ void RerankTopKF32(const FrozenModel& model, uint32_t user, size_t k,
   *entries = std::move(out);
 }
 
+/// RerankTopKF32 with optional wall timing (request observability). The
+/// clock is only read when `rerank_us` is non-null, so the disarmed
+/// serving path stays clock-free here.
+void RerankTimed(const FrozenModel& model, uint32_t user, size_t k,
+                 std::vector<TopKEntry>* entries, uint64_t* rerank_us) {
+  if (rerank_us == nullptr) {
+    RerankTopKF32(model, user, k, entries);
+    return;
+  }
+  const uint64_t t0 = internal::TraceNowMicros();
+  RerankTopKF32(model, user, k, entries);
+  *rerank_us += internal::TraceNowMicros() - t0;
+}
+
 }  // namespace
 
 void TopKHeap::Reset(size_t k) {
@@ -115,7 +130,7 @@ void TopKHeap::Finish(std::vector<TopKEntry>* out) {
 void BlockedTopK(const FrozenModel& model, uint32_t user, size_t k,
                  std::span<const uint32_t> exclude, TopKHeap* heap,
                  std::vector<double>* scratch, std::vector<TopKEntry>* out,
-                 size_t block) {
+                 size_t block, uint64_t* rerank_us) {
   TAXOREC_CHECK(block > 0);
   const size_t n = model.num_items();
   const size_t coarse_k = CoarseK(model, k);
@@ -144,7 +159,7 @@ void BlockedTopK(const FrozenModel& model, uint32_t user, size_t k,
     }
   }
   heap->Finish(out);
-  if (Int8Rerank(model)) RerankTopKF32(model, user, k, out);
+  if (Int8Rerank(model)) RerankTimed(model, user, k, out, rerank_us);
 }
 
 void BlockedTopKBatch(
@@ -152,16 +167,21 @@ void BlockedTopKBatch(
     std::span<const size_t> ks,
     const std::function<std::span<const uint32_t>(uint32_t)>& exclude_of,
     std::vector<TopKHeap>* heaps, std::vector<double>* scratch,
-    std::vector<std::vector<TopKEntry>>* out, size_t block) {
+    std::vector<std::vector<TopKEntry>>* out, size_t block,
+    std::vector<uint64_t>* rerank_us) {
   TAXOREC_CHECK(users.size() == ks.size());
   TAXOREC_CHECK(block > 0);
   out->resize(users.size());
+  if (rerank_us != nullptr) {
+    rerank_us->assign(users.size(), 0);
+  }
   if (users.empty()) return;
   if (!model.native() || users.size() == 1) {
     TopKHeap heap;
     for (size_t i = 0; i < users.size(); ++i) {
       BlockedTopK(model, users[i], ks[i], exclude_of(users[i]), &heap,
-                  scratch, &(*out)[i], block);
+                  scratch, &(*out)[i], block,
+                  rerank_us != nullptr ? &(*rerank_us)[i] : nullptr);
     }
     return;
   }
@@ -192,7 +212,10 @@ void BlockedTopKBatch(
   }
   for (size_t i = 0; i < users.size(); ++i) {
     (*heaps)[i].Finish(&(*out)[i]);
-    if (Int8Rerank(model)) RerankTopKF32(model, users[i], ks[i], &(*out)[i]);
+    if (Int8Rerank(model)) {
+      RerankTimed(model, users[i], ks[i], &(*out)[i],
+                  rerank_us != nullptr ? &(*rerank_us)[i] : nullptr);
+    }
   }
 }
 

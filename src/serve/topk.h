@@ -106,10 +106,13 @@ class TopKHeap {
 /// space; `heap` likewise (both resized internally). Native kernels stream
 /// `block`-sized item blocks; kVirtual snapshots fall back to one full
 /// score row in `scratch`.
+/// When `rerank_us` is non-null, the wall time of the int8-tier float32
+/// re-rank stage is added to it (microseconds; untouched on the other
+/// tiers) — the request-observability hook. Null skips all timing.
 void BlockedTopK(const FrozenModel& model, uint32_t user, size_t k,
                  std::span<const uint32_t> exclude, TopKHeap* heap,
                  std::vector<double>* scratch, std::vector<TopKEntry>* out,
-                 size_t block = kServeItemBlock);
+                 size_t block = kServeItemBlock, uint64_t* rerank_us = nullptr);
 
 /// Batched variant: ranks users[i] with bound ks[i] into (*out)[i]. Native
 /// kernels score each item block once for the whole user batch
@@ -118,12 +121,15 @@ void BlockedTopK(const FrozenModel& model, uint32_t user, size_t k,
 /// return u's sorted exclusion list (empty span for none). Results are a
 /// pure function of (model, user, k, exclusions) — batch composition never
 /// changes them.
+/// Non-null `rerank_us` is resized to users.size() and filled with each
+/// user's float32 re-rank wall time (0 on non-int8 tiers).
 void BlockedTopKBatch(
     const FrozenModel& model, std::span<const uint32_t> users,
     std::span<const size_t> ks,
     const std::function<std::span<const uint32_t>(uint32_t)>& exclude_of,
     std::vector<TopKHeap>* heaps, std::vector<double>* scratch,
-    std::vector<std::vector<TopKEntry>>* out, size_t block = kServeItemBlock);
+    std::vector<std::vector<TopKEntry>>* out, size_t block = kServeItemBlock,
+    std::vector<uint64_t>* rerank_us = nullptr);
 
 }  // namespace taxorec
 

@@ -1,7 +1,10 @@
 // Tests for the leveled structured logger: level parsing, threshold
-// gating, the file sink, and key=value field formatting.
+// gating, the file sink, key=value field formatting, and the rate-limited
+// variants (TAXOREC_LOG_EVERY_N / TAXOREC_LOG_RATELIMITED).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -117,6 +120,75 @@ TEST_F(LogTest, FileSinkHonorsThreshold) {
 
 TEST_F(LogTest, SetLogFileRejectsUnwritablePath) {
   EXPECT_FALSE(SetLogFile("/nonexistent-dir/zzz/log.txt").ok());
+}
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST_F(LogTest, LogEveryNEmitsFirstAndEveryNth) {
+  std::atomic<uint64_t> counter{0};
+  EXPECT_TRUE(internal::LogEveryN(&counter, 3));   // 1st
+  EXPECT_FALSE(internal::LogEveryN(&counter, 3));
+  EXPECT_FALSE(internal::LogEveryN(&counter, 3));
+  EXPECT_TRUE(internal::LogEveryN(&counter, 3));   // 4th
+  EXPECT_TRUE(internal::LogEveryN(&counter, 1));   // n<=1: every call
+
+  const std::string path = TempPath("log_every_n.txt");
+  std::remove(path.c_str());
+  ASSERT_TRUE(SetLogFile(path).ok());
+  int evaluations = 0;
+  for (int i = 0; i < 250; ++i) {
+    // Calls 1, 101, and 201 emit; the suppressed calls must not even
+    // evaluate their operands.
+    TAXOREC_LOG_EVERY_N(WARN, 100) << "every-n line" << Kv("i", ++evaluations);
+  }
+  ASSERT_TRUE(SetLogFile("").ok());
+  EXPECT_EQ(CountOccurrences(ReadAll(path), "every-n line"), 3u);
+  EXPECT_EQ(evaluations, 3);
+}
+
+TEST_F(LogTest, LogEveryNCounterUntouchedWhileSeverityDisabled) {
+  const std::string path = TempPath("log_every_n_gated.txt");
+  std::remove(path.c_str());
+  ASSERT_TRUE(SetLogFile(path).ok());
+  SetLogLevel(LogLevel::kError);
+  for (int i = 0; i < 5; ++i) {
+    TAXOREC_LOG_EVERY_N(INFO, 100) << "gated line";
+  }
+  // Re-enabling must emit immediately: the disabled calls short-circuit
+  // before the counter, so the call site does not start mid-cycle.
+  SetLogLevel(LogLevel::kInfo);
+  TAXOREC_LOG_EVERY_N(INFO, 100) << "gated line";
+  ASSERT_TRUE(SetLogFile("").ok());
+  EXPECT_EQ(CountOccurrences(ReadAll(path), "gated line"), 1u);
+}
+
+TEST_F(LogTest, LogRateLimitedEmitsOncePerInterval) {
+  const std::string path = TempPath("log_ratelimited.txt");
+  std::remove(path.c_str());
+  ASSERT_TRUE(SetLogFile(path).ok());
+  for (int i = 0; i < 50; ++i) {
+    TAXOREC_LOG_RATELIMITED(WARN, 3600.0) << "limited line";
+  }
+  ASSERT_TRUE(SetLogFile("").ok());
+  EXPECT_EQ(CountOccurrences(ReadAll(path), "limited line"), 1u);
+}
+
+TEST_F(LogTest, LogRateLimitedZeroIntervalNeverSuppresses) {
+  std::atomic<uint64_t> last_us{0};
+  EXPECT_TRUE(internal::LogRateLimited(&last_us, 0.0));
+  EXPECT_TRUE(internal::LogRateLimited(&last_us, 0.0));
+  // A long interval claims once, then suppresses.
+  std::atomic<uint64_t> slow{0};
+  EXPECT_TRUE(internal::LogRateLimited(&slow, 3600.0));
+  EXPECT_FALSE(internal::LogRateLimited(&slow, 3600.0));
 }
 
 }  // namespace

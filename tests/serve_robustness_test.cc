@@ -415,6 +415,96 @@ TEST(ResultCacheTest, InvalidateDropsAllEntriesLazily) {
   EXPECT_FALSE(cache.Get(12, 5, 0, &out));
 }
 
+TEST(ResultCacheTest, ExportsProbeCounters) {
+  const DataSplit split = MakeSplit();
+  CountingModel model;
+  ServeOptions opts;
+  opts.cache_capacity = 16;
+  BatchServer server(model, split, opts);
+
+  const uint64_t hits_before = CounterValue("taxorec.serve.cache.hits");
+  const uint64_t misses_before = CounterValue("taxorec.serve.cache.misses");
+  const std::vector<ServeRequest> batch = {Req(1), Req(2), Req(3)};
+
+  server.ServeBatchEx(batch);
+  EXPECT_EQ(CounterValue("taxorec.serve.cache.hits") - hits_before, 0u);
+  EXPECT_EQ(CounterValue("taxorec.serve.cache.misses") - misses_before, 3u);
+
+  const uint64_t scored_before = model.scored();
+  server.ServeBatchEx(batch);
+  EXPECT_EQ(CounterValue("taxorec.serve.cache.hits") - hits_before, 3u);
+  EXPECT_EQ(CounterValue("taxorec.serve.cache.misses") - misses_before, 3u);
+  EXPECT_EQ(model.scored(), scored_before);  // hits never reach the kernel
+}
+
+/// Native dot-product export so the degradation rungs actually build —
+/// the ladder cannot step a kVirtual snapshot below double.
+class NativeDotModel : public Recommender {
+ public:
+  NativeDotModel(size_t users, size_t items, uint64_t seed)
+      : users_(users, 8), items_(items, 8) {
+    Rng rng(seed);
+    users_.FillGaussian(&rng, 0.1);
+    items_.FillGaussian(&rng, 0.1);
+  }
+  std::string name() const override { return "NativeDot"; }
+  void Fit(const DataSplit&, Rng*) override {}
+  void ScoreItems(uint32_t user, std::span<double> out) const override {
+    const auto u = users_.row(user);
+    for (size_t v = 0; v < out.size(); ++v) {
+      const auto i = items_.row(v);
+      double dot = 0.0;
+      for (size_t d = 0; d < u.size(); ++d) dot += u[d] * i[d];
+      out[v] = dot;
+    }
+  }
+  ScoringSnapshot ExportScoringSnapshot() const override {
+    ScoringSnapshot snap;
+    snap.kernel = ScoreKernel::kDot;
+    snap.num_users = users_.rows();
+    snap.num_items = items_.rows();
+    snap.users = users_;
+    snap.items = items_;
+    return snap;
+  }
+
+ private:
+  Matrix users_;
+  Matrix items_;
+};
+
+TEST(ResultCacheTest, DegradedBatchBypassesCacheAndCounts) {
+  const DataSplit split = MakeSplit();
+  NativeDotModel model(split.num_users, split.num_items, 23);
+  ServeOptions opts;
+  opts.cache_capacity = 16;
+  opts.admission.degrade = true;
+  opts.admission.hysteresis_batches = 1;
+  opts.admission.pressure_window = 1;
+  BatchServer server(model, split, opts);
+  ASSERT_EQ(server.model().tier(), PrecisionTier::kDouble);
+
+  const std::vector<ServeRequest> batch = {Req(1), Req(2), Req(3)};
+  server.ServeBatchEx(batch);  // fills the cache at the configured tier
+
+  // One high-pressure observation steps the ladder down (hysteresis 1).
+  server.admission()->ObserveBatch(0.06, 1, 1);
+  ASSERT_GE(server.admission()->degrade_steps(), 1);
+  ASSERT_EQ(server.effective_tier(), PrecisionTier::kFloat32);
+
+  const uint64_t hits_before = CounterValue("taxorec.serve.cache.hits");
+  const uint64_t bypass_before = CounterValue("taxorec.serve.cache.bypass");
+  const auto degraded = server.ServeBatchEx(batch);
+  // The cached double-tier lists were never probed: a degraded batch must
+  // not serve (or overwrite) lists from another tier.
+  EXPECT_EQ(CounterValue("taxorec.serve.cache.hits") - hits_before, 0u);
+  EXPECT_EQ(CounterValue("taxorec.serve.cache.bypass") - bypass_before, 3u);
+  for (const ServeResult& r : degraded) {
+    EXPECT_EQ(r.status, ServeStatus::kOk);
+    EXPECT_EQ(r.tier, PrecisionTier::kFloat32);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Request-log hardening.
 

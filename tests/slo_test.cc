@@ -1,0 +1,153 @@
+// Tests for the declarative SLO tracker (common/slo.h): latency-quantile
+// and ratio objectives classified per stats window, skip semantics for
+// idle windows, error-budget burn arithmetic, the taxorec.slo.* metric
+// exports, and the slo_summary JSONL line.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/json.h"
+#include "common/metrics.h"
+#include "common/slo.h"
+#include "common/timeseries.h"
+
+namespace taxorec {
+namespace {
+
+class SloTest : public ::testing::Test {
+ protected:
+  void SetUp() override { MetricsRegistry::Instance().ResetAll(); }
+  void TearDown() override { MetricsRegistry::Instance().ResetAll(); }
+};
+
+/// A synthetic stats window whose request-latency histogram holds `fast`
+/// observations below 10 ms and `slow` in (10 ms, 100 ms].
+TimeseriesWindow LatencyWindow(uint64_t fast, uint64_t slow) {
+  TimeseriesWindow w;
+  w.t0 = 0.0;
+  w.t1 = 1.0;
+  HistogramWindow h;
+  h.bounds = {0.01, 0.1};
+  h.bucket_deltas = {fast, slow, 0};
+  h.count = fast + slow;
+  w.histograms["taxorec.serve.request_seconds"] = h;
+  return w;
+}
+
+TimeseriesWindow RatioWindow(uint64_t shed, uint64_t served) {
+  TimeseriesWindow w;
+  w.t0 = 0.0;
+  w.t1 = 1.0;
+  w.counters["taxorec.serve.shed"] = shed;
+  w.counters["taxorec.serve.requests"] = served;
+  return w;
+}
+
+TEST_F(SloTest, LatencyObjectiveClassifiesWindows) {
+  SloTracker tracker({LatencySloP99("p99_latency",
+                                    "taxorec.serve.request_seconds",
+                                    /*max_seconds=*/0.05, /*target=*/0.9)});
+
+  // 100 fast observations: windowed p99 <= 10 ms, compliant.
+  auto verdicts = tracker.Evaluate(LatencyWindow(100, 0));
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_TRUE(verdicts[0].evaluated);
+  EXPECT_FALSE(verdicts[0].violated);
+  EXPECT_LE(verdicts[0].value, 0.01);
+
+  // 100 slow observations: p99 lands in (10 ms, 100 ms], past the 50 ms
+  // ceiling.
+  verdicts = tracker.Evaluate(LatencyWindow(0, 100));
+  EXPECT_TRUE(verdicts[0].evaluated);
+  EXPECT_TRUE(verdicts[0].violated);
+  EXPECT_GT(verdicts[0].value, 0.05);
+
+  // An idle window neither burns nor earns budget.
+  verdicts = tracker.Evaluate(LatencyWindow(0, 0));
+  EXPECT_FALSE(verdicts[0].evaluated);
+
+  const auto summaries = tracker.Summaries();
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].windows, 2u);
+  EXPECT_EQ(summaries[0].violations, 1u);
+}
+
+TEST_F(SloTest, RatioObjectiveSumsDenominators) {
+  // Shed rate = shed / (requests + shed) <= 10%.
+  SloTracker tracker({ShedRateSlo(/*max_fraction=*/0.1, /*target=*/0.9)});
+
+  auto verdicts = tracker.Evaluate(RatioWindow(/*shed=*/5, /*served=*/95));
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_TRUE(verdicts[0].evaluated);
+  EXPECT_FALSE(verdicts[0].violated);
+  EXPECT_DOUBLE_EQ(verdicts[0].value, 0.05);
+
+  verdicts = tracker.Evaluate(RatioWindow(/*shed=*/50, /*served=*/50));
+  EXPECT_TRUE(verdicts[0].violated);
+  EXPECT_DOUBLE_EQ(verdicts[0].value, 0.5);
+
+  // Zero denominator: skipped, not divided.
+  verdicts = tracker.Evaluate(RatioWindow(0, 0));
+  EXPECT_FALSE(verdicts[0].evaluated);
+}
+
+TEST_F(SloTest, BurnRateAndBudgetArithmetic) {
+  // target 0.9 -> error budget 10% of windows. 2 violations in 10
+  // evaluated windows = 20% bad = burn 2.0, budget_remaining -1.0.
+  SloTracker tracker({LatencySloP99("burn", "taxorec.serve.request_seconds",
+                                    0.05, /*target=*/0.9)});
+  for (int i = 0; i < 8; ++i) tracker.Evaluate(LatencyWindow(100, 0));
+  for (int i = 0; i < 2; ++i) tracker.Evaluate(LatencyWindow(0, 100));
+
+  const auto summaries = tracker.Summaries();
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].windows, 10u);
+  EXPECT_EQ(summaries[0].violations, 2u);
+  EXPECT_DOUBLE_EQ(summaries[0].burn_rate, 2.0);
+  EXPECT_DOUBLE_EQ(summaries[0].budget_remaining, -1.0);
+
+  // A compliant tracker stays at burn 0 with the whole budget left.
+  SloTracker ok({LatencySloP99("ok", "taxorec.serve.request_seconds", 0.05,
+                               0.9)});
+  ok.Evaluate(LatencyWindow(100, 0));
+  EXPECT_DOUBLE_EQ(ok.Summaries()[0].burn_rate, 0.0);
+  EXPECT_DOUBLE_EQ(ok.Summaries()[0].budget_remaining, 1.0);
+}
+
+TEST_F(SloTest, ExportsSloMetrics) {
+  SloTracker tracker({LatencySloP99("exported",
+                                    "taxorec.serve.request_seconds", 0.05,
+                                    0.9)});
+  tracker.Evaluate(LatencyWindow(100, 0));
+  tracker.Evaluate(LatencyWindow(0, 100));
+
+  auto& reg = MetricsRegistry::Instance();
+  EXPECT_EQ(reg.GetCounter("taxorec.slo.exported.windows")->value(), 2u);
+  EXPECT_EQ(reg.GetCounter("taxorec.slo.exported.violations")->value(), 1u);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("taxorec.slo.exported.burn_rate")->value(),
+                   5.0);  // 1 of 2 bad / 0.1 budget
+}
+
+TEST_F(SloTest, SummaryJsonlIsFlatAndParseable) {
+  SloTracker tracker({ShedRateSlo(0.1, 0.9)});
+  tracker.Evaluate(RatioWindow(50, 50));
+  const auto summaries = tracker.Summaries();
+  ASSERT_EQ(summaries.size(), 1u);
+  const std::string line = SloTracker::SummaryJsonl(summaries[0]);
+
+  std::map<std::string, std::string> flat;
+  std::string error;
+  ASSERT_TRUE(ParseFlatJsonObject(line, &flat, &error)) << error << "\n"
+                                                        << line;
+  EXPECT_EQ(flat.at("event"), "slo_summary");
+  EXPECT_EQ(flat.at("slo"), "shed_rate");
+  EXPECT_EQ(flat.at("windows"), "1");
+  EXPECT_EQ(flat.at("violations"), "1");
+  EXPECT_EQ(flat.count("burn_rate"), 1u);
+  EXPECT_EQ(flat.count("budget_remaining"), 1u);
+  EXPECT_EQ(flat.count("target"), 1u);
+}
+
+}  // namespace
+}  // namespace taxorec

@@ -1,0 +1,216 @@
+// Tests for the windowed time-series view of the metrics registry
+// (common/timeseries.h): per-window counter deltas and rates under a
+// virtual clock, windowed percentiles computed from bucket-count deltas
+// (not the cumulative distribution), prefix filtering, mid-stream
+// instrument appearance, the stats_window JSONL line, and tick-vs-writer
+// concurrency under ParallelFor (the tsan label).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/json.h"
+#include "common/metrics.h"
+#include "common/parallel.h"
+#include "common/timeseries.h"
+
+namespace taxorec {
+namespace {
+
+class TimeseriesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Instance().ResetAll();
+    SetNumThreads(1);
+  }
+  void TearDown() override {
+    MetricsRegistry::Instance().ResetAll();
+    SetNumThreads(1);
+  }
+};
+
+TimeseriesOptions TestOptions() {
+  TimeseriesOptions opts;
+  opts.prefix = "taxorec.ts.";
+  opts.interval_seconds = 1.0;
+  return opts;
+}
+
+TEST_F(TimeseriesTest, CounterDeltasAndRatesPerWindow) {
+  Counter* c = MetricsRegistry::Instance().GetCounter("taxorec.ts.reqs");
+  c->Increment(5);  // before the recorder baselines: not in any window
+  TimeseriesRecorder rec(TestOptions(), /*start_seconds=*/0.0);
+
+  c->Increment(10);
+  const TimeseriesWindow w0 = rec.Tick(1.0);
+  EXPECT_EQ(w0.index, 0u);
+  EXPECT_DOUBLE_EQ(w0.t0, 0.0);
+  EXPECT_DOUBLE_EQ(w0.t1, 1.0);
+  EXPECT_EQ(w0.counters.at("taxorec.ts.reqs"), 10u);
+  EXPECT_DOUBLE_EQ(w0.rates.at("taxorec.ts.reqs"), 10.0);
+
+  // A 2-second window: same delta, half the rate. The cumulative value
+  // (5 + 10 + 6) never leaks into the deltas.
+  c->Increment(6);
+  const TimeseriesWindow w1 = rec.Tick(3.0);
+  EXPECT_EQ(w1.index, 1u);
+  EXPECT_EQ(w1.counters.at("taxorec.ts.reqs"), 6u);
+  EXPECT_DOUBLE_EQ(w1.rates.at("taxorec.ts.reqs"), 3.0);
+
+  // An idle window reports a zero delta (stable columns downstream).
+  const TimeseriesWindow w2 = rec.Tick(4.0);
+  EXPECT_EQ(w2.counters.at("taxorec.ts.reqs"), 0u);
+  EXPECT_EQ(rec.windows(), 3u);
+}
+
+TEST_F(TimeseriesTest, GaugesAreInstantaneousNotDeltas) {
+  Gauge* g = MetricsRegistry::Instance().GetGauge("taxorec.ts.depth");
+  TimeseriesRecorder rec(TestOptions());
+  g->Set(7.0);
+  EXPECT_DOUBLE_EQ(rec.Tick(1.0).gauges.at("taxorec.ts.depth"), 7.0);
+  g->Set(3.0);
+  EXPECT_DOUBLE_EQ(rec.Tick(2.0).gauges.at("taxorec.ts.depth"), 3.0);
+}
+
+TEST_F(TimeseriesTest, WindowedPercentilesUseBucketDeltasOnly) {
+  Histogram* h = MetricsRegistry::Instance().GetHistogram(
+      "taxorec.ts.lat", {0.01, 0.1, 1.0});
+  TimeseriesRecorder rec(TestOptions());
+
+  // Window 0: all observations fast.
+  for (int i = 0; i < 100; ++i) h->Observe(0.005);
+  const TimeseriesWindow w0 = rec.Tick(1.0);
+  const HistogramWindow& h0 = w0.histograms.at("taxorec.ts.lat");
+  EXPECT_EQ(h0.count, 100u);
+  EXPECT_LE(h0.p99, 0.01);
+
+  // Window 1: all observations slow. The windowed p50 must reflect this
+  // window alone (second bucket), while the cumulative histogram median
+  // still sits in the fast bucket.
+  for (int i = 0; i < 100; ++i) h->Observe(0.05);
+  const TimeseriesWindow w1 = rec.Tick(2.0);
+  const HistogramWindow& h1 = w1.histograms.at("taxorec.ts.lat");
+  EXPECT_EQ(h1.count, 100u);
+  EXPECT_GT(h1.p50, 0.01);
+  EXPECT_LE(h1.p50, 0.1);
+  EXPECT_LE(h->Percentile(0.5), 0.01);  // lifetime view unchanged
+
+  // The raw deltas are exposed for downstream quantile math (SloTracker).
+  ASSERT_EQ(h1.bucket_deltas.size(), h1.bounds.size() + 1);
+  EXPECT_EQ(h1.bucket_deltas[0], 0u);
+  EXPECT_EQ(h1.bucket_deltas[1], 100u);
+
+  // Idle window: zero count, percentiles pinned to zero.
+  const TimeseriesWindow w2 = rec.Tick(3.0);
+  const HistogramWindow& h2 = w2.histograms.at("taxorec.ts.lat");
+  EXPECT_EQ(h2.count, 0u);
+  EXPECT_DOUBLE_EQ(h2.p99, 0.0);
+}
+
+TEST_F(TimeseriesTest, PrefixFilterExcludesOtherSubsystems) {
+  MetricsRegistry::Instance().GetCounter("taxorec.ts.mine")->Increment();
+  MetricsRegistry::Instance().GetCounter("taxorec.other.theirs")->Increment();
+  TimeseriesRecorder rec(TestOptions());
+  MetricsRegistry::Instance().GetCounter("taxorec.ts.mine")->Increment();
+  MetricsRegistry::Instance().GetCounter("taxorec.other.theirs")->Increment(9);
+  const TimeseriesWindow w = rec.Tick(1.0);
+  EXPECT_EQ(w.counters.count("taxorec.ts.mine"), 1u);
+  EXPECT_EQ(w.counters.count("taxorec.other.theirs"), 0u);
+}
+
+TEST_F(TimeseriesTest, MidStreamCounterReportsFullValueAsFirstDelta) {
+  TimeseriesRecorder rec(TestOptions());
+  rec.Tick(1.0);
+  // Registered after the recorder baselined: its whole value belongs to
+  // the window where it first appears.
+  MetricsRegistry::Instance().GetCounter("taxorec.ts.late")->Increment(42);
+  const TimeseriesWindow w = rec.Tick(2.0);
+  EXPECT_EQ(w.counters.at("taxorec.ts.late"), 42u);
+}
+
+TEST_F(TimeseriesTest, StatsWindowJsonlIsFlatAndParseable) {
+  MetricsRegistry::Instance().GetCounter("taxorec.ts.reqs")->Increment(8);
+  MetricsRegistry::Instance().GetGauge("taxorec.ts.depth")->Set(2.0);
+  Histogram* h = MetricsRegistry::Instance().GetHistogram(
+      "taxorec.ts.jsonl_lat", {0.1, 1.0});
+  TimeseriesRecorder rec(TestOptions());
+  MetricsRegistry::Instance().GetCounter("taxorec.ts.reqs")->Increment(4);
+  for (int i = 0; i < 10; ++i) h->Observe(0.05);
+  const std::string line = StatsWindowJsonl(rec.Tick(2.0));
+
+  std::map<std::string, std::string> flat;
+  std::string error;
+  ASSERT_TRUE(ParseFlatJsonObject(line, &flat, &error)) << error << "\n"
+                                                        << line;
+  EXPECT_EQ(flat.at("event"), "stats_window");
+  EXPECT_EQ(flat.at("window"), "0");
+  EXPECT_EQ(flat.at("taxorec.ts.reqs"), "4");
+  EXPECT_EQ(flat.count("taxorec.ts.reqs.rate"), 1u);
+  EXPECT_EQ(flat.count("taxorec.ts.depth"), 1u);
+  EXPECT_EQ(flat.at("taxorec.ts.jsonl_lat.count"), "10");
+  EXPECT_EQ(flat.count("taxorec.ts.jsonl_lat.p50"), 1u);
+  EXPECT_EQ(flat.count("taxorec.ts.jsonl_lat.p95"), 1u);
+  EXPECT_EQ(flat.count("taxorec.ts.jsonl_lat.p99"), 1u);
+  EXPECT_EQ(flat.at("dt"), "2");
+}
+
+TEST_F(TimeseriesTest, TicksWhileWritersRaceLoseNothing) {
+  Counter* c = MetricsRegistry::Instance().GetCounter("taxorec.ts.race");
+  Histogram* h =
+      MetricsRegistry::Instance().GetHistogram("taxorec.ts.race_lat", {1.0});
+  TimeseriesRecorder rec(TestOptions());
+  SetNumThreads(4);
+  constexpr size_t kIters = 100000;
+
+  // A dedicated ticker thread snapshots windows while ParallelFor workers
+  // hammer the instruments. Which window an increment lands in is racy by
+  // design; the invariant is conservation — the sum of the window deltas
+  // plus a final settle tick equals the total, nothing double-counted,
+  // nothing lost.
+  uint64_t sum_deltas = 0;
+  uint64_t hist_deltas = 0;
+  std::atomic<bool> done{false};
+  std::thread ticker([&] {
+    double now = 0.0;
+    while (!done.load(std::memory_order_relaxed)) {
+      now += 1.0;
+      const TimeseriesWindow w = rec.Tick(now);
+      sum_deltas += w.counters.at("taxorec.ts.race");
+      hist_deltas += w.histograms.at("taxorec.ts.race_lat").count;
+      std::this_thread::yield();
+    }
+    const TimeseriesWindow w = rec.Tick(now + 1.0);
+    sum_deltas += w.counters.at("taxorec.ts.race");
+    hist_deltas += w.histograms.at("taxorec.ts.race_lat").count;
+  });
+  ParallelFor(0, kIters, 512, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      c->Increment();
+      h->Observe(0.5);
+    }
+  });
+  done.store(true, std::memory_order_relaxed);
+  ticker.join();
+
+  EXPECT_EQ(sum_deltas, kIters);
+  EXPECT_EQ(hist_deltas, kIters);
+}
+
+TEST_F(TimeseriesTest, PercentileFromBucketsMatchesHistogramPercentile) {
+  Histogram* h = MetricsRegistry::Instance().GetHistogram(
+      "taxorec.ts.pfb", {10.0, 20.0, 40.0});
+  for (int i = 0; i < 50; ++i) h->Observe(1.0);
+  for (int i = 0; i < 50; ++i) h->Observe(15.0);
+  const MetricsState state =
+      MetricsRegistry::Instance().State("taxorec.ts.");
+  const HistogramState& hs = state.histograms.at("taxorec.ts.pfb");
+  EXPECT_DOUBLE_EQ(PercentileFromBuckets(hs.bounds, hs.bucket_counts, 0.5),
+                   h->Percentile(0.5));
+  EXPECT_DOUBLE_EQ(PercentileFromBuckets(hs.bounds, hs.bucket_counts, 0.99),
+                   h->Percentile(0.99));
+}
+
+}  // namespace
+}  // namespace taxorec

@@ -21,6 +21,17 @@
 //   taxorec_serve --data data.tsv --random-requests 5000
 //       --max-queue 256 --deadline-ms 50 --degrade
 //
+//   # Observability (DESIGN.md §13): stream windowed serve metrics with
+//   # per-window SLO verdicts, log every request's lifecycle record, and
+//   # keep a flight-recorder ring that auto-dumps on drain / serve fault /
+//   # health failure. Render the stats stream with telemetry_report
+//   # --stats:
+//   taxorec_serve --data data.tsv --random-requests 5000
+//       --max-queue 256 --deadline-ms 50 --degrade
+//       --stats-out stats.jsonl --stats-interval-ms 250
+//       --slo-p99-ms 20 --slo-shed-rate 0.05
+//       --request-log requests.log.jsonl --flight-dump flight.jsonl
+//
 // The request file is JSONL, one object per line: {"user": 7, "k": 10}
 // ("k" optional; defaults to --k). Malformed lines are skipped with a
 // WARN (taxorec.serve.bad_requests counts them); the run only fails when
@@ -40,11 +51,14 @@
 #include "common/json.h"
 #include "common/log.h"
 #include "common/metrics.h"
+#include "common/slo.h"
+#include "common/timeseries.h"
 #include "core/taxorec_model.h"
 #include "data/io.h"
 #include "data/split.h"
 #include "math/rng.h"
 #include "serve/request_io.h"
+#include "serve/request_log.h"
 #include "serve/server.h"
 
 namespace taxorec::serve_tool {
@@ -94,6 +108,123 @@ uint64_t CounterValue(const char* name) {
   return MetricsRegistry::Instance().GetCounter(name)->value();
 }
 
+// Streams windowed serve metrics (and per-window SLO verdicts) to a stats
+// JSONL file while the replay runs. Windows close on the wall clock at the
+// configured interval; discrete serve events (ladder steps, sheds, drain)
+// are interleaved as marker lines telemetry_report --stats renders on the
+// timeline. See common/timeseries.h for window semantics.
+class StatsDriver {
+ public:
+  Status Open(const std::string& path, double interval_seconds,
+              std::vector<SloObjective> objectives) {
+    out_.open(path, std::ios::trunc);
+    if (!out_) return Status::IOError("cannot write " + path);
+    path_ = path;
+    interval_ = interval_seconds;
+    TimeseriesOptions opts;
+    opts.prefix = "taxorec.serve.";
+    opts.interval_seconds = interval_seconds;
+    recorder_ = std::make_unique<TimeseriesRecorder>(opts, 0.0);
+    if (!objectives.empty()) {
+      slo_ = std::make_unique<SloTracker>(std::move(objectives));
+    }
+    t0_ = std::chrono::steady_clock::now();
+    return Status::OK();
+  }
+
+  bool active() const { return recorder_ != nullptr; }
+
+  /// Closes a window when the configured interval has elapsed (always when
+  /// `force`): one stats_window line, event markers, SLO classification.
+  void MaybeTick(bool force) {
+    if (!active()) return;
+    const double now = NowSeconds();
+    if (now <= last_tick_) return;
+    if (!force && now - last_tick_ < interval_) return;
+    last_tick_ = now;
+    const TimeseriesWindow w = recorder_->Tick(now);
+    out_ << StatsWindowJsonl(w) << "\n";
+    EmitEvents(w);
+    if (slo_ != nullptr) slo_->Evaluate(w);
+  }
+
+  /// Marks the graceful drain in the event stream.
+  void MarkDrain() {
+    if (!active()) return;
+    JsonWriter jw;
+    jw.BeginObject();
+    jw.Key("event").String("serve_drain");
+    jw.Key("t").Double(NowSeconds());
+    jw.EndObject();
+    out_ << jw.TakeString() << "\n";
+  }
+
+  /// Final forced window, slo_summary lines, and the stdout recap.
+  void Finish() {
+    if (!active()) return;
+    MaybeTick(/*force=*/true);
+    if (slo_ != nullptr) {
+      for (const SloTracker::Summary& s : slo_->Summaries()) {
+        out_ << SloTracker::SummaryJsonl(s) << "\n";
+        std::printf(
+            "slo %-12s target %.3f  windows %llu  violations %llu  "
+            "burn %.2f  budget %+.2f  [%s]\n",
+            s.name.c_str(), s.target,
+            static_cast<unsigned long long>(s.windows),
+            static_cast<unsigned long long>(s.violations), s.burn_rate,
+            s.budget_remaining, s.burn_rate < 1.0 ? "ok" : "burning");
+      }
+    }
+    std::printf("stats: wrote %llu window(s) to %s\n",
+                static_cast<unsigned long long>(recorder_->windows()),
+                path_.c_str());
+  }
+
+ private:
+  double NowSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0_)
+        .count();
+  }
+
+  void EmitEvents(const TimeseriesWindow& w) {
+    const auto steps_it = w.gauges.find("taxorec.serve.degrade_steps");
+    const double steps = steps_it != w.gauges.end() ? steps_it->second : 0.0;
+    if (steps != prev_steps_) {
+      JsonWriter jw;
+      jw.BeginObject();
+      jw.Key("event").String("serve_degrade");
+      jw.Key("t").Double(w.t1);
+      jw.Key("window").Uint(w.index);
+      jw.Key("steps").Double(steps);
+      jw.Key("prev_steps").Double(prev_steps_);
+      jw.EndObject();
+      out_ << jw.TakeString() << "\n";
+      prev_steps_ = steps;
+    }
+    const auto shed_it = w.counters.find("taxorec.serve.shed");
+    if (shed_it != w.counters.end() && shed_it->second > 0) {
+      JsonWriter jw;
+      jw.BeginObject();
+      jw.Key("event").String("serve_shed");
+      jw.Key("t").Double(w.t1);
+      jw.Key("window").Uint(w.index);
+      jw.Key("shed").Uint(shed_it->second);
+      jw.EndObject();
+      out_ << jw.TakeString() << "\n";
+    }
+  }
+
+  std::ofstream out_;
+  std::string path_;
+  double interval_ = 1.0;
+  double last_tick_ = 0.0;
+  double prev_steps_ = 0.0;
+  std::unique_ptr<TimeseriesRecorder> recorder_;
+  std::unique_ptr<SloTracker> slo_;
+  std::chrono::steady_clock::time_point t0_{};
+};
+
 int Main(int argc, const char* const* argv) {
   FlagSet flags;
   flags.DefineString("data", "", "dataset TSV path");
@@ -130,6 +261,28 @@ int Main(int argc, const char* const* argv) {
   flags.DefineString("out", "", "write served lists as JSONL here");
   flags.DefineString("metrics-out", "",
                      "write the final metrics-registry snapshot JSON here");
+  flags.DefineString("stats-out", "",
+                     "stream windowed serve metrics as stats JSONL here "
+                     "(render with telemetry_report --stats)");
+  flags.DefineInt("stats-interval-ms", 1000,
+                  "stats window length in milliseconds");
+  flags.DefineString("request-log", "",
+                     "write one lifecycle JSONL line per served request "
+                     "here (arms request observability)");
+  flags.DefineString("flight-dump", "",
+                     "flight-recorder auto-dump path, written on drain, "
+                     "serve fault injection, or health failure (arms "
+                     "request observability)");
+  flags.DefineInt("flight-capacity", 256,
+                  "flight-recorder ring capacity in records");
+  flags.DefineDouble("slo-p99-ms", 0.0,
+                     "latency SLO: windowed p99 request latency must stay "
+                     "<= this many ms (0 = off; needs --stats-out)");
+  flags.DefineDouble("slo-shed-rate", -1.0,
+                     "availability SLO: per-window shed fraction must stay "
+                     "<= this (negative = off; needs --stats-out)");
+  flags.DefineDouble("slo-target", 0.99,
+                     "required fraction of compliant windows per SLO");
   DefineThreadsFlag(&flags);
   DefineLogLevelFlag(&flags);
   if (Status s = flags.Parse(argc, argv, 1); !s.ok()) return Fail(s);
@@ -217,6 +370,60 @@ int Main(int argc, const char* const* argv) {
   }
   const bool queued_mode = serve_opts.admission.max_queue > 0;
 
+  // Request observability (DESIGN.md §13): armed before any traffic so the
+  // first request already carries an id and lifecycle record.
+  const bool obs_requested = !flags.GetString("request-log").empty() ||
+                             !flags.GetString("flight-dump").empty();
+  if (obs_requested) {
+    if (flags.GetInt("flight-capacity") <= 0) {
+      return Fail(Status::InvalidArgument("--flight-capacity must be > 0"));
+    }
+    RequestObservabilityOptions obs_opts;
+    obs_opts.request_log_path = flags.GetString("request-log");
+    obs_opts.flight_dump_path = flags.GetString("flight-dump");
+    obs_opts.flight_capacity =
+        static_cast<size_t>(flags.GetInt("flight-capacity"));
+    if (Status s = RequestObservability::Instance().Arm(obs_opts); !s.ok()) {
+      return Fail(s);
+    }
+  }
+
+  StatsDriver stats;
+  const double slo_p99_ms = flags.GetDouble("slo-p99-ms");
+  const double slo_shed_rate = flags.GetDouble("slo-shed-rate");
+  const double slo_target = flags.GetDouble("slo-target");
+  if (flags.GetString("stats-out").empty() &&
+      (slo_p99_ms > 0.0 || slo_shed_rate >= 0.0)) {
+    return Fail(Status::InvalidArgument(
+        "--slo-* needs --stats-out (objectives are evaluated per stats "
+        "window)"));
+  }
+  if (!flags.GetString("stats-out").empty()) {
+    if (flags.GetInt("stats-interval-ms") <= 0) {
+      return Fail(
+          Status::InvalidArgument("--stats-interval-ms must be > 0"));
+    }
+    if (slo_target <= 0.0 || slo_target >= 1.0) {
+      return Fail(Status::InvalidArgument("--slo-target must be in (0, 1)"));
+    }
+    std::vector<SloObjective> objectives;
+    if (slo_p99_ms > 0.0) {
+      objectives.push_back(LatencySloP99("p99_latency",
+                                         "taxorec.serve.request_seconds",
+                                         slo_p99_ms / 1e3, slo_target));
+    }
+    if (slo_shed_rate >= 0.0) {
+      objectives.push_back(ShedRateSlo(slo_shed_rate, slo_target));
+    }
+    if (Status s = stats.Open(
+            flags.GetString("stats-out"),
+            static_cast<double>(flags.GetInt("stats-interval-ms")) / 1e3,
+            std::move(objectives));
+        !s.ok()) {
+      return Fail(s);
+    }
+  }
+
   BatchServer server(*model, split, serve_opts);
   std::printf(
       "serving %zu requests (batch %lld, cache %lld, kernel %s, "
@@ -258,9 +465,11 @@ int Main(int argc, const char* const* argv) {
       }
       auto served = server.ServeQueued(batch);
       for (auto& r : served) results.push_back(std::move(r));
+      stats.MaybeTick(/*force=*/false);
     }
     auto drained = server.Drain();
     for (auto& r : drained) results.push_back(std::move(r));
+    stats.MarkDrain();
   } else {
     for (size_t b0 = 0; b0 < requests.size(); b0 += batch) {
       const size_t b1 = std::min(b0 + batch, requests.size());
@@ -273,6 +482,7 @@ int Main(int argc, const char* const* argv) {
       auto served = server.ServeBatchEx(std::span<const ServeRequest>(
           requests.data() + b0, b1 - b0));
       for (auto& r : served) results.push_back(std::move(r));
+      stats.MaybeTick(/*force=*/false);
     }
   }
   const double wall =
@@ -313,6 +523,18 @@ int Main(int argc, const char* const* argv) {
             CounterValue("taxorec.serve.deadline_missed")),
         static_cast<unsigned long long>(
             CounterValue("taxorec.serve.degraded")));
+  }
+
+  stats.Finish();
+  if (obs_requested) {
+    RequestObservability& obs = RequestObservability::Instance();
+    if (!flags.GetString("request-log").empty()) {
+      std::printf("request log: %s (%llu records, %llu ring-dropped)\n",
+                  flags.GetString("request-log").c_str(),
+                  static_cast<unsigned long long>(obs.recorded()),
+                  static_cast<unsigned long long>(obs.ring_dropped()));
+    }
+    obs.Disarm();
   }
 
   if (!flags.GetString("out").empty()) {

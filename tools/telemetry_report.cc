@@ -12,6 +12,15 @@
 //   taxorec_cli train --data data.tsv --profile-out profile.jsonl
 //   telemetry_report --profile profile.jsonl
 //
+// With --stats it renders a serving stats stream (`taxorec_serve
+// --stats-out`, see common/timeseries.h) as a per-window table — request
+// rate, windowed latency percentiles, shed / degraded counts, the ladder
+// position — with degrade/shed/drain event markers inline and the SLO
+// summary at the end:
+//
+//   taxorec_serve --data data.tsv ... --stats-out stats.jsonl
+//   telemetry_report --stats stats.jsonl
+//
 // Events are flat JSON objects (see core/telemetry.h), so the parser is
 // ParseFlatJsonObject per line; unknown event kinds are listed but not
 // interpreted, keeping the tool forward-compatible with new emitters.
@@ -95,14 +104,101 @@ int ProfileMain(const char* path) {
   return 0;
 }
 
+/// Renders a `taxorec_serve --stats-out` JSONL stream: one table row per
+/// stats_window (rates and windowed percentiles already computed by
+/// TimeseriesRecorder), serve event markers inline in stream order, and
+/// the slo_summary lines as a closing section.
+int StatsMain(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", path);
+    return 1;
+  }
+  std::string line;
+  size_t lineno = 0;
+  size_t windows = 0;
+  size_t unknown = 0;
+  bool header = false;
+  std::vector<Event> slo_summaries;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    Event e;
+    std::string error;
+    if (!ParseFlatJsonObject(line, &e, &error)) {
+      std::fprintf(stderr, "error: %s:%zu: %s\n", path, lineno,
+                   error.c_str());
+      return 1;
+    }
+    const std::string kind = Get(e, "event");
+    if (kind == "stats_window") {
+      if (!header) {
+        std::printf("%-4s %8s %7s %9s %9s %9s %9s %6s %9s %6s\n", "win",
+                    "t1_s", "req", "req/s", "p50_ms", "p95_ms", "p99_ms",
+                    "shed", "degraded", "steps");
+        header = true;
+      }
+      std::printf(
+          "%-4s %8.2f %7s %9.0f %9.3f %9.3f %9.3f %6s %9s %6.0f\n",
+          Get(e, "window").c_str(), GetDouble(e, "t1"),
+          Get(e, "taxorec.serve.requests", "0").c_str(),
+          GetDouble(e, "taxorec.serve.requests.rate"),
+          GetDouble(e, "taxorec.serve.request_seconds.p50") * 1e3,
+          GetDouble(e, "taxorec.serve.request_seconds.p95") * 1e3,
+          GetDouble(e, "taxorec.serve.request_seconds.p99") * 1e3,
+          Get(e, "taxorec.serve.shed", "0").c_str(),
+          Get(e, "taxorec.serve.degraded", "0").c_str(),
+          GetDouble(e, "taxorec.serve.degrade_steps"));
+      ++windows;
+    } else if (kind == "serve_degrade") {
+      std::printf("  -- window %s: precision ladder %s -> %s step(s)\n",
+                  Get(e, "window").c_str(), Get(e, "prev_steps").c_str(),
+                  Get(e, "steps").c_str());
+    } else if (kind == "serve_shed") {
+      std::printf("  -- window %s: shed %s request(s)\n",
+                  Get(e, "window").c_str(), Get(e, "shed").c_str());
+    } else if (kind == "serve_drain") {
+      std::printf("  -- graceful drain at t=%.3fs\n", GetDouble(e, "t"));
+    } else if (kind == "slo_summary") {
+      slo_summaries.push_back(std::move(e));
+    } else {
+      ++unknown;
+    }
+  }
+  if (windows == 0) {
+    std::fprintf(stderr, "error: %s has no stats_window events\n", path);
+    return 1;
+  }
+  if (!slo_summaries.empty()) {
+    std::printf("\n%-16s %8s %8s %11s %8s %8s\n", "slo", "target", "windows",
+                "violations", "burn", "budget");
+    for (const Event& e : slo_summaries) {
+      const double burn = GetDouble(e, "burn_rate");
+      std::printf("%-16s %8.3f %8s %11s %8.2f %8.2f  [%s]\n",
+                  Get(e, "slo").c_str(), GetDouble(e, "target"),
+                  Get(e, "windows").c_str(), Get(e, "violations").c_str(),
+                  burn, GetDouble(e, "budget_remaining"),
+                  burn < 1.0 ? "ok" : "burning");
+    }
+  }
+  if (unknown > 0) {
+    std::printf("(%zu event(s) of unknown kind skipped)\n", unknown);
+  }
+  return 0;
+}
+
 int Main(int argc, const char* const* argv) {
   if (argc == 3 && std::string(argv[1]) == "--profile") {
     return ProfileMain(argv[2]);
   }
+  if (argc == 3 && std::string(argv[1]) == "--stats") {
+    return StatsMain(argv[2]);
+  }
   if (argc != 2) {
     std::fprintf(stderr,
                  "usage: telemetry_report <run.jsonl>\n"
-                 "       telemetry_report --profile <profile.jsonl>\n");
+                 "       telemetry_report --profile <profile.jsonl>\n"
+                 "       telemetry_report --stats <stats.jsonl>\n");
     return 2;
   }
   std::ifstream in(argv[1]);
@@ -191,6 +287,17 @@ int Main(int argc, const char* const* argv) {
       if (Get(e, "ok") != "true") {
         std::printf("  status: %s\n", Get(e, "status").c_str());
       }
+    } else if (kind == "serve_degrade") {
+      std::printf("%-7s %-14s %-10s %-10s serve: precision ladder %s -> %s "
+                  "step(s)\n",
+                  "-", "-", "-", "-", Get(e, "prev_steps").c_str(),
+                  Get(e, "steps").c_str());
+    } else if (kind == "serve_shed") {
+      std::printf("%-7s %-14s %-10s %-10s serve: shed %s request(s)\n", "-",
+                  "-", "-", "-", Get(e, "shed").c_str());
+    } else if (kind == "serve_drain") {
+      std::printf("%-7s %-14s %-10s %-10s serve: graceful drain\n", "-", "-",
+                  "-", "-");
     } else if (kind != "run_start") {
       ++unknown;
     }
