@@ -18,7 +18,9 @@
 #include "common/log.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/perf_counters.h"
 #include "common/profiler.h"
+#include "common/sampling_profiler.h"
 #include "common/trace.h"
 #include "data/profiles.h"
 #include "data/split.h"
@@ -230,14 +232,19 @@ inline std::string InitObservability(int argc, const char* const* argv) {
   const std::string trace_out = ArgValue(argc, argv, "trace-out");
   if (!trace_out.empty()) StartTracing();
   StartProfiling();
+  // Hardware counters fold into the same trace sites the profiler
+  // aggregates; a machine without a PMU (most containers) degrades to the
+  // wall-time profile alone and the perf sections stay absent.
+  (void)StartPerfCounters();
   return trace_out;
 }
 
 /// Times a bench binary and records {threads, wall_seconds, peak RSS,
-/// getrusage counters, the call-path profile, the metrics-registry
-/// snapshot} to BENCH_<name>.json on destruction; also honors
-/// --trace-out/--profile-out/--metrics-out/--log-level. Declare one at the
-/// top of main():
+/// getrusage counters, per-site hardware counters (PMU machines only),
+/// the call-path profile, the metrics-registry snapshot} to
+/// BENCH_<name>.json on destruction; also honors
+/// --trace-out/--profile-out/--metrics-out/--flame-out/--log-level.
+/// Declare one at the top of main():
 ///   taxorec::bench::BenchRun run("table2_overall", argc, argv);
 class BenchRun {
  public:
@@ -247,7 +254,17 @@ class BenchRun {
         trace_out_(InitObservability(argc, argv)),
         profile_out_(ArgValue(argc, argv, "profile-out")),
         metrics_out_(ArgValue(argc, argv, "metrics-out")),
-        start_(std::chrono::steady_clock::now()) {}
+        flame_out_(ArgValue(argc, argv, "flame-out")),
+        start_(std::chrono::steady_clock::now()) {
+    if (!flame_out_.empty()) {
+      if (Status s = StartSampling(SamplingOptions{}); s.ok()) {
+        sampling_ = true;
+      } else {
+        std::fprintf(stderr, "[bench] sampling profiler unavailable: %s\n",
+                     s.message().c_str());
+      }
+    }
+  }
 
   BenchRun(const BenchRun&) = delete;
   BenchRun& operator=(const BenchRun&) = delete;
@@ -264,8 +281,20 @@ class BenchRun {
       }
     }
     StopProfiling();
+    StopPerfCounters();
     if (!profile_out_.empty()) {
       if (Status s = WriteProfileJsonl(profile_out_); !s.ok()) {
+        std::fprintf(stderr, "[bench] %s\n", s.ToString().c_str());
+      }
+      // Per-site counter lines ride in the same JSONL file as the
+      // wall-time profile (absent without a PMU).
+      if (Status s = AppendPerfCountersJsonl(profile_out_); !s.ok()) {
+        std::fprintf(stderr, "[bench] %s\n", s.ToString().c_str());
+      }
+    }
+    if (sampling_) {
+      StopSampling();
+      if (Status s = WriteFoldedStacks(flame_out_); !s.ok()) {
         std::fprintf(stderr, "[bench] %s\n", s.ToString().c_str());
       }
     }
@@ -280,14 +309,20 @@ class BenchRun {
     const std::string path = "BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return;
+    // The perf section exists only when counters were actually read — a
+    // PMU-less machine omits the key entirely (no zero-filled stub), so
+    // the file is byte-identical run to run there.
+    const std::string perf_json = PerfCountersJsonObject();
+    const std::string perf_section =
+        perf_json.empty() ? "" : " \"perf\": " + perf_json + ",\n";
     std::fprintf(f,
                  "{\"bench\": \"%s\", \"threads\": %d, "
                  "\"hardware_concurrency\": %d, \"wall_seconds\": %.3f, "
                  "\"peak_rss_bytes\": %llu,\n"
-                 " \"rusage\": %s,\n \"profile\": %s,\n \"metrics\": %s}\n",
+                 " \"rusage\": %s,\n%s \"profile\": %s,\n \"metrics\": %s}\n",
                  name_.c_str(), threads_, HardwareThreads(), secs,
                  static_cast<unsigned long long>(PeakRssBytes()),
-                 RusageJsonObject(SelfRusage()).c_str(),
+                 RusageJsonObject(SelfRusage()).c_str(), perf_section.c_str(),
                  ProfileJsonArray().c_str(), metrics_json.c_str());
     std::fclose(f);
     std::printf("[bench] %s: threads=%d wall=%.2fs -> %s\n", name_.c_str(),
@@ -302,6 +337,8 @@ class BenchRun {
   std::string trace_out_;
   std::string profile_out_;
   std::string metrics_out_;
+  std::string flame_out_;
+  bool sampling_ = false;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -586,6 +586,11 @@ OverloadTimeline RunOverloadTimeline(const Recommender& model,
 /// results[] share index order with kTierNames.
 constexpr const char* kTierNames[] = {"double", "float32", "int8"};
 
+/// Counter-region labels for the tier sweeps — flattened by bench_compare
+/// as perf.serve.<tier>.* (e.g. perf.serve.f32.llc_miss_rate gates).
+constexpr const char* kTierPerfSites[] = {"serve.double", "serve.f32",
+                                          "serve.int8"};
+
 std::vector<TierReport> RunTierBench(size_t num_items, int reps,
                                      bool assert_speedup) {
   constexpr size_t kDim = 32;
@@ -612,7 +617,14 @@ std::vector<TierReport> RunTierBench(size_t num_items, int reps,
   for (PrecisionTier tier : tiers) {
     const FrozenModel model(ScoringSnapshot(snap), tier);
     TierReport r;
-    const double secs = ScoreSweepSeconds(model, users, reps);
+    double secs;
+    {
+      // Hardware counters per tier: the sweep is the serving hot loop, so
+      // its IPC / LLC miss rate is the per-precision memory-bandwidth
+      // story DESIGN.md §14 gates on.
+      PerfRegion perf(kTierPerfSites[reports.size()]);
+      secs = ScoreSweepSeconds(model, users, reps);
+    }
     r.items_per_second =
         static_cast<double>(kSweepUsers * num_items) / secs;
     r.snapshot_bytes = model.snapshot_bytes();
@@ -774,8 +786,14 @@ int Main(int argc, const char* const* argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   StopProfiling();
+  StopPerfCounters();
   std::FILE* f = std::fopen("BENCH_serve.json", "w");
   if (f == nullptr) return 1;
+  // Omitted entirely (not zero-filled) on PMU-less machines so the json
+  // stays byte-stable there.
+  const std::string perf_json = PerfCountersJsonObject();
+  const std::string perf_section =
+      perf_json.empty() ? "" : " \"perf\": " + perf_json + ",\n";
   std::fprintf(
       f,
       "{\"bench\": \"serve\", \"threads\": %d, \"hardware_concurrency\": %d,\n"
@@ -811,7 +829,7 @@ int Main(int argc, const char* const* argv) {
       "\"windowed_p99_ms\": %.4f, \"max_window_shed_rate\": %.4f, "
       "\"recovered\": %s, \"stats_path\": \"%s\"}},\n"
       " \"wall_seconds\": %.3f, \"peak_rss_bytes\": %llu,\n"
-      " \"rusage\": %s,\n \"profile\": %s,\n \"metrics\": %s}\n",
+      " \"rusage\": %s,\n%s \"profile\": %s,\n \"metrics\": %s}\n",
       threads, HardwareThreads(), quick ? "true" : "false",
       static_cast<size_t>(split.num_users),
       static_cast<size_t>(split.num_items), kTopK, dot_t.seed_seconds,
@@ -836,7 +854,8 @@ int Main(int argc, const char* const* argv) {
       timeline.max_window_shed_rate, timeline.recovered ? "true" : "false",
       kTimelineStats, wall,
       static_cast<unsigned long long>(PeakRssBytes()),
-      RusageJsonObject(SelfRusage()).c_str(), ProfileJsonArray().c_str(),
+      RusageJsonObject(SelfRusage()).c_str(), perf_section.c_str(),
+      ProfileJsonArray().c_str(),
       MetricsRegistry::Instance().SnapshotJson().c_str());
   std::fclose(f);
   std::printf("[bench] serve: threads=%d wall=%.2fs -> BENCH_serve.json\n",

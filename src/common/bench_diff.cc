@@ -79,7 +79,16 @@ Status CompareBenchJson(std::string_view baseline_json,
     result->deltas.push_back(std::move(d));
   }
   for (const auto& [key, text] : cur) {
-    if (base.find(key) == base.end()) result->only_current.push_back(key);
+    if (base.find(key) != base.end()) continue;
+    result->only_current.push_back(key);
+    // A gated key with no baseline entry has nothing to regress against:
+    // surface it as a new-key so stale baselines are visible, and fail
+    // outright in strict mode.
+    double ignored = 0.0;
+    if (IsGated(key, options) && ParseNumeric(text, &ignored)) {
+      result->new_gated_keys.push_back(key);
+      if (options.require_baseline_keys) result->regression = true;
+    }
   }
   // std::map iteration already yields sorted keys; the vectors inherit it.
   return Status::OK();
@@ -127,7 +136,15 @@ std::string FormatBenchComparison(const BenchCompareResult& result) {
     out += "missing from current: " + key + "\n";
   }
   for (const std::string& key : result.only_current) {
-    out += "missing from baseline: " + key + "\n";
+    const bool gated =
+        std::find(result.new_gated_keys.begin(), result.new_gated_keys.end(),
+                  key) != result.new_gated_keys.end();
+    out += "new-key (no baseline): " + key + (gated ? "  [gate]" : "") + "\n";
+  }
+  if (!result.new_gated_keys.empty()) {
+    out += "hint: gated new-keys cannot regress until the baseline is "
+           "refreshed (bench_compare --update-baseline); "
+           "--require-baseline-keys makes them fail\n";
   }
   return out;
 }

@@ -22,9 +22,16 @@ namespace taxorec {
 /// Comparison policy. `gate_keys` are exact flattened paths
 /// ("spmm.t1_seconds"); when empty, every key whose final segment ends in
 /// "_seconds" gates (the wall-time convention of BENCH_<name>.json).
+///
+/// A gated key present in the candidate but absent from the baseline
+/// cannot regress numerically, so by default it only reports as a
+/// `new-key` line — new counter keys (perf.<site>.*) would otherwise
+/// silently pass forever on a stale baseline. `require_baseline_keys`
+/// turns those into failures, forcing a baseline refresh.
 struct BenchCompareOptions {
   double tolerance = 0.2;  // regression when cur > base * (1 + tolerance)
   std::vector<std::string> gate_keys;
+  bool require_baseline_keys = false;  // gated new-keys fail the compare
 };
 
 /// One numeric key present in both documents.
@@ -42,6 +49,7 @@ struct BenchCompareResult {
   std::vector<BenchDelta> deltas;        // sorted by key
   std::vector<std::string> only_base;    // keys missing from current
   std::vector<std::string> only_current; // keys missing from baseline
+  std::vector<std::string> new_gated_keys;  // gated subset of only_current
   bool regression = false;
 };
 

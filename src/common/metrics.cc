@@ -9,6 +9,7 @@
 #endif
 
 #include "common/check.h"
+#include "common/heap_stats.h"
 #include "common/json.h"
 
 namespace taxorec {
@@ -132,6 +133,9 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 std::string MetricsRegistry::SnapshotJson() const {
+  // Refresh taxorec.heap.* gauges before locking (PublishHeapStats
+  // registers gauges, which takes this same mutex).
+  PublishHeapStats();
   std::lock_guard<std::mutex> lock(mu_);
   JsonWriter w;
   w.BeginObject();
@@ -177,6 +181,7 @@ MetricsState MetricsRegistry::State(const std::string& prefix) const {
   const auto matches = [&prefix](const std::string& name) {
     return prefix.empty() || name.rfind(prefix, 0) == 0;
   };
+  PublishHeapStats();  // before the lock, same reason as SnapshotJson
   std::lock_guard<std::mutex> lock(mu_);
   MetricsState out;
   for (const auto& [name, c] : counters_) {

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/log.h"
 #include "common/metrics.h"
+#include "common/sampling_profiler.h"
 
 namespace taxorec {
 namespace {
@@ -129,7 +130,13 @@ ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
   TAXOREC_CHECK(num_threads >= 1);
   threads_.reserve(static_cast<size_t>(num_threads - 1));
   for (int w = 1; w < num_threads; ++w) {
-    threads_.emplace_back([this, w] { WorkerLoop(w); });
+    // Register each worker with the sampling profiler for its lifetime:
+    // a per-thread-creation event (one registry append when disarmed),
+    // not a per-region cost, so pool hot paths are untouched.
+    threads_.emplace_back([this, w] {
+      SamplingThreadScope sampling_scope;
+      WorkerLoop(w);
+    });
   }
 }
 

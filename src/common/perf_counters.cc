@@ -1,0 +1,446 @@
+#include "common/perf_counters.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+
+#include "common/json.h"
+#include "common/log.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace taxorec {
+
+#if defined(__linux__)
+
+namespace {
+
+long PerfEventOpen(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                   unsigned long flags) {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+perf_event_attr MakeAttr(const PerfEventSpec& spec, bool leader) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = spec.type;
+  attr.config = spec.config;
+  attr.disabled = leader ? 1 : 0;  // group enabled as a unit via the leader
+  attr.exclude_kernel = 1;         // paranoid<=1 not required for user-only
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  attr.inherit = 0;  // inherit is incompatible with PERF_FORMAT_GROUP reads
+  return attr;
+}
+
+}  // namespace
+
+PerfEventGroup::~PerfEventGroup() { Close(); }
+
+Status PerfEventGroup::Open(const std::vector<PerfEventSpec>& specs) {
+  Close();
+  if (specs.empty()) {
+    return Status::InvalidArgument("perf event group needs at least a leader");
+  }
+  fds_.assign(specs.size(), -1);
+  opened_.assign(specs.size(), false);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    perf_event_attr attr = MakeAttr(specs[i], /*leader=*/i == 0);
+    const int fd = static_cast<int>(
+        PerfEventOpen(&attr, /*pid=*/0, /*cpu=*/-1,
+                      /*group_fd=*/i == 0 ? -1 : leader_, /*flags=*/0));
+    if (fd < 0) {
+      if (i == 0) {
+        const int err = errno;
+        fds_.clear();
+        opened_.clear();
+        return Status::Unavailable(
+            std::string("perf_event_open(") + specs[0].name +
+            ") failed: " + std::strerror(err));
+      }
+      continue;  // partially capable PMU: keep the members that opened
+    }
+    fds_[i] = fd;
+    opened_[i] = true;
+    if (i == 0) leader_ = fd;
+  }
+  ioctl(leader_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(leader_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  return Status::OK();
+}
+
+Status PerfEventGroup::Read(std::vector<uint64_t>* values) const {
+  values->assign(opened_.size(), 0);
+  if (leader_ < 0) return Status::Unavailable("perf event group not open");
+  // PERF_FORMAT_GROUP layout: {nr, time_enabled, time_running, value...}.
+  uint64_t buf[3 + kPerfHwEventCount + 8] = {};
+  const ssize_t n = read(leader_, buf, sizeof(buf));
+  if (n < static_cast<ssize_t>(3 * sizeof(uint64_t))) {
+    return Status::IOError("perf group read failed");
+  }
+  const uint64_t nr = buf[0];
+  const uint64_t enabled = buf[1];
+  const uint64_t running = buf[2];
+  // Multiplex scaling: when the PMU rotated the group out, counts cover
+  // only `running` of `enabled` time; scale up linearly (standard perf
+  // estimate). running == 0 with nonzero counts cannot happen.
+  const double scale =
+      running > 0 && enabled > running
+          ? static_cast<double>(enabled) / static_cast<double>(running)
+          : 1.0;
+  size_t src = 0;
+  for (size_t i = 0; i < opened_.size(); ++i) {
+    if (!opened_[i]) continue;
+    if (src >= nr) break;
+    const double scaled = static_cast<double>(buf[3 + src]) * scale;
+    (*values)[i] = static_cast<uint64_t>(scaled);
+    ++src;
+  }
+  return Status::OK();
+}
+
+void PerfEventGroup::Close() {
+  for (const int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+  fds_.clear();
+  opened_.clear();
+  leader_ = -1;
+}
+
+#else  // !__linux__
+
+PerfEventGroup::~PerfEventGroup() { Close(); }
+
+Status PerfEventGroup::Open(const std::vector<PerfEventSpec>&) {
+  return Status::Unavailable("perf_event_open requires Linux");
+}
+
+Status PerfEventGroup::Read(std::vector<uint64_t>* values) const {
+  values->assign(opened_.size(), 0);
+  return Status::Unavailable("perf_event_open requires Linux");
+}
+
+void PerfEventGroup::Close() {
+  fds_.clear();
+  opened_.clear();
+  leader_ = -1;
+}
+
+#endif  // __linux__
+
+const std::vector<PerfEventSpec>& HardwarePerfSpecs() {
+#if defined(__linux__)
+  static const std::vector<PerfEventSpec>* specs =
+      new std::vector<PerfEventSpec>{
+          {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, "cycles"},
+          {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, "instructions"},
+          {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES,
+           "cache_references"},
+          {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, "cache_misses"},
+          {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES, "branch_misses"},
+          {PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_BACKEND,
+           "stalled_cycles"},
+      };
+#else
+  static const std::vector<PerfEventSpec>* specs =
+      new std::vector<PerfEventSpec>{
+          {0, 0, "cycles"},
+          {0, 1, "instructions"},
+          {0, 2, "cache_references"},
+          {0, 3, "cache_misses"},
+          {0, 4, "branch_misses"},
+          {0, 5, "stalled_cycles"},
+      };
+#endif
+  return *specs;
+}
+
+namespace {
+
+double Ratio(bool have_num, uint64_t num, bool have_den, uint64_t den) {
+  if (!have_num || !have_den || den == 0) return -1.0;
+  return static_cast<double>(num) / static_cast<double>(den);
+}
+
+}  // namespace
+
+double PerfSiteCounters::Ipc() const {
+  return Ratio(have[kPerfInstructions], counts[kPerfInstructions],
+               have[kPerfCycles], counts[kPerfCycles]);
+}
+
+double PerfSiteCounters::Cpi() const {
+  return Ratio(have[kPerfCycles], counts[kPerfCycles],
+               have[kPerfInstructions], counts[kPerfInstructions]);
+}
+
+double PerfSiteCounters::LlcMissRate() const {
+  return Ratio(have[kPerfCacheMisses], counts[kPerfCacheMisses],
+               have[kPerfCacheReferences], counts[kPerfCacheReferences]);
+}
+
+double PerfSiteCounters::BranchMissRate() const {
+  return Ratio(have[kPerfBranchMisses], counts[kPerfBranchMisses],
+               have[kPerfInstructions], counts[kPerfInstructions]);
+}
+
+double PerfSiteCounters::StalledFrac() const {
+  return Ratio(have[kPerfStalledCycles], counts[kPerfStalledCycles],
+               have[kPerfCycles], counts[kPerfCycles]);
+}
+
+namespace internal {
+namespace {
+
+constexpr int kMaxPerfDepth = 32;
+
+/// Per-site accumulator inside one thread's buffer.
+struct PerfAccum {
+  uint64_t enters = 0;
+  uint64_t counts[kPerfHwEventCount] = {};
+};
+
+/// Per-thread counter state: one group, a nesting stack of entry
+/// snapshots, and a site-keyed accumulator map. The mutex only guards
+/// against a concurrent merge/clear (the hot path has one writer, the
+/// owning thread) — the same discipline as the profiler's ProfileBuffer.
+struct PerfThreadBuffer {
+  std::mutex mu;
+  PerfEventGroup group;
+  bool tried_open = false;
+  int depth = 0;
+  struct Frame {
+    const char* name;
+    std::vector<uint64_t> snap;
+  } stack[kMaxPerfDepth];
+  std::map<std::string, PerfAccum, std::less<>> sites;
+};
+
+struct PerfRegistry {
+  std::mutex mu;
+  std::vector<PerfThreadBuffer*> buffers;  // leaked; threads outlive drains
+};
+
+PerfRegistry& Registry() {
+  static PerfRegistry* registry = new PerfRegistry();
+  return *registry;
+}
+
+PerfThreadBuffer* ThreadBuffer() {
+  thread_local PerfThreadBuffer* buffer = [] {
+    auto* b = new PerfThreadBuffer();
+    PerfRegistry& reg = Registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.buffers.push_back(b);
+    return b;
+  }();
+  return buffer;
+}
+
+}  // namespace
+
+void PerfEnter(const char* name) {
+  PerfThreadBuffer* b = ThreadBuffer();
+  std::lock_guard<std::mutex> lock(b->mu);
+  if (!b->tried_open) {
+    b->tried_open = true;
+    // The process-level probe already passed (StartPerfCounters); a
+    // per-thread failure here (fd exhaustion) just leaves this thread
+    // contributing nothing.
+    (void)b->group.Open(HardwarePerfSpecs());
+  }
+  if (!b->group.open()) return;
+  if (b->depth >= kMaxPerfDepth) {
+    ++b->depth;  // count past the cap so exits rebalance
+    return;
+  }
+  PerfThreadBuffer::Frame& f = b->stack[b->depth];
+  f.name = name;
+  (void)b->group.Read(&f.snap);
+  ++b->depth;
+}
+
+void PerfExit(const char* name) {
+  PerfThreadBuffer* b = ThreadBuffer();
+  std::lock_guard<std::mutex> lock(b->mu);
+  if (!b->group.open() || b->depth == 0) return;
+  --b->depth;
+  if (b->depth >= kMaxPerfDepth) return;  // overflowed frame, no snapshot
+  const PerfThreadBuffer::Frame& f = b->stack[b->depth];
+  std::vector<uint64_t> now;
+  if (!b->group.Read(&now).ok()) return;
+  // Exit name should match the entry frame; trust the frame (it holds the
+  // snapshot) if a mismatch ever slips through.
+  const char* site = f.name != nullptr ? f.name : name;
+  auto it = b->sites.find(std::string_view(site));
+  if (it == b->sites.end()) {
+    it = b->sites.emplace(std::string(site), PerfAccum()).first;
+  }
+  PerfAccum& acc = it->second;
+  ++acc.enters;
+  for (int i = 0; i < kPerfHwEventCount; ++i) {
+    if (static_cast<size_t>(i) < now.size() &&
+        static_cast<size_t>(i) < f.snap.size() && now[i] >= f.snap[i]) {
+      acc.counts[i] += now[i] - f.snap[i];
+    }
+  }
+}
+
+}  // namespace internal
+
+namespace {
+
+std::once_flag g_probe_once;
+bool g_supported = false;
+
+void ProbeSupport() {
+  PerfEventGroup probe;
+  const Status s = probe.Open(HardwarePerfSpecs());
+  g_supported = s.ok();
+  if (!g_supported) {
+    int paranoid = -100;
+    std::ifstream in("/proc/sys/kernel/perf_event_paranoid");
+    if (in) in >> paranoid;
+    TAXOREC_LOG(WARN) << "hardware perf counters unavailable; resource "
+                         "counter sections will be omitted"
+                      << Kv("error", s.message())
+                      << Kv("perf_event_paranoid", paranoid);
+  }
+}
+
+}  // namespace
+
+bool PerfCountersSupported() {
+  std::call_once(g_probe_once, ProbeSupport);
+  return g_supported;
+}
+
+bool PerfCountersEnabled() {
+  return (internal::g_instrument_mode.load(std::memory_order_relaxed) &
+          internal::kPerfArmed) != 0;
+}
+
+Status StartPerfCounters() {
+  if (!PerfCountersSupported()) {
+    return Status::Unavailable("hardware perf counters unavailable");
+  }
+  internal::g_instrument_mode.fetch_or(internal::kPerfArmed,
+                                       std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void StopPerfCounters() {
+  internal::g_instrument_mode.fetch_and(~internal::kPerfArmed,
+                                        std::memory_order_relaxed);
+}
+
+void ClearPerfCounters() {
+  auto& reg = internal::Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto* b : reg.buffers) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    b->sites.clear();
+    b->depth = 0;
+  }
+}
+
+std::map<std::string, PerfSiteCounters> MergedPerfCounters() {
+  std::map<std::string, PerfSiteCounters> out;
+  auto& reg = internal::Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto* b : reg.buffers) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    if (b->sites.empty()) continue;
+    std::vector<bool> opened = b->group.opened();
+    for (const auto& [name, acc] : b->sites) {
+      PerfSiteCounters& site = out[name];
+      site.enters += acc.enters;
+      for (int i = 0; i < kPerfHwEventCount; ++i) {
+        const bool have =
+            static_cast<size_t>(i) < opened.size() && opened[i];
+        if (have) {
+          site.have[i] = true;
+          site.counts[i] += acc.counts[i];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void WriteSiteFields(const PerfSiteCounters& site, JsonWriter* w) {
+  const auto& specs = HardwarePerfSpecs();
+  w->Key("enters").Uint(site.enters);
+  for (int i = 0; i < kPerfHwEventCount; ++i) {
+    if (site.have[i]) w->Key(specs[i].name).Uint(site.counts[i]);
+  }
+  // Derived rates only when their inputs exist: zeros from absent events
+  // would poison bench_compare gating and break byte-stability.
+  if (const double v = site.Ipc(); v >= 0.0) w->Key("ipc").Double(v);
+  if (const double v = site.Cpi(); v >= 0.0) w->Key("cpi").Double(v);
+  if (const double v = site.LlcMissRate(); v >= 0.0) {
+    w->Key("llc_miss_rate").Double(v);
+  }
+  if (const double v = site.BranchMissRate(); v >= 0.0) {
+    w->Key("branch_miss_rate").Double(v);
+  }
+  if (const double v = site.StalledFrac(); v >= 0.0) {
+    w->Key("stalled_frac").Double(v);
+  }
+}
+
+}  // namespace
+
+std::string PerfCountersJsonObject() {
+  const auto merged = MergedPerfCounters();
+  if (merged.empty()) return "";
+  JsonWriter w;
+  w.BeginObject();
+  for (const auto& [name, site] : merged) {
+    w.Key(name).BeginObject();
+    WriteSiteFields(site, &w);
+    w.EndObject();
+  }
+  w.EndObject();
+  return w.TakeString();
+}
+
+std::vector<std::string> PerfCountersJsonLines() {
+  std::vector<std::string> lines;
+  for (const auto& [name, site] : MergedPerfCounters()) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("perf_site").String(name);
+    WriteSiteFields(site, &w);
+    w.EndObject();
+    lines.push_back(w.TakeString());
+  }
+  return lines;
+}
+
+Status AppendPerfCountersJsonl(const std::string& path) {
+  const std::vector<std::string> lines = PerfCountersJsonLines();
+  if (lines.empty()) return Status::OK();
+  std::ofstream out(path, std::ios::app);
+  if (!out) return Status::IOError("cannot append perf counters: " + path);
+  for (const std::string& line : lines) {
+    out << line << "\n";
+  }
+  out.flush();
+  if (!out) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+}  // namespace taxorec

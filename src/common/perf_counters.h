@@ -1,0 +1,181 @@
+// Hardware resource counters on trace sites (perf_event_open groups).
+//
+// Wall time alone cannot say *why* a region is slow; the serving tiers and
+// SpMM kernels are memory-bandwidth stories that need IPC and cache-miss
+// evidence (DESIGN.md §14). This layer opens one perf_event counter group
+// per thread — cycles (leader), instructions, cache-references,
+// cache-misses, branch-misses, stalled-cycles-backend — and attaches it to
+// the existing TraceSpan sites: when armed (StartPerfCounters), every span
+// enter/exit snapshots the group and folds the delta into a per-site
+// aggregate, exactly like the call-path profiler rides the same sites.
+// Standalone regions without a TraceSpan use the PerfRegion RAII guard.
+//
+// Derived metrics (IPC, CPI, LLC miss rate, branch miss rate, stalled
+// fraction) are computed at export time and merged into --profile-out
+// (AppendPerfCountersJsonl), every BENCH_<name>.json
+// (PerfCountersJsonObject) and the bench_compare gate (flattened
+// perf.<site>.* keys).
+//
+// Graceful degradation: containers and locked-down CI typically have no
+// PMU (perf_event_open fails with ENOENT/EACCES/EPERM). The first arming
+// attempt probes availability once, WARNs once with the errno and the
+// perf_event_paranoid hint, and every later query returns empty — JSON
+// sections are omitted entirely (no zeros), so BENCH output is byte-stable
+// with or without counters. Disarmed spans still cost exactly one relaxed
+// load (the shared instrument-mode word in common/trace.h), preserving
+// --threads bit-identity.
+#ifndef TAXOREC_COMMON_PERF_COUNTERS_H_
+#define TAXOREC_COMMON_PERF_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/trace.h"
+
+namespace taxorec {
+
+/// One perf_event in a group: `type`/`config` mirror the
+/// perf_event_attr fields (PERF_TYPE_HARDWARE + PERF_COUNT_HW_* for the
+/// standard set; tests use PERF_TYPE_SOFTWARE events, which count even on
+/// machines without a PMU). `name` labels the value in exports.
+struct PerfEventSpec {
+  uint32_t type = 0;
+  uint64_t config = 0;
+  const char* name = "";
+};
+
+/// A perf_event_open counter group pinned to the calling thread. The first
+/// spec is the group leader; members that fail to open are skipped (their
+/// opened() slot stays false) so a partially capable PMU still yields the
+/// events it has. Reads return multiplex-scaled counts
+/// (PERF_FORMAT_TOTAL_TIME_ENABLED/RUNNING), 0 for unopened members.
+class PerfEventGroup {
+ public:
+  PerfEventGroup() = default;
+  ~PerfEventGroup();
+  PerfEventGroup(const PerfEventGroup&) = delete;
+  PerfEventGroup& operator=(const PerfEventGroup&) = delete;
+
+  /// Opens the group on the calling thread. Unavailable when the leader
+  /// cannot be opened (no PMU / permission denied); the error message
+  /// carries strerror(errno).
+  Status Open(const std::vector<PerfEventSpec>& specs);
+
+  bool open() const { return leader_ >= 0; }
+  size_t size() const { return opened_.size(); }
+  const std::vector<bool>& opened() const { return opened_; }
+
+  /// Reads every member (one group read syscall), multiplex-scaled, into
+  /// `values` (resized to size(); unopened slots read 0).
+  Status Read(std::vector<uint64_t>* values) const;
+
+  void Close();
+
+ private:
+  std::vector<int> fds_;      // -1 for members that failed to open
+  std::vector<bool> opened_;
+  int leader_ = -1;
+};
+
+/// Indices of the standard hardware set (HardwarePerfSpecs order).
+enum PerfHwEvent {
+  kPerfCycles = 0,
+  kPerfInstructions,
+  kPerfCacheReferences,
+  kPerfCacheMisses,
+  kPerfBranchMisses,
+  kPerfStalledCycles,
+  kPerfHwEventCount
+};
+
+/// The standard hardware counter group attached to trace sites.
+const std::vector<PerfEventSpec>& HardwarePerfSpecs();
+
+/// Aggregated counters for one site (span name), summed over all entries
+/// on all threads. `have[i]` is true when event i opened on at least one
+/// contributing thread; absent events are omitted from exports.
+struct PerfSiteCounters {
+  uint64_t enters = 0;
+  uint64_t counts[kPerfHwEventCount] = {};
+  bool have[kPerfHwEventCount] = {};
+
+  // Derived rates; negative when the inputs are absent (omitted from
+  // JSON — "zeros omitted" is what keeps counterless runs byte-stable).
+  double Ipc() const;             // instructions / cycles
+  double Cpi() const;             // cycles / instructions (gateable: up = bad)
+  double LlcMissRate() const;     // cache-misses / cache-references
+  double BranchMissRate() const;  // branch-misses / instructions
+  double StalledFrac() const;     // stalled-cycles / cycles
+};
+
+/// True when the hardware group can be opened on this machine. Probes once
+/// (cached); the failing probe WARNs once with the errno and a
+/// /proc/sys/kernel/perf_event_paranoid hint.
+bool PerfCountersSupported();
+
+/// True while counter collection is armed.
+bool PerfCountersEnabled();
+
+/// Arms counter collection on the TraceSpan/PerfRegion sites. Returns
+/// Unavailable (after the single WARN) when the PMU is absent — callers
+/// treat that as "run without counters", never as an error.
+Status StartPerfCounters();
+
+/// Disarms collection. Aggregates survive until ClearPerfCounters.
+void StopPerfCounters();
+
+/// Drops every per-thread aggregate (test isolation).
+void ClearPerfCounters();
+
+/// Deterministic merge of the per-thread site aggregates (name-sorted).
+std::map<std::string, PerfSiteCounters> MergedPerfCounters();
+
+/// {"<site>": {"enters": N, "cycles": ..., "ipc": ...}, ...} for embedding
+/// in BENCH_<name>.json ("perf" section). Empty string when no data was
+/// collected — callers omit the section entirely.
+std::string PerfCountersJsonObject();
+
+/// One {"perf_site": "<site>", ...} JSONL line per site, for merging into
+/// --profile-out next to the call-path profile lines.
+std::vector<std::string> PerfCountersJsonLines();
+
+/// Appends PerfCountersJsonLines to `path` (the --profile-out file). OK
+/// and a no-op when there is no counter data.
+Status AppendPerfCountersJsonl(const std::string& path);
+
+namespace internal {
+// Implemented in perf_counters.cc; called by TraceSpan via the
+// kPerfArmed bit of g_instrument_mode (common/trace.h).
+void PerfEnter(const char* name);
+void PerfExit(const char* name);
+}  // namespace internal
+
+/// RAII counter region for code that is not a TraceSpan site (e.g. the
+/// per-precision-tier scoring sweeps in bench_serve). Same one-relaxed-load
+/// disarmed discipline and the same per-site aggregate sink as TraceSpan.
+class PerfRegion {
+ public:
+  explicit PerfRegion(const char* name)
+      : armed_((internal::g_instrument_mode.load(std::memory_order_relaxed) &
+                internal::kPerfArmed) != 0),
+        name_(name) {
+    if (armed_) internal::PerfEnter(name_);
+  }
+  ~PerfRegion() {
+    if (armed_) internal::PerfExit(name_);
+  }
+  PerfRegion(const PerfRegion&) = delete;
+  PerfRegion& operator=(const PerfRegion&) = delete;
+
+ private:
+  const bool armed_;
+  const char* name_;
+};
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_COMMON_PERF_COUNTERS_H_

@@ -1,0 +1,100 @@
+// Timer-based sampling CPU profiler with flamegraph (folded stack) export.
+//
+// The aggregating span profiler (common/profiler.h) only sees code that
+// was bracketed with a TraceSpan; the sampling profiler sees everything.
+// Each registered thread gets a POSIX per-thread CPU-time timer
+// (timer_create on the thread's cpu clock, SIGEV_THREAD_ID → SIGPROF)
+// firing every `interval_us` of *consumed* CPU. The async-signal-safe
+// handler walks the frame-pointer chain from the interrupted context
+// (ucontext RIP/RBP, bounds-checked against the thread's stack extent —
+// the build compiles with -fno-omit-frame-pointer for exactly this) and
+// pushes the raw PC vector into a lock-free ring: one fetch_add to claim
+// a slot, no allocation, no locks. Symbolization (dladdr +
+// __cxa_demangle; executables link with -rdynamic so internal symbols
+// resolve) happens at dump time, never in the handler.
+//
+// Output is the flamegraph "folded stack" format — one
+// `frame;frame;frame count` line per distinct stack, root first — via
+// --flame-out on taxorec_cli/taxorec_serve/bench binaries, rendered by
+// `telemetry_report --flame`.
+//
+// Discipline matches the other consumers (DESIGN.md §14): disarmed cost
+// is one relaxed load (there is no timer at all when disarmed, and
+// registration is a per-thread-creation event, not a hot path), sampling
+// never touches model state, so results stay bit-identical at any
+// --threads. Under tsan/asan the whole subsystem compiles to an
+// Unavailable stub — see sampling_profiler.cc for why.
+#ifndef TAXOREC_COMMON_SAMPLING_PROFILER_H_
+#define TAXOREC_COMMON_SAMPLING_PROFILER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace taxorec {
+
+struct SamplingOptions {
+  /// Thread CPU time between samples (1 kHz default: ~2 µs of handler per
+  /// 1 ms of work keeps the armed SpMM overhead well under the 5% budget
+  /// asserted by bench_micro_kernels).
+  uint64_t interval_us = 1000;
+  /// Ring capacity in samples; the handler drops (and counts) past this.
+  size_t ring_capacity = 1 << 16;
+};
+
+/// False when the subsystem is stubbed out (sanitizer builds, non-Linux).
+bool SamplingProfilerSupported();
+
+/// True while timers are armed.
+bool SamplingActive();
+
+/// Installs the SIGPROF handler, allocates the ring, and starts a
+/// per-thread CPU-time timer on every registered thread (the calling
+/// thread is registered implicitly). Unavailable when stubbed out or when
+/// the first timer cannot be created — callers treat that as "run without
+/// a flame profile".
+Status StartSampling(const SamplingOptions& options = SamplingOptions());
+
+/// Disarms and deletes every timer. Samples survive until ClearSamples.
+void StopSampling();
+
+/// Drops all collected samples and the drop counter (test isolation).
+void ClearSamples();
+
+/// Samples currently in the ring.
+uint64_t SampleCount();
+
+/// Samples dropped because the ring was full.
+uint64_t SampleDroppedCount();
+
+/// Symbolized, deterministic (name-sorted) fold of the ring:
+/// "root;caller;leaf" → sample count.
+std::map<std::string, uint64_t> FoldedStacks();
+
+/// Writes FoldedStacks as flamegraph-collapsed lines ("stack count\n").
+Status WriteFoldedStacks(const std::string& path);
+
+/// Registers the calling thread for sampling: records its CPU clock and
+/// stack extent, and starts a timer immediately when sampling is armed.
+/// Worker threads call this on startup (common/parallel.cc); disarmed it
+/// is a registry append, nowhere near any hot path.
+void SamplingRegisterCurrentThread();
+
+/// Unregisters (and stops the timer of) the calling thread. Must be
+/// called before a registered thread exits.
+void SamplingUnregisterCurrentThread();
+
+/// RAII register/unregister for pool worker bodies.
+class SamplingThreadScope {
+ public:
+  SamplingThreadScope() { SamplingRegisterCurrentThread(); }
+  ~SamplingThreadScope() { SamplingUnregisterCurrentThread(); }
+  SamplingThreadScope(const SamplingThreadScope&) = delete;
+  SamplingThreadScope& operator=(const SamplingThreadScope&) = delete;
+};
+
+}  // namespace taxorec
+
+#endif  // TAXOREC_COMMON_SAMPLING_PROFILER_H_

@@ -21,6 +21,7 @@ enum class StatusCode {
   kIOError,
   kFailedPrecondition,
   kInternal,
+  kUnavailable,
 };
 
 /// A success-or-error result for fallible operations.
@@ -43,6 +44,11 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// The capability is absent in this environment (no PMU, sanitizer
+  /// stub, unsupported OS) — expected and non-fatal, unlike IOError.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -38,6 +38,7 @@ namespace internal {
 // Bitmask of armed span consumers; disarmed spans read it once, relaxed.
 inline constexpr uint32_t kTraceArmed = 1u << 0;
 inline constexpr uint32_t kProfileArmed = 1u << 1;
+inline constexpr uint32_t kPerfArmed = 1u << 2;
 extern std::atomic<uint32_t> g_instrument_mode;
 /// Appends one completed span to the calling thread's ring buffer.
 void RecordSpan(const char* name, uint64_t start_us, uint64_t dur_us);
@@ -45,6 +46,11 @@ void RecordSpan(const char* name, uint64_t start_us, uint64_t dur_us);
 void ProfileEnter(const char* name);
 /// Pops the profile stack and folds `dur_us` into the site aggregates.
 void ProfileExit(const char* name, uint64_t dur_us);
+/// Snapshots the thread's perf counter group on span entry
+/// (perf_counters.cc).
+void PerfEnter(const char* name);
+/// Re-reads the group and folds the delta into the site aggregates.
+void PerfExit(const char* name);
 /// Microseconds since process start (steady clock).
 uint64_t TraceNowMicros();
 }  // namespace internal
@@ -101,10 +107,14 @@ class TraceSpan {
         name_(name),
         start_us_(mode_ != 0 ? internal::TraceNowMicros() : 0) {
     if (mode_ & internal::kProfileArmed) internal::ProfileEnter(name_);
+    if (mode_ & internal::kPerfArmed) internal::PerfEnter(name_);
   }
 
   ~TraceSpan() {
     if (mode_ == 0) return;
+    // Read the counters before the clock so the span's own bookkeeping
+    // stays outside its counter window (mirrors the enter order).
+    if (mode_ & internal::kPerfArmed) internal::PerfExit(name_);
     const uint64_t dur_us = internal::TraceNowMicros() - start_us_;
     if (mode_ & internal::kTraceArmed) {
       internal::RecordSpan(name_, start_us_, dur_us);

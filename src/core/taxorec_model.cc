@@ -11,6 +11,7 @@
 #include "common/check.h"
 #include "common/fault_injection.h"
 #include "common/health.h"
+#include "common/heap_stats.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/trace.h"
@@ -149,6 +150,8 @@ void TaxoRecModel::InitUserTagEmbeddings() {
 }
 
 void TaxoRecModel::RebuildTaxonomy(int epoch) {
+  static const int kHeapTag = RegisterHeapSubsystem("taxonomy");
+  HeapScope heap_scope(kHeapTag);
   TraceSpan span("taxonomy_rebuild");
   const auto start = std::chrono::steady_clock::now();
   if (options_.fixed_taxonomy != nullptr) {

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/heap_stats.h"
 #include "common/json.h"
 #include "common/metrics.h"
 
@@ -179,6 +180,13 @@ void RunTelemetry::EmitRunEnd(bool ok, const std::string& status,
   w.Key("voluntary_ctx_switches").Uint(ru.voluntary_ctx_switches);
   w.Key("involuntary_ctx_switches").Uint(ru.involuntary_ctx_switches);
   w.Key("peak_rss_bytes").Uint(PeakRssBytes());
+  // Per-subsystem heap peaks (common/heap_stats.h): which phase owned the
+  // memory, not just how much the process used. Empty (keys omitted, no
+  // zeros) when the tagged allocator is compiled out.
+  for (const HeapSubsystemStats& h : HeapStatsSnapshot()) {
+    w.Key("heap." + h.name + ".peak_bytes")
+        .Uint(static_cast<uint64_t>(h.peak_bytes));
+  }
   w.EndObject();
   WriteLine(w.TakeString());
 }

@@ -6,6 +6,7 @@
 
 #include "baselines/cml.h"
 #include "baselines/hyperml.h"
+#include "common/heap_stats.h"
 #include "common/log.h"
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -123,6 +124,8 @@ StatusOr<TrainLoopResult> RunTrainLoop(Recommender* model,
                                        const DataSplit& split, Rng* rng,
                                        const TrainLoopOptions& opts) {
   TrainLoopResult result;
+  static const int kHeapTag = RegisterHeapSubsystem("train");
+  HeapScope heap_scope(kHeapTag);
   TraceSpan loop_span("train_loop");
   ScopedModelTelemetry scoped_telemetry(model, opts.telemetry);
 

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/heap_stats.h"
+
 namespace taxorec {
 
 Status SaveDataset(const Dataset& data, const std::string& path) {
@@ -34,6 +36,8 @@ Status SaveDataset(const Dataset& data, const std::string& path) {
 }
 
 StatusOr<Dataset> LoadDataset(const std::string& path) {
+  static const int kHeapTag = RegisterHeapSubsystem("data");
+  HeapScope heap_scope(kHeapTag);
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open for read: " + path);
   Dataset data;

@@ -9,6 +9,7 @@
 #include <chrono>
 
 #include "common/check.h"
+#include "common/heap_stats.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/trace.h"
@@ -19,6 +20,8 @@ namespace taxorec {
 EvalResult EvaluateRanking(const Recommender& model, const DataSplit& split,
                            const EvalOptions& opts) {
   TAXOREC_CHECK(!opts.ks.empty());
+  static const int kHeapTag = RegisterHeapSubsystem("eval");
+  HeapScope heap_scope(kHeapTag);
   TraceSpan span("evaluate_ranking");
   const auto eval_start = std::chrono::steady_clock::now();
   EvalResult result;

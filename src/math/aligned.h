@@ -14,6 +14,8 @@
 #include <new>
 #include <utility>
 
+#include "common/heap_stats.h"
+
 namespace taxorec {
 
 /// Byte alignment of every AlignedBuffer allocation (one x86 cache line,
@@ -31,6 +33,11 @@ class AlignedBuffer {
       data_ = static_cast<T*>(::operator new(
           size_ * sizeof(T), std::align_val_t(kAlignedBufferAlignment)));
       std::fill(data_, data_ + size_, T{});
+      // Over-aligned news bypass the tagged allocator (common/heap_stats.h);
+      // report the block explicitly so snapshot buffers stay accounted.
+      heap_tag_ = CurrentHeapSubsystem();
+      HeapAccountExternal(heap_tag_,
+                          static_cast<int64_t>(size_ * sizeof(T)));
     }
   }
   AlignedBuffer(const AlignedBuffer& other) : AlignedBuffer(other.size_) {
@@ -38,15 +45,19 @@ class AlignedBuffer {
   }
   AlignedBuffer(AlignedBuffer&& other) noexcept
       : size_(std::exchange(other.size_, 0)),
-        data_(std::exchange(other.data_, nullptr)) {}
+        data_(std::exchange(other.data_, nullptr)),
+        heap_tag_(other.heap_tag_) {}
   AlignedBuffer& operator=(AlignedBuffer other) noexcept {
     std::swap(size_, other.size_);
     std::swap(data_, other.data_);
+    std::swap(heap_tag_, other.heap_tag_);
     return *this;
   }
   ~AlignedBuffer() {
     if (data_ != nullptr) {
       ::operator delete(data_, std::align_val_t(kAlignedBufferAlignment));
+      HeapAccountExternal(heap_tag_,
+                          -static_cast<int64_t>(size_ * sizeof(T)));
     }
   }
 
@@ -60,6 +71,7 @@ class AlignedBuffer {
  private:
   size_t size_ = 0;
   T* data_ = nullptr;
+  int heap_tag_ = 0;  // subsystem debited on release (allocation-time tag)
 };
 
 }  // namespace taxorec

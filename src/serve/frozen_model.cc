@@ -3,6 +3,7 @@
 #include "baselines/recommender.h"
 #include "common/check.h"
 #include "common/fault_injection.h"
+#include "common/heap_stats.h"
 #include "common/log.h"
 #include "common/metrics.h"
 #include "hyperbolic/lorentz.h"
@@ -107,6 +108,8 @@ size_t DoubleTierBytes(const ScoringSnapshot& s) {
 
 FrozenModel::FrozenModel(ScoringSnapshot snapshot, PrecisionTier tier)
     : snap_(std::move(snapshot)), tier_(tier) {
+  static const int kHeapTag = RegisterHeapSubsystem("serve.snapshot");
+  HeapScope heap_scope(kHeapTag);
   TAXOREC_CHECK(snap_.num_users > 0 && snap_.num_items > 0);
   if (snap_.kernel == ScoreKernel::kVirtual) {
     TAXOREC_CHECK(snap_.live != nullptr);

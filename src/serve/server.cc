@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/fault_injection.h"
+#include "common/heap_stats.h"
 #include "common/log.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
@@ -295,6 +296,8 @@ std::vector<ServeResult> BatchServer::Drain() {
 
 std::vector<ServeResult> BatchServer::ServeInternal(
     std::span<const ServeRequest> requests) {
+  static const int kHeapTag = RegisterHeapSubsystem("serve");
+  HeapScope heap_scope(kHeapTag);
   TraceSpan span("serve_batch");
   const auto start = std::chrono::steady_clock::now();
   ServeMetrics& metrics = ServeMetrics::Instance();

@@ -140,6 +140,74 @@ TEST(BenchDiffTest, KeySetDriftIsReportedButDoesNotGate) {
   EXPECT_NE(report.find("new_seconds"), std::string::npos) << report;
 }
 
+TEST(BenchDiffTest, NewGatedKeysReportButPassByDefault) {
+  // A gated counter key (perf.<site>.*) that only exists in the candidate
+  // — the PMU-less baseline never recorded it. Default policy: surface a
+  // "new-key (no baseline)" line but do not fail, so counterless CI and
+  // counterful dev boxes share one committed baseline.
+  const std::string base = R"({"spmm":{"t1_seconds":1.0}})";
+  const std::string cur =
+      R"({"spmm":{"t1_seconds":1.0},"perf":{"spmm":{"cpi":0.6}}})";
+  BenchCompareOptions options;
+  options.gate_keys = {"spmm.t1_seconds", "perf.spmm.cpi"};
+  BenchCompareResult result;
+  ASSERT_TRUE(CompareBenchJson(base, cur, options, &result).ok());
+  EXPECT_FALSE(result.regression);
+  EXPECT_EQ(result.new_gated_keys,
+            (std::vector<std::string>{"perf.spmm.cpi"}));
+  const std::string report = FormatBenchComparison(result);
+  EXPECT_NE(report.find("new-key (no baseline)"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("perf.spmm.cpi"), std::string::npos) << report;
+}
+
+TEST(BenchDiffTest, RequireBaselineKeysFailsOnNewGatedKey) {
+  const std::string base = R"({"spmm":{"t1_seconds":1.0}})";
+  const std::string cur =
+      R"({"spmm":{"t1_seconds":1.0},"perf":{"spmm":{"cpi":0.6}}})";
+  BenchCompareOptions options;
+  options.gate_keys = {"spmm.t1_seconds", "perf.spmm.cpi"};
+  options.require_baseline_keys = true;
+  BenchCompareResult result;
+  ASSERT_TRUE(CompareBenchJson(base, cur, options, &result).ok());
+  EXPECT_TRUE(result.regression) << "stale baseline must fail strict mode";
+  EXPECT_EQ(result.new_gated_keys,
+            (std::vector<std::string>{"perf.spmm.cpi"}));
+}
+
+TEST(BenchDiffTest, UngatedNewKeysNeverTripStrictMode) {
+  // Only *gated* new keys are a staleness signal; informational keys
+  // (rss, counts) drift freely without failing --require-baseline-keys.
+  const std::string base = R"({"t1_seconds":1.0})";
+  const std::string cur = R"({"t1_seconds":1.0,"rss_bytes":123})";
+  BenchCompareOptions options;
+  options.require_baseline_keys = true;
+  BenchCompareResult result;
+  ASSERT_TRUE(CompareBenchJson(base, cur, options, &result).ok());
+  EXPECT_FALSE(result.regression);
+  EXPECT_TRUE(result.new_gated_keys.empty());
+  EXPECT_EQ(result.only_current,
+            (std::vector<std::string>{"rss_bytes"}));
+}
+
+TEST(BenchDiffTest, GatedKeyPresentBothSidesGatesNormally) {
+  // Once the baseline is refreshed with counters, the same keys gate by
+  // value: a CPI regression beyond tolerance fails even in default mode.
+  const std::string base = R"({"perf":{"spmm":{"cpi":0.5}}})";
+  const std::string cur = R"({"perf":{"spmm":{"cpi":0.9}}})";
+  BenchCompareOptions options;
+  options.gate_keys = {"perf.spmm.cpi"};
+  options.tolerance = 0.2;
+  BenchCompareResult result;
+  ASSERT_TRUE(CompareBenchJson(base, cur, options, &result).ok());
+  EXPECT_TRUE(result.regression);
+  EXPECT_TRUE(result.new_gated_keys.empty());
+  const BenchDelta* cpi = FindDelta(result, "perf.spmm.cpi");
+  ASSERT_NE(cpi, nullptr);
+  EXPECT_TRUE(cpi->gated);
+  EXPECT_TRUE(cpi->regressed);
+}
+
 TEST(BenchDiffTest, ZeroBaselineNeverDividesOrRegresses) {
   const std::string base = R"({"t1_seconds":0.0})";
   const std::string cur = R"({"t1_seconds":5.0})";

@@ -10,6 +10,7 @@
 #include <map>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/json.h"
 #include "common/metrics.h"
@@ -196,6 +197,63 @@ TEST_F(TimeseriesTest, TicksWhileWritersRaceLoseNothing) {
 
   EXPECT_EQ(sum_deltas, kIters);
   EXPECT_EQ(hist_deltas, kIters);
+}
+
+TEST_F(TimeseriesTest, PercentileFromBucketsEmptyWindowIsZero) {
+  // A quiet window (all bucket deltas zero) must report 0, not divide by
+  // the zero total or fall through to bounds.back().
+  const std::vector<double> bounds = {1.0, 10.0, 100.0};
+  const std::vector<uint64_t> empty(bounds.size() + 1, 0);
+  EXPECT_DOUBLE_EQ(PercentileFromBuckets(bounds, empty, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(PercentileFromBuckets(bounds, empty, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(PercentileFromBuckets(bounds, empty, 1.0), 0.0);
+}
+
+TEST_F(TimeseriesTest, PercentileFromBucketsAllMassInOneBucket) {
+  const std::vector<double> bounds = {1.0, 10.0, 100.0};
+  // Every observation in (1, 10]: all quantiles interpolate inside that
+  // bucket, never escaping its [1, 10] range.
+  std::vector<uint64_t> mid = {0, 1000, 0, 0};
+  for (const double q : {0.01, 0.5, 0.99, 1.0}) {
+    const double v = PercentileFromBuckets(bounds, mid, q);
+    EXPECT_GT(v, 1.0) << "q=" << q;
+    EXPECT_LE(v, 10.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(PercentileFromBuckets(bounds, mid, 1.0), 10.0);
+
+  // All mass in the overflow bucket: documented clamp to the last bound.
+  std::vector<uint64_t> over = {0, 0, 0, 7};
+  EXPECT_DOUBLE_EQ(PercentileFromBuckets(bounds, over, 0.5), 100.0);
+}
+
+TEST_F(TimeseriesTest, CounterResetBetweenWindowsClampsDeltaToZero) {
+  Counter* c = MetricsRegistry::Instance().GetCounter("taxorec.ts.resetc");
+  Histogram* h = MetricsRegistry::Instance().GetHistogram(
+      "taxorec.ts.reseth", {10.0});
+  TimeseriesRecorder rec(TestOptions(), /*start_seconds=*/0.0);
+
+  c->Increment(10);
+  h->Observe(1.0);
+  h->Observe(1.0);
+  const TimeseriesWindow w0 = rec.Tick(1.0);
+  EXPECT_EQ(w0.counters.at("taxorec.ts.resetc"), 10u);
+  EXPECT_EQ(w0.histograms.at("taxorec.ts.reseth").count, 2u);
+
+  // A reset (restart, ResetAll) moves the cumulative value backwards; the
+  // window must clamp to 0 rather than wrap to a huge unsigned delta.
+  MetricsRegistry::Instance().ResetAll();
+  const TimeseriesWindow w1 = rec.Tick(2.0);
+  EXPECT_EQ(w1.counters.at("taxorec.ts.resetc"), 0u);
+  EXPECT_DOUBLE_EQ(w1.rates.at("taxorec.ts.resetc"), 0.0);
+  const HistogramWindow& hw1 = w1.histograms.at("taxorec.ts.reseth");
+  EXPECT_EQ(hw1.count, 0u);
+  for (const uint64_t d : hw1.bucket_deltas) EXPECT_EQ(d, 0u);
+  EXPECT_DOUBLE_EQ(hw1.p99, 0.0);
+
+  // Counting resumes cleanly after the reset window.
+  c->Increment(3);
+  const TimeseriesWindow w2 = rec.Tick(3.0);
+  EXPECT_EQ(w2.counters.at("taxorec.ts.resetc"), 3u);
 }
 
 TEST_F(TimeseriesTest, PercentileFromBucketsMatchesHistogramPercentile) {

@@ -105,6 +105,9 @@ int Main(int argc, const char* const* argv) {
                      "every key ending in _seconds)");
   flags.DefineBool("update-baseline", false,
                    "copy current over baseline instead of gating");
+  flags.DefineBool("require-baseline-keys", false,
+                   "fail when a gated key exists only in current (stale "
+                   "baseline); default merely reports new-key lines");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     std::fprintf(stderr, "error: %s\n", s.message().c_str());
     return 2;
@@ -119,6 +122,7 @@ int Main(int argc, const char* const* argv) {
 
   BenchCompareOptions options;
   options.tolerance = flags.GetDouble("tolerance");
+  options.require_baseline_keys = flags.GetBool("require-baseline-keys");
   if (options.tolerance < 0.0) {
     std::fprintf(stderr, "error: --tolerance must be >= 0\n");
     return 2;

@@ -21,9 +21,12 @@
 #include "common/checkpoint.h"
 #include "common/fault_injection.h"
 #include "common/flags.h"
+#include "common/introspection.h"
 #include "common/log.h"
 #include "common/metrics.h"
+#include "common/perf_counters.h"
 #include "common/profiler.h"
+#include "common/sampling_profiler.h"
 #include "common/trace.h"
 #include "core/taxorec_model.h"
 #include "core/telemetry.h"
@@ -172,7 +175,12 @@ int CmdTrain(int argc, const char* const* argv) {
   flags.DefineString("profile-out", "",
                      "aggregate trace spans into a call-path profile and "
                      "write it as JSONL here (render with `telemetry_report "
-                     "--profile`)");
+                     "--profile`); hardware counters per trace site ride "
+                     "along when the PMU is available");
+  flags.DefineString("flame-out", "",
+                     "run the sampling CPU profiler and write folded stacks "
+                     "here (flamegraph.pl input; render a table with "
+                     "`telemetry_report --flame`)");
   if (Status s = flags.Parse(argc, argv, 2); !s.ok()) return Fail(s);
   if (Status s = ApplyThreadsFlag(flags); !s.ok()) return Fail(s);
   if (Status s = ApplyLoggingFlags(flags); !s.ok()) return Fail(s);
@@ -208,7 +216,20 @@ int CmdTrain(int argc, const char* const* argv) {
   if (loop.resume && ckpt_path.empty()) {
     return Fail(Status::InvalidArgument("--resume requires --checkpoint"));
   }
-  loop.callback = [](const TrainLoopEvent& e) {
+  // SIGUSR1 asks the run for a live metrics dump; the handler only raises
+  // a flag and the per-epoch callback below does the unsafe work.
+  const std::string metrics_path = flags.GetString("metrics-out");
+  if (Status s = InstallSigusr1Handler(); !s.ok()) return Fail(s);
+  loop.callback = [&metrics_path](const TrainLoopEvent& e) {
+    if (e.kind == TrainLoopEvent::Kind::kEpoch &&
+        ConsumeIntrospectionRequest()) {
+      const std::string path =
+          metrics_path.empty() ? "taxorec_metrics_dump.json" : metrics_path;
+      std::ofstream out(path, std::ios::trunc);
+      if (out) out << MetricsRegistry::Instance().SnapshotJson() << "\n";
+      std::printf("SIGUSR1: metrics snapshot written to %s (epoch %d)\n",
+                  path.c_str(), e.epoch);
+    }
     switch (e.kind) {
       case TrainLoopEvent::Kind::kResume:
         std::printf("resumed from %s at epoch %d (lr scale %.4g)\n",
@@ -251,7 +272,23 @@ int CmdTrain(int argc, const char* const* argv) {
   const bool tracing = !flags.GetString("trace-out").empty();
   if (tracing) StartTracing();
   const bool profiling = !flags.GetString("profile-out").empty();
-  if (profiling) StartProfiling();
+  if (profiling) {
+    StartProfiling();
+    // Hardware counters fold into the same trace sites; a machine without
+    // a PMU degrades to the wall-time profile alone (WARN once inside).
+    (void)StartPerfCounters();
+  }
+  const std::string flame_path = flags.GetString("flame-out");
+  bool sampling = false;
+  if (!flame_path.empty()) {
+    if (Status s = StartSampling(SamplingOptions{}); s.ok()) {
+      sampling = true;
+    } else {
+      TAXOREC_LOG(WARN) << "sampling profiler unavailable, --flame-out will "
+                           "be empty: "
+                        << s.message();
+    }
+  }
   // Flushes the trace and metrics sinks; runs on every exit path so a
   // failed run still leaves its observability artifacts behind.
   auto finalize = [&]() -> Status {
@@ -261,10 +298,18 @@ int CmdTrain(int argc, const char* const* argv) {
     }
     if (profiling) {
       StopProfiling();
+      StopPerfCounters();
       TAXOREC_RETURN_NOT_OK(
           WriteProfileJsonl(flags.GetString("profile-out")));
+      // Per-site counter lines append after the wall-time profile so one
+      // JSONL file carries both views of the same call paths.
+      TAXOREC_RETURN_NOT_OK(
+          AppendPerfCountersJsonl(flags.GetString("profile-out")));
     }
-    const std::string metrics_path = flags.GetString("metrics-out");
+    if (sampling) {
+      StopSampling();
+      TAXOREC_RETURN_NOT_OK(WriteFoldedStacks(flame_path));
+    }
     if (!metrics_path.empty()) {
       std::ofstream out(metrics_path, std::ios::trunc);
       if (!out) return Status::IOError("cannot write " + metrics_path);

@@ -48,9 +48,11 @@
 
 #include "common/checkpoint.h"
 #include "common/flags.h"
+#include "common/introspection.h"
 #include "common/json.h"
 #include "common/log.h"
 #include "common/metrics.h"
+#include "common/sampling_profiler.h"
 #include "common/slo.h"
 #include "common/timeseries.h"
 #include "core/taxorec_model.h"
@@ -261,6 +263,9 @@ int Main(int argc, const char* const* argv) {
   flags.DefineString("out", "", "write served lists as JSONL here");
   flags.DefineString("metrics-out", "",
                      "write the final metrics-registry snapshot JSON here");
+  flags.DefineString("flame-out", "",
+                     "run the sampling CPU profiler during the replay and "
+                     "write folded stacks here (flamegraph.pl input)");
   flags.DefineString("stats-out", "",
                      "stream windowed serve metrics as stats JSONL here "
                      "(render with telemetry_report --stats)");
@@ -424,6 +429,41 @@ int Main(int argc, const char* const* argv) {
     }
   }
 
+  // SIGUSR1 dumps the live metrics snapshot (and the flight-recorder ring
+  // when armed) mid-replay without stopping the run. The handler only
+  // raises a flag; this poll runs between batches, off the scoring path.
+  if (Status s = InstallSigusr1Handler(); !s.ok()) return Fail(s);
+  auto poll_introspection = [&]() {
+    if (!ConsumeIntrospectionRequest()) return;
+    const std::string metrics_path = flags.GetString("metrics-out").empty()
+                                         ? "taxorec_metrics_dump.json"
+                                         : flags.GetString("metrics-out");
+    std::ofstream out(metrics_path, std::ios::trunc);
+    if (out) out << MetricsRegistry::Instance().SnapshotJson() << "\n";
+    std::printf("SIGUSR1: metrics snapshot written to %s\n",
+                metrics_path.c_str());
+    if (obs_requested && !flags.GetString("flight-dump").empty()) {
+      if (Status s = RequestObservability::Instance().DumpTo(
+              flags.GetString("flight-dump"), "sigusr1");
+          s.ok()) {
+        std::printf("SIGUSR1: flight recorder dumped to %s\n",
+                    flags.GetString("flight-dump").c_str());
+      }
+    }
+  };
+
+  const std::string flame_path = flags.GetString("flame-out");
+  bool sampling = false;
+  if (!flame_path.empty()) {
+    if (Status s = StartSampling(SamplingOptions{}); s.ok()) {
+      sampling = true;
+    } else {
+      TAXOREC_LOG(WARN) << "sampling profiler unavailable, --flame-out will "
+                           "be empty: "
+                        << s.message();
+    }
+  }
+
   BatchServer server(*model, split, serve_opts);
   std::printf(
       "serving %zu requests (batch %lld, cache %lld, kernel %s, "
@@ -466,6 +506,7 @@ int Main(int argc, const char* const* argv) {
       auto served = server.ServeQueued(batch);
       for (auto& r : served) results.push_back(std::move(r));
       stats.MaybeTick(/*force=*/false);
+      poll_introspection();
     }
     auto drained = server.Drain();
     for (auto& r : drained) results.push_back(std::move(r));
@@ -483,6 +524,7 @@ int Main(int argc, const char* const* argv) {
           requests.data() + b0, b1 - b0));
       for (auto& r : served) results.push_back(std::move(r));
       stats.MaybeTick(/*force=*/false);
+      poll_introspection();
     }
   }
   const double wall =
@@ -523,6 +565,14 @@ int Main(int argc, const char* const* argv) {
             CounterValue("taxorec.serve.deadline_missed")),
         static_cast<unsigned long long>(
             CounterValue("taxorec.serve.degraded")));
+  }
+
+  if (sampling) {
+    StopSampling();
+    if (Status s = WriteFoldedStacks(flame_path); !s.ok()) return Fail(s);
+    std::printf("flame: wrote %llu sample(s) to %s\n",
+                static_cast<unsigned long long>(SampleCount()),
+                flame_path.c_str());
   }
 
   stats.Finish();

@@ -21,9 +21,18 @@
 //   taxorec_serve --data data.tsv ... --stats-out stats.jsonl
 //   telemetry_report --stats stats.jsonl
 //
+// With --flame it renders a `--flame-out` folded-stack file (common/
+// sampling_profiler.h; flamegraph.pl input format "frame;frame;leaf N")
+// as a top-N self-sample table — the leaf frame of every stack is where
+// the CPU actually was:
+//
+//   taxorec_cli train --data data.tsv --flame-out flame.folded
+//   telemetry_report --flame flame.folded
+//
 // Events are flat JSON objects (see core/telemetry.h), so the parser is
 // ParseFlatJsonObject per line; unknown event kinds are listed but not
 // interpreted, keeping the tool forward-compatible with new emitters.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -100,6 +109,72 @@ int ProfileMain(const char* path) {
   if (sites == 0) {
     std::fprintf(stderr, "error: %s has no profile sites\n", path);
     return 1;
+  }
+  return 0;
+}
+
+/// Renders a folded-stack file as a self-sample table: samples aggregate
+/// by their leaf frame (the function on CPU when SIGPROF fired), sorted by
+/// count descending. The folded lines themselves are already the
+/// flamegraph.pl input, so the table is a quick triage view and the file
+/// passes through to flamegraph tooling untouched.
+int FlameMain(const char* path, size_t top_n) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", path);
+    return 1;
+  }
+  std::map<std::string, uint64_t> self;  // leaf frame -> samples
+  uint64_t total = 0;
+  size_t stacks = 0;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    // "root;mid;leaf 42" — count after the last space, leaf after the
+    // last ';' before it.
+    const size_t space = line.rfind(' ');
+    char* end = nullptr;
+    const unsigned long long count =
+        space == std::string::npos
+            ? 0
+            : std::strtoull(line.c_str() + space + 1, &end, 10);
+    if (space == std::string::npos || end == nullptr || *end != '\0' ||
+        count == 0) {
+      std::fprintf(stderr, "error: %s:%zu: not a folded stack line\n", path,
+                   lineno);
+      return 1;
+    }
+    const std::string stack = line.substr(0, space);
+    const size_t semi = stack.rfind(';');
+    const std::string leaf =
+        semi == std::string::npos ? stack : stack.substr(semi + 1);
+    self[leaf] += count;
+    total += count;
+    ++stacks;
+  }
+  if (stacks == 0) {
+    std::fprintf(stderr, "error: %s has no folded stacks\n", path);
+    return 1;
+  }
+  std::vector<std::pair<std::string, uint64_t>> rows(self.begin(),
+                                                     self.end());
+  std::stable_sort(rows.begin(), rows.end(), [](const auto& a,
+                                                const auto& b) {
+    return a.second > b.second;
+  });
+  if (rows.size() > top_n) rows.resize(top_n);
+  std::printf("%zu distinct stack(s), %llu sample(s); top %zu by self "
+              "samples:\n",
+              stacks, static_cast<unsigned long long>(total), rows.size());
+  std::printf("%10s %7s  %s\n", "samples", "self%", "frame");
+  for (const auto& [frame, count] : rows) {
+    std::printf("%10llu %6.1f%%  %s\n",
+                static_cast<unsigned long long>(count),
+                100.0 * static_cast<double>(count) /
+                    static_cast<double>(total),
+                frame.c_str());
   }
   return 0;
 }
@@ -194,11 +269,15 @@ int Main(int argc, const char* const* argv) {
   if (argc == 3 && std::string(argv[1]) == "--stats") {
     return StatsMain(argv[2]);
   }
+  if (argc == 3 && std::string(argv[1]) == "--flame") {
+    return FlameMain(argv[2], /*top_n=*/20);
+  }
   if (argc != 2) {
     std::fprintf(stderr,
                  "usage: telemetry_report <run.jsonl>\n"
                  "       telemetry_report --profile <profile.jsonl>\n"
-                 "       telemetry_report --stats <stats.jsonl>\n");
+                 "       telemetry_report --stats <stats.jsonl>\n"
+                 "       telemetry_report --flame <flame.folded>\n");
     return 2;
   }
   std::ifstream in(argv[1]);
