@@ -14,14 +14,16 @@ size_t PaddedStride(size_t dim) {
 
 /// Narrows a double matrix into a padded float32 channel; the [dim, stride)
 /// tail of every row stays at the zero AlignedBuffer initialized it to.
-CompactChannel NarrowChannel(const Matrix& m) {
+/// A non-empty `perm` reorders rows: channel row r holds m.row(perm[r]).
+CompactChannel NarrowChannel(const Matrix& m,
+                             const std::vector<uint32_t>& perm = {}) {
   CompactChannel ch;
   ch.rows = m.rows();
   ch.dim = m.cols();
   ch.stride = PaddedStride(ch.dim);
   ch.data = AlignedBuffer<float>(ch.rows * ch.stride);
   for (size_t r = 0; r < ch.rows; ++r) {
-    const auto src = m.row(r);
+    const auto src = m.row(perm.empty() ? r : perm[r]);
     float* dst = ch.row(r);
     for (size_t c = 0; c < ch.dim; ++c) {
       dst[c] = static_cast<float>(src[c]);
@@ -41,7 +43,9 @@ double MaxAbs(const Matrix& m) {
 
 /// Symmetric quantization of one matrix with an externally chosen shared
 /// scale: q = round(x / scale) clamped to [-127, 127]; padded tails zero.
-QuantChannel QuantizeChannel(const Matrix& m, float scale) {
+/// A non-empty `perm` reorders rows exactly as in NarrowChannel.
+QuantChannel QuantizeChannel(const Matrix& m, float scale,
+                             const std::vector<uint32_t>& perm = {}) {
   QuantChannel ch;
   ch.rows = m.rows();
   ch.dim = m.cols();
@@ -49,7 +53,7 @@ QuantChannel QuantizeChannel(const Matrix& m, float scale) {
   ch.data = AlignedBuffer<int8_t>(ch.rows * ch.stride);
   const double inv = scale > 0.0f ? 1.0 / static_cast<double>(scale) : 0.0;
   for (size_t r = 0; r < ch.rows; ++r) {
-    const auto src = m.row(r);
+    const auto src = m.row(perm.empty() ? r : perm[r]);
     int8_t* dst = ch.row(r);
     for (size_t c = 0; c < ch.dim; ++c) {
       double q = std::nearbyint(src[c] * inv);
@@ -96,17 +100,24 @@ bool ParsePrecisionTier(const std::string& text, PrecisionTier* tier) {
 
 CompactSnapshot CompactSnapshot::Build(const ScoringSnapshot& snapshot,
                                        bool with_int8) {
+  return Build(snapshot, with_int8, {});
+}
+
+CompactSnapshot CompactSnapshot::Build(const ScoringSnapshot& snapshot,
+                                       bool with_int8,
+                                       const std::vector<uint32_t>& item_perm) {
   TAXOREC_CHECK_MSG(snapshot.kernel != ScoreKernel::kVirtual,
                     "kVirtual snapshots have no compact encoding");
+  TAXOREC_CHECK(item_perm.empty() || item_perm.size() == snapshot.num_items);
   CompactSnapshot out;
   out.kernel = snapshot.kernel;
   out.num_users = snapshot.num_users;
   out.num_items = snapshot.num_items;
   out.users = NarrowChannel(snapshot.users);
-  out.items = NarrowChannel(snapshot.items);
+  out.items = NarrowChannel(snapshot.items, item_perm);
   if (out.two_channel()) {
     out.users_tg = NarrowChannel(snapshot.users_tg);
-    out.items_tg = NarrowChannel(snapshot.items_tg);
+    out.items_tg = NarrowChannel(snapshot.items_tg, item_perm);
     out.alpha.resize(snapshot.alpha.size());
     for (size_t u = 0; u < snapshot.alpha.size(); ++u) {
       out.alpha[u] = static_cast<float>(snapshot.alpha[u]);
@@ -116,11 +127,12 @@ CompactSnapshot CompactSnapshot::Build(const ScoringSnapshot& snapshot,
     out.has_int8 = true;
     out.int8_scale_ir = SharedScale(snapshot.users, snapshot.items);
     out.users_q = QuantizeChannel(snapshot.users, out.int8_scale_ir);
-    out.items_q = QuantizeChannel(snapshot.items, out.int8_scale_ir);
+    out.items_q = QuantizeChannel(snapshot.items, out.int8_scale_ir, item_perm);
     if (out.two_channel()) {
       out.int8_scale_tg = SharedScale(snapshot.users_tg, snapshot.items_tg);
       out.users_tg_q = QuantizeChannel(snapshot.users_tg, out.int8_scale_tg);
-      out.items_tg_q = QuantizeChannel(snapshot.items_tg, out.int8_scale_tg);
+      out.items_tg_q =
+          QuantizeChannel(snapshot.items_tg, out.int8_scale_tg, item_perm);
     }
   }
   return out;

@@ -127,6 +127,17 @@ struct CompactSnapshot {
   static CompactSnapshot Build(const ScoringSnapshot& snapshot,
                                bool with_int8);
 
+  /// Same encoding with the item channels reordered: slot s of every item
+  /// channel holds original item item_perm[s] (item_perm must be a
+  /// permutation of [0, num_items)). Narrowing and quantization are
+  /// per-element, so slot s is bit-identical to row item_perm[s] of the
+  /// unpermuted build, and the int8 scales are unchanged (max|x| is
+  /// order-invariant). This is the IVF cell layout: members of one cell
+  /// occupy contiguous slots, so the f32/int8 row-range kernels sweep a
+  /// cell with aligned sequential loads (serve/ivf_index.h).
+  static CompactSnapshot Build(const ScoringSnapshot& snapshot, bool with_int8,
+                               const std::vector<uint32_t>& item_perm);
+
   bool two_channel() const {
     return kernel == ScoreKernel::kTwoChannelLorentz ||
            kernel == ScoreKernel::kTwoChannelEuclid;

@@ -8,6 +8,7 @@
 #include "common/metrics.h"
 #include "hyperbolic/lorentz.h"
 #include "math/vec_ops.h"
+#include "serve/ivf_index.h"
 #include "serve/kernels_f32.h"
 
 namespace taxorec {
@@ -140,6 +141,25 @@ FrozenModel::FrozenModel(ScoringSnapshot snapshot, PrecisionTier tier)
     compact_ = std::make_unique<CompactSnapshot>(CompactSnapshot::Build(
         snap_, /*with_int8=*/tier_ == PrecisionTier::kInt8));
   }
+}
+
+FrozenModel::~FrozenModel() = default;
+FrozenModel::FrozenModel(FrozenModel&&) noexcept = default;
+FrozenModel& FrozenModel::operator=(FrozenModel&&) noexcept = default;
+
+bool FrozenModel::BuildIvf(const IvfOptions& opts) {
+  if (!native()) {
+    TAXOREC_LOG(WARN) << "ivf retrieval requires a native kernel; serving "
+                         "exact";
+    return false;
+  }
+  if (tier_ == PrecisionTier::kDouble) {
+    TAXOREC_LOG(WARN) << "ivf retrieval requires a reduced-precision tier "
+                         "(float32/int8); the double tier serves exact";
+    return false;
+  }
+  ivf_ = std::make_unique<IvfIndex>(IvfIndex::Build(snap_, tier_, opts));
+  return true;
 }
 
 FrozenModel FrozenModel::Freeze(const Recommender& model,

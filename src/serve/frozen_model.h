@@ -37,6 +37,8 @@
 namespace taxorec {
 
 class Recommender;
+class IvfIndex;
+struct IvfOptions;
 
 class FrozenModel {
  public:
@@ -50,6 +52,12 @@ class FrozenModel {
   /// Wraps a hand-built snapshot (tests, pre-serialized blocks).
   explicit FrozenModel(ScoringSnapshot snapshot,
                        PrecisionTier tier = PrecisionTier::kDouble);
+
+  // Out-of-line because IvfIndex is incomplete here (serve/ivf_index.h
+  // includes this header); both are defaulted in the .cc.
+  ~FrozenModel();
+  FrozenModel(FrozenModel&&) noexcept;
+  FrozenModel& operator=(FrozenModel&&) noexcept;
 
   size_t num_users() const { return snap_.num_users; }
   size_t num_items() const { return snap_.num_items; }
@@ -89,11 +97,21 @@ class FrozenModel {
   void RescoreItemsF32(uint32_t user, std::span<const uint32_t> items,
                        std::span<double> out) const;
 
+  /// Builds the IVF retrieval index (serve/ivf_index.h) over this model's
+  /// snapshot. Returns false (with a warning) when the model cannot host
+  /// one — kVirtual snapshots and the double tier stay exact-only. Not
+  /// thread-safe; call before serving starts.
+  bool BuildIvf(const IvfOptions& opts);
+  /// The IVF index, or null when none was built.
+  const IvfIndex* ivf() const { return ivf_.get(); }
+
  private:
   ScoringSnapshot snap_;
   PrecisionTier tier_ = PrecisionTier::kDouble;
   // unique_ptr keeps FrozenModel cheaply movable; null in kDouble.
   std::unique_ptr<CompactSnapshot> compact_;
+  // Optional sub-linear retrieval structure; null unless BuildIvf ran.
+  std::unique_ptr<IvfIndex> ivf_;
 };
 
 }  // namespace taxorec

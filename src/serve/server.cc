@@ -32,6 +32,11 @@ struct ServeMetrics {
   Counter* deadline_missed;
   Counter* degraded;
   Counter* tier_requests[3];  // indexed by tier rung (double/float32/int8)
+  Counter* ivf_queries;
+  Counter* ivf_cells_probed;
+  Counter* ivf_cells_pruned;
+  Counter* ivf_cells_skipped;
+  Counter* ivf_items_scored;
 
   static ServeMetrics& Instance() {
     static ServeMetrics m{
@@ -58,8 +63,27 @@ struct ServeMetrics {
         {MetricsRegistry::Instance().GetCounter("taxorec.serve.tier.double"),
          MetricsRegistry::Instance().GetCounter("taxorec.serve.tier.float32"),
          MetricsRegistry::Instance().GetCounter("taxorec.serve.tier.int8")},
+        MetricsRegistry::Instance().GetCounter("taxorec.serve.ivf.queries"),
+        MetricsRegistry::Instance().GetCounter(
+            "taxorec.serve.ivf.cells_probed"),
+        MetricsRegistry::Instance().GetCounter(
+            "taxorec.serve.ivf.cells_pruned"),
+        MetricsRegistry::Instance().GetCounter(
+            "taxorec.serve.ivf.cells_skipped"),
+        MetricsRegistry::Instance().GetCounter(
+            "taxorec.serve.ivf.items_scored"),
     };
     return m;
+  }
+
+  /// Flushes one worker's accumulated probe counters (thread-safe counter
+  /// adds; called once per sub-batch, not per cell).
+  void CountIvf(uint64_t queries, const IvfQueryStats& stats) {
+    ivf_queries->Increment(queries);
+    ivf_cells_probed->Increment(stats.cells_probed);
+    ivf_cells_pruned->Increment(stats.cells_pruned);
+    ivf_cells_skipped->Increment(stats.cells_skipped);
+    ivf_items_scored->Increment(stats.items_scored);
   }
 
   void CountShed(ServeStatus status, uint64_t n = 1) {
@@ -92,6 +116,7 @@ struct WorkerScratch {
   std::vector<size_t> batch_slots;  // miss indices the sub-batch fills
   std::vector<std::vector<TopKEntry>> batch_results;
   std::vector<uint64_t> batch_rerank_us;  // request observability only
+  IvfScratch ivf;                         // IVF retrieval only
 };
 
 /// Admission verdicts map onto the shed statuses one-to-one.
@@ -185,6 +210,15 @@ BatchServer::BatchServer(FrozenModel model, const DataSplit& split,
         }
         degraded_[t] = std::move(rung);
       }
+    }
+  }
+  if (options_.retrieval == RetrievalMode::kIvf) {
+    // Built once at construction so the first request never pays the
+    // quantizer. An unsupported configuration (kVirtual kernel, double
+    // tier) downgrades to exact with BuildIvf's warning — the oracle path
+    // is always available.
+    if (!model_.BuildIvf(options_.ivf)) {
+      options_.retrieval = RetrievalMode::kExact;
     }
   }
 }
@@ -323,6 +357,10 @@ std::vector<ServeResult> BatchServer::ServeInternal(
   const bool degraded = active != &model_;
   const bool use_cache = cache_ != nullptr && !degraded;
   const bool cache_bypassed = cache_ != nullptr && degraded;
+  // IVF serves only the configured-tier model: degradation rungs are
+  // safety valves and stay exact (server.h header comment).
+  const bool use_ivf = options_.retrieval == RetrievalMode::kIvf &&
+                       !degraded && model_.ivf() != nullptr;
 
   std::vector<ServeResult> results(requests.size());
   bool any_deadline = false;
@@ -420,10 +458,27 @@ std::vector<ServeResult> BatchServer::ServeInternal(
               for (const size_t slot : s.batch_slots) obs_fault[slot] = 1;
             }
           }
-          BlockedTopKBatch(*active, s.batch_users, s.batch_ks, exclude_of,
-                           &s.heaps, &s.scores, &s.batch_results,
-                           options_.item_block,
-                           obs ? &s.batch_rerank_us : nullptr);
+          if (use_ivf) {
+            // IVF probe: one Query per request (the probe already touches
+            // a small item subset, so there is no block to amortize across
+            // users). Stats flush once per sub-batch.
+            s.batch_results.resize(s.batch_users.size());
+            s.batch_rerank_us.assign(s.batch_users.size(), 0);
+            IvfQueryStats qstats;
+            for (size_t j = 0; j < s.batch_users.size(); ++j) {
+              model_.ivf()->Query(s.batch_users[j], s.batch_ks[j],
+                                  options_.ivf.nprobe,
+                                  exclude_of(s.batch_users[j]), &s.ivf,
+                                  &s.batch_results[j], &qstats,
+                                  obs ? &s.batch_rerank_us[j] : nullptr);
+            }
+            metrics.CountIvf(s.batch_users.size(), qstats);
+          } else {
+            BlockedTopKBatch(*active, s.batch_users, s.batch_ks, exclude_of,
+                             &s.heaps, &s.scores, &s.batch_results,
+                             options_.item_block,
+                             obs ? &s.batch_rerank_us : nullptr);
+          }
           if (obs) {
             // The kernel scores the sub-batch jointly; each request's
             // share is the even split (re-rank is per-user exact).

@@ -51,7 +51,20 @@
 //   taxorec.serve.tier.<name>        requests scored per tier
 //   taxorec.serve.snapshot_load_failures  compact-snapshot build failures
 //                                    (double-tier fallback)
+//   taxorec.serve.ivf.queries        requests answered via the IVF probe
+//   taxorec.serve.ivf.cells_probed   cells actually scored
+//   taxorec.serve.ivf.cells_pruned   cells cut by the score bound
+//   taxorec.serve.ivf.cells_skipped  cells left unprobed (nprobe cap/empty)
+//   taxorec.serve.ivf.items_scored   item rows swept by the IVF kernels
 //   gauges: taxorec.serve.{pressure,queue_depth,degrade_steps}
+//
+// Retrieval (DESIGN.md §15). --retrieval exact (default) scores the full
+// catalogue per request and remains the correctness oracle; --retrieval
+// ivf probes the nearest --nprobe Poincaré k-means cells through
+// serve/ivf_index.h. Degraded batches always serve exact: the ladder's
+// rungs are safety valves and must not stack approximation on top of
+// precision loss (and the IVF index is built for the configured tier
+// only).
 #ifndef TAXOREC_SERVE_SERVER_H_
 #define TAXOREC_SERVE_SERVER_H_
 
@@ -64,6 +77,7 @@
 #include "data/dataset.h"
 #include "serve/admission.h"
 #include "serve/frozen_model.h"
+#include "serve/ivf_index.h"
 #include "serve/request.h"
 #include "serve/result_cache.h"
 #include "serve/topk.h"
@@ -89,6 +103,15 @@ struct ServeOptions {
   /// ladder (serve/admission.h). Defaults keep everything unbounded and
   /// the ladder off — the pre-overload serving semantics.
   AdmissionOptions admission;
+  /// Candidate generation: kExact sweeps the catalogue (default, the
+  /// correctness oracle); kIvf probes Poincaré k-means cells
+  /// (serve/ivf_index.h). kIvf requires a native kernel and a reduced
+  /// precision tier — otherwise the server logs a warning and serves
+  /// exact.
+  RetrievalMode retrieval = RetrievalMode::kExact;
+  /// IVF build/probe parameters (cells, nprobe, quantizer seed); consulted
+  /// only when retrieval == kIvf.
+  IvfOptions ivf;
 };
 
 class BatchServer {

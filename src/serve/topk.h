@@ -29,6 +29,7 @@
 #include <span>
 #include <vector>
 
+#include "common/check.h"
 #include "serve/frozen_model.h"
 
 namespace taxorec {
@@ -71,8 +72,24 @@ class TopKHeap {
   size_t k() const { return k_; }
   size_t size() const { return heap_.size(); }
 
-  /// Offers a candidate; `score` must already be sanitized.
+  /// True once the heap holds its full complement of k entries (k > 0) —
+  /// from then on worst() is the live admission threshold.
+  bool full() const { return k_ > 0 && heap_.size() >= k_; }
+
+  /// The current worst held entry (the root); only meaningful when
+  /// size() > 0. The IVF prober compares cell score upper bounds against
+  /// this to prune cells that cannot displace anything.
+  const TopKEntry& worst() const {
+    TAXOREC_DCHECK(!heap_.empty());
+    return heap_[0];
+  }
+
+  /// Offers a candidate; `score` must already be sanitized. NaN would
+  /// break RanksBefore's strict weak order (every comparison false), so it
+  /// is rejected at the boundary in debug builds rather than silently
+  /// corrupting the heap invariant.
   void Offer(uint32_t item, double score) {
+    TAXOREC_DCHECK(!std::isnan(score));
     if (heap_.size() < k_) {
       heap_.push_back({item, score});
       SiftUp(heap_.size() - 1);

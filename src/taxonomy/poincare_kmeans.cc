@@ -74,6 +74,85 @@ void TangentCentroid(const Matrix& points, const std::vector<uint32_t>& subset,
 
 }  // namespace
 
+std::vector<size_t> KMeansPlusPlusSeeds(const Matrix& points,
+                                        const std::vector<uint32_t>& subset,
+                                        int K, Rng* rng) {
+  TAXOREC_CHECK(K >= 1);
+  TAXOREC_CHECK(subset.size() >= static_cast<size_t>(K));
+  const size_t n = subset.size();
+  std::vector<size_t> seeds;
+  seeds.reserve(K);
+  std::vector<char> chosen(n, 0);
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  const size_t first = rng->Uniform(n);
+  chosen[first] = 1;
+  seeds.push_back(first);
+  for (int k = 1; k < K; ++k) {
+    std::vector<double> weights(n);
+    // Per-point distance updates are independent (one writer per index).
+    // Chosen indices get weight zero — a residual epsilon here let the
+    // draw re-pick an already-selected point, duplicating centroids when
+    // the D² mass of the remaining points was comparably tiny.
+    ParallelFor(0, n, /*grain=*/128, [&](size_t i0, size_t i1) {
+      for (size_t i = i0; i < i1; ++i) {
+        const double dd = poincare::Distance(
+            points.row(subset[i]), points.row(subset[seeds[k - 1]]));
+        if (dd < min_dist[i]) min_dist[i] = dd;
+        weights[i] = chosen[i] ? 0.0 : min_dist[i] * min_dist[i];
+      }
+    });
+    double total = 0.0;
+    for (double w : weights) total += w;
+    size_t pick = total > 0.0 ? rng->Categorical(weights) : n;
+    if (pick >= n || chosen[pick]) {
+      // Every unchosen point duplicates a chosen one (or the draw landed
+      // on a zero-weight bin through floating-point remainder): take the
+      // first unchosen index, which exists because k < K <= n.
+      pick = 0;
+      while (chosen[pick]) ++pick;
+    }
+    TAXOREC_DCHECK(!chosen[pick]);
+    chosen[pick] = 1;
+    seeds.push_back(pick);
+  }
+  return seeds;
+}
+
+void ReseedEmptyClusters(const Matrix& points,
+                         const std::vector<uint32_t>& subset, int K,
+                         std::vector<int>* assignment, Matrix* centroids) {
+  const size_t n = subset.size();
+  TAXOREC_CHECK(assignment->size() == n);
+  TAXOREC_CHECK(n >= static_cast<size_t>(K));
+  std::vector<size_t> counts(K, 0);
+  for (int a : *assignment) ++counts[a];
+  for (int k = 0; k < K; ++k) {
+    if (counts[k] > 0) continue;
+    // Farthest point from its own centroid, excluding sole-member donors:
+    // stealing a cluster's last member would leave it empty with a stale
+    // centroid behind the scan (for j < k, never re-checked). The counts
+    // are kept live so clusters reseeded earlier in this pass are also
+    // protected; a multi-member donor exists whenever a cluster is empty.
+    double worst = -1.0;
+    size_t worst_i = n;
+    for (size_t i = 0; i < n; ++i) {
+      if (counts[(*assignment)[i]] <= 1) continue;
+      const double dd = poincare::Distance(
+          points.row(subset[i]), centroids->row((*assignment)[i]));
+      if (dd > worst) {
+        worst = dd;
+        worst_i = i;
+      }
+    }
+    TAXOREC_DCHECK(worst_i < n);
+    if (worst_i >= n) continue;
+    --counts[(*assignment)[worst_i]];
+    ++counts[k];
+    vec::Copy(points.row(subset[worst_i]), centroids->row(k));
+    (*assignment)[worst_i] = k;
+  }
+}
+
 KMeansResult PoincareKMeans(const Matrix& points,
                             const std::vector<uint32_t>& subset, int K,
                             Rng* rng, const KMeansOptions& opts) {
@@ -88,23 +167,10 @@ KMeansResult PoincareKMeans(const Matrix& points,
   result.assignment.assign(n, 0);
 
   // K-means++ seeding under the Poincaré metric.
-  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
   {
-    const size_t first = rng->Uniform(n);
-    vec::Copy(points.row(subset[first]), result.centroids.row(0));
-    for (int k = 1; k < K; ++k) {
-      std::vector<double> weights(n);
-      // Per-point distance updates are independent (one writer per index).
-      ParallelFor(0, n, /*grain=*/128, [&](size_t i0, size_t i1) {
-        for (size_t i = i0; i < i1; ++i) {
-          const double dd = poincare::Distance(points.row(subset[i]),
-                                               result.centroids.row(k - 1));
-          if (dd < min_dist[i]) min_dist[i] = dd;
-          weights[i] = min_dist[i] * min_dist[i] + 1e-12;
-        }
-      });
-      const size_t pick = rng->Categorical(weights);
-      vec::Copy(points.row(subset[pick]), result.centroids.row(k));
+    const std::vector<size_t> seeds = KMeansPlusPlusSeeds(points, subset, K, rng);
+    for (int k = 0; k < K; ++k) {
+      vec::Copy(points.row(subset[seeds[k]]), result.centroids.row(k));
     }
   }
 
@@ -149,24 +215,11 @@ KMeansResult PoincareKMeans(const Matrix& points,
                   }
                 });
 
-    // Reseed empty clusters with the globally farthest point.
-    std::vector<size_t> counts(K, 0);
-    for (int a : result.assignment) ++counts[a];
-    for (int k = 0; k < K; ++k) {
-      if (counts[k] > 0) continue;
-      double worst = -1.0;
-      size_t worst_i = 0;
-      for (size_t i = 0; i < n; ++i) {
-        const double dd = poincare::Distance(
-            points.row(subset[i]), result.centroids.row(result.assignment[i]));
-        if (dd > worst) {
-          worst = dd;
-          worst_i = i;
-        }
-      }
-      vec::Copy(points.row(subset[worst_i]), result.centroids.row(k));
-      result.assignment[worst_i] = k;
-    }
+    // Reseed empty clusters with the farthest point from a multi-member
+    // donor (see ReseedEmptyClusters for the sole-member cascade this
+    // ordering prevents).
+    ReseedEmptyClusters(points, subset, K, &result.assignment,
+                        &result.centroids);
   }
   static Counter* calls =
       MetricsRegistry::Instance().GetCounter("taxorec.kmeans.calls");

@@ -32,6 +32,27 @@ struct KMeansResult {
   int iterations = 0;
 };
 
+/// K-means++ seed selection under the Poincaré metric: K distinct indices
+/// into `subset`, drawn D²-weighted. Already-chosen indices carry zero
+/// weight so no index can be selected twice (duplicate centroids collapse
+/// the assignment step); when every unchosen point coincides with a chosen
+/// one (total weight zero) the draw falls back to the first unchosen index.
+/// Exposed so the distinctness invariant is directly testable.
+std::vector<size_t> KMeansPlusPlusSeeds(const Matrix& points,
+                                        const std::vector<uint32_t>& subset,
+                                        int K, Rng* rng);
+
+/// Reseeds every empty cluster in place: cluster k with no members takes
+/// the point farthest from its current centroid, drawn only from donor
+/// clusters that keep at least one member afterwards. Skipping sole-member
+/// donors makes one pass a fixed point — no reseed can empty a cluster
+/// j < k behind the scan, and while any cluster is empty a multi-member
+/// donor must exist (pigeonhole, subset.size() >= K). Exposed for the
+/// regression tests; PoincareKMeans runs it after every update step.
+void ReseedEmptyClusters(const Matrix& points,
+                         const std::vector<uint32_t>& subset, int K,
+                         std::vector<int>* assignment, Matrix* centroids);
+
 /// Clusters points.row(t) for t in subset into K groups. K-means++ seeding
 /// under the Poincaré metric; empty clusters are reseeded with the point
 /// farthest from its centroid. Requires subset.size() >= K >= 1.

@@ -78,6 +78,76 @@ TEST(PoincareKmeansTest, HandlesKEqualsSubsetSize) {
   EXPECT_EQ(labels.size(), 4u);
 }
 
+TEST(PoincareKmeansTest, SeedingNeverRepicksAChosenIndex) {
+  // Three exact duplicates plus one distant point, K = 3: after the far
+  // point and one duplicate are chosen, every remaining point has D² mass
+  // zero. The old seeding gave chosen indices a residual 1e-12 weight, so
+  // the third draw was uniform over ALL indices — re-picking a chosen one
+  // (duplicate centroid) with probability 1/2 per trial. The fixed seeding
+  // must return K distinct indices for every seed.
+  Matrix pts(4, 2);
+  pts.at(3, 0) = 0.8;
+  std::vector<uint32_t> subset = {0, 1, 2, 3};
+  for (uint64_t seed = 1; seed <= 64; ++seed) {
+    Rng rng(seed);
+    const std::vector<size_t> seeds = KMeansPlusPlusSeeds(pts, subset, 3, &rng);
+    ASSERT_EQ(seeds.size(), 3u);
+    const std::set<size_t> distinct(seeds.begin(), seeds.end());
+    EXPECT_EQ(distinct.size(), 3u) << "seed " << seed;
+  }
+}
+
+TEST(PoincareKmeansTest, ReseedSkipsSoleMemberDonors) {
+  // Adversarial hand-built state: clusters 2 and 3 empty, cluster 0 holds
+  // the far pair {p0, p1} around a stale midpoint centroid, cluster 1
+  // holds the tight pair {p2, p3}. The pre-fix reseed scanned for the
+  // globally farthest point with no donor-size check: k=2 stole p0, k=3
+  // then stole p1 — by then the sole member of cluster 0, whose distance
+  // to the stale midpoint was still the global max — leaving cluster 0
+  // empty with no re-check (the j < k cascade). The fix skips sole-member
+  // donors, so k=3 must take from cluster 1 instead.
+  Matrix pts(4, 2);
+  pts.at(0, 0) = 0.8;
+  pts.at(1, 0) = -0.8;
+  pts.at(2, 0) = 0.05;
+  pts.at(3, 0) = -0.05;
+  std::vector<uint32_t> subset = {0, 1, 2, 3};
+  std::vector<int> assignment = {0, 0, 1, 1};
+  Matrix centroids(4, 2);  // c0 = mid(p0,p1) = origin, c1 = mid(p2,p3) = origin
+  ReseedEmptyClusters(pts, subset, 4, &assignment, &centroids);
+  std::vector<int> counts(4, 0);
+  for (int a : assignment) ++counts[a];
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(counts[k], 1) << "cluster " << k;
+  }
+}
+
+TEST(PoincareKmeansTest, ReseedCascadeLeavesNoEmptyCluster) {
+  // End-to-end regression forcing the cascade through the public API:
+  // four exact duplicates at the origin plus one distant point with K = 4.
+  // Seeding can produce at most two distinct centroid VALUES (the
+  // duplicates tie), so the assignment step leaves two clusters empty and
+  // the reseed pass must fill both. Every point sits at distance zero from
+  // its centroid, so the pre-fix globally-farthest scan picked index 0 for
+  // BOTH empty clusters — the second steal took the sole member of the
+  // cluster reseeded moments before, which stayed empty in the returned
+  // result. max_iters = 1 exposes the post-reseed state directly.
+  Matrix pts(5, 2);
+  pts.at(4, 0) = 0.8;
+  std::vector<uint32_t> subset = {0, 1, 2, 3, 4};
+  KMeansOptions opts;
+  opts.max_iters = 1;
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    Rng rng(seed);
+    const KMeansResult r = PoincareKMeans(pts, subset, 4, &rng, opts);
+    std::vector<int> counts(4, 0);
+    for (int a : r.assignment) ++counts[a];
+    for (int k = 0; k < 4; ++k) {
+      EXPECT_GT(counts[k], 0) << "seed " << seed << " cluster " << k;
+    }
+  }
+}
+
 // Item-tag fixture: tag 0 is "general" (on every item); tags 1..3 are each
 // the core tag of a 4-item group (12 items, K=3 structure — the paper's
 // optimal K).

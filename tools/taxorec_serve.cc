@@ -15,6 +15,12 @@
 //   # re-rank) instead of bit-exact double — see DESIGN.md §11:
 //   taxorec_serve --data data.tsv --random-requests 5000 --precision float32
 //
+//   # Sub-linear IVF retrieval (DESIGN.md §15): probe the 8 nearest
+//   # Poincaré k-means cells per request instead of sweeping the full
+//   # catalogue (exact stays the default and the oracle):
+//   taxorec_serve --data data.tsv --random-requests 5000
+//       --precision float32 --retrieval ivf --nprobe 8
+//
 //   # Overload-robust replay (DESIGN.md §12): bounded admission queue,
 //   # 50 ms deadline budgets, adaptive precision degradation; finishes
 //   # with a graceful drain:
@@ -247,6 +253,14 @@ int Main(int argc, const char* const* argv) {
   flags.DefineString("precision", "double",
                      "scoring tier: double (bit-exact), float32 (SIMD), or "
                      "int8 (coarse rank + float32 re-rank)");
+  flags.DefineString("retrieval", "exact",
+                     "candidate generation: exact (full catalogue sweep, "
+                     "the oracle) or ivf (probe --nprobe Poincare k-means "
+                     "cells; needs --precision float32 or int8) — "
+                     "DESIGN.md §15");
+  flags.DefineInt("nprobe", 8, "IVF cells probed per request");
+  flags.DefineInt("ivf-cells", 0,
+                  "IVF cell count (0 = sqrt(num_items) heuristic)");
   flags.DefineDouble("deadline-ms", 0.0,
                      "per-request deadline budget in ms, measured from "
                      "submit; expired requests are shed (0 = no deadline)");
@@ -364,6 +378,28 @@ int Main(int argc, const char* const* argv) {
         "--precision must be double, float32 or int8 (got \"" +
         flags.GetString("precision") + "\")"));
   }
+  if (!ParseRetrievalMode(flags.GetString("retrieval"),
+                          &serve_opts.retrieval)) {
+    return Fail(Status::InvalidArgument(
+        "--retrieval must be exact or ivf (got \"" +
+        flags.GetString("retrieval") + "\")"));
+  }
+  if (serve_opts.retrieval == RetrievalMode::kIvf) {
+    if (serve_opts.precision == PrecisionTier::kDouble) {
+      return Fail(Status::InvalidArgument(
+          "--retrieval ivf needs --precision float32 or int8 (the double "
+          "tier always serves exact)"));
+    }
+    if (flags.GetInt("nprobe") <= 0) {
+      return Fail(Status::InvalidArgument("--nprobe must be > 0"));
+    }
+    if (flags.GetInt("ivf-cells") < 0) {
+      return Fail(Status::InvalidArgument("--ivf-cells must be >= 0"));
+    }
+    serve_opts.ivf.nprobe = static_cast<size_t>(flags.GetInt("nprobe"));
+    serve_opts.ivf.num_cells =
+        static_cast<size_t>(flags.GetInt("ivf-cells"));
+  }
   serve_opts.admission.max_queue =
       static_cast<size_t>(flags.GetInt("max-queue"));
   serve_opts.admission.degrade = flags.GetBool("degrade");
@@ -467,11 +503,12 @@ int Main(int argc, const char* const* argv) {
   BatchServer server(*model, split, serve_opts);
   std::printf(
       "serving %zu requests (batch %lld, cache %lld, kernel %s, "
-      "precision %s, snapshot %.1f MiB%s%s)\n",
+      "precision %s, retrieval %s, snapshot %.1f MiB%s%s)\n",
       requests.size(), static_cast<long long>(flags.GetInt("batch")),
       static_cast<long long>(flags.GetInt("cache")),
       server.model().native() ? "native" : "virtual",
       PrecisionTierName(server.model().tier()),
+      RetrievalModeName(server.options().retrieval),
       static_cast<double>(server.model().snapshot_bytes()) / (1024.0 * 1024.0),
       queued_mode ? ", bounded queue" : "",
       serve_opts.admission.degrade ? ", degrade" : "");
@@ -565,6 +602,22 @@ int Main(int argc, const char* const* argv) {
             CounterValue("taxorec.serve.deadline_missed")),
         static_cast<unsigned long long>(
             CounterValue("taxorec.serve.degraded")));
+  }
+
+  if (server.options().retrieval == RetrievalMode::kIvf) {
+    const uint64_t q = CounterValue("taxorec.serve.ivf.queries");
+    const uint64_t probed = CounterValue("taxorec.serve.ivf.cells_probed");
+    const uint64_t pruned = CounterValue("taxorec.serve.ivf.cells_pruned");
+    std::printf(
+        "ivf: %llu queries  %.1f cells probed / %.1f pruned per query  "
+        "%.0f items scored per query\n",
+        static_cast<unsigned long long>(q),
+        q > 0 ? static_cast<double>(probed) / static_cast<double>(q) : 0.0,
+        q > 0 ? static_cast<double>(pruned) / static_cast<double>(q) : 0.0,
+        q > 0 ? static_cast<double>(
+                    CounterValue("taxorec.serve.ivf.items_scored")) /
+                    static_cast<double>(q)
+              : 0.0);
   }
 
   if (sampling) {
